@@ -1,0 +1,57 @@
+"""Extension: history-augmented BO (the paper's stated future work).
+
+The paper's conclusion proposes augmenting the optimiser with historical
+performance data to cut search cost further.  This bench measures that:
+for each target workload, a prior is trained on the *other* 106
+workloads' pairwise data and blended into Augmented BO's predictions.
+"""
+
+import numpy as np
+from conftest import show
+
+from repro.analysis.experiments import all_workload_ids
+from repro.core.augmented_bo import AugmentedBO
+from repro.core.history_bo import HistoryAugmentedBO, HistoryModel, build_history_pairs
+from repro.core.objectives import Objective
+
+SLICE = all_workload_ids()[::16]  # 7 workloads
+REPEATS = 4
+
+
+def run_comparison(runner):
+    trace = runner.trace
+    plain_costs, primed_costs = [], []
+    for workload_id in SLICE:
+        optimum = runner.optimal_value(workload_id, Objective.TIME)
+        rows, targets = build_history_pairs(
+            trace, workload_id, "time", pairs_per_workload=16, seed=0
+        )
+        history = HistoryModel(rows, targets, seed=0)
+        for seed in range(REPEATS):
+            plain = AugmentedBO(trace.environment(workload_id), seed=seed).run()
+            primed = HistoryAugmentedBO(
+                trace.environment(workload_id), history=history, seed=seed
+            ).run()
+            plain_costs.append(plain.first_step_reaching(optimum) or 19)
+            primed_costs.append(primed.first_step_reaching(optimum) or 19)
+    return np.array(plain_costs), np.array(primed_costs)
+
+
+def test_extension_history_prior(benchmark, runner):
+    plain, primed = benchmark.pedantic(
+        run_comparison, args=(runner,), rounds=1, iterations=1
+    )
+
+    show(
+        "Extension — history-augmented BO (time objective)",
+        [
+            ("mean search cost, plain augmented", "(baseline)", f"{plain.mean():.2f}"),
+            ("mean search cost, with history prior", "(lower)", f"{primed.mean():.2f}"),
+            ("worst case, plain", "(baseline)", f"{plain.max():.0f}"),
+            ("worst case, with history prior", "(lower)", f"{primed.max():.0f}"),
+        ],
+    )
+
+    # The prior must not hurt on average, and should tame the worst case.
+    assert primed.mean() <= plain.mean() + 0.4
+    assert primed.max() <= plain.max()

@@ -1,0 +1,39 @@
+"""Figure 6: cost creates a level playing field.
+
+Paper: for the regression workload on Spark 1.5, execution times differ
+widely across VM types while deployment costs are similar — several VMs
+inferior in time become competitive in cost, making the cost search
+harder.
+"""
+
+from conftest import show
+
+from repro.analysis.experiments import fig6_cost_levelling
+
+
+def test_fig6_cost_levelling(benchmark, runner):
+    result = benchmark.pedantic(fig6_cost_levelling, args=(runner,), rounds=1, iterations=1)
+
+    show(
+        f"Figure 6 — time vs cost spread for {result['workload']}",
+        [
+            ("time worst/best", "~4x", f"{result['time_spread']:.1f}x"),
+            ("cost worst/best", "~1.5x", f"{result['cost_spread']:.1f}x"),
+            (
+                "VMs within 25% of best (time)",
+                "few",
+                str(result["time_competitive"]),
+            ),
+            (
+                "VMs within 25% of best (cost)",
+                "several",
+                str(result["cost_competitive"]),
+            ),
+        ],
+    )
+    print(f"{'VM':<12} {'time':>6} {'cost':>6}   (normalised, sorted by cost)")
+    for row in result["rows"]:
+        print(f"{row['vm']:<12} {row['time']:>6.2f} {row['cost']:>6.2f}")
+
+    # Shape: cost compresses the spread for this workload.
+    assert result["cost_spread"] < result["time_spread"]

@@ -1,0 +1,43 @@
+"""Figure 9(a): Naive vs Augmented vs Hybrid BO CDFs, time objective.
+
+Paper: Naive solves ~60% of workloads within 6 measurements; Augmented
+overtakes it afterwards (96% vs 80% at 10 measurements) despite a slow
+start in the first ~4 steps; Hybrid dominates Naive throughout.
+"""
+
+from conftest import show
+
+from repro.analysis.experiments import fig9_cdf
+from repro.core.objectives import Objective
+
+
+def test_fig9a_cdf_time(benchmark, runner):
+    result = benchmark.pedantic(
+        fig9_cdf, args=(runner, Objective.TIME), rounds=1, iterations=1
+    )
+
+    naive = result["solved_at"]["naive"]
+    augmented = result["solved_at"]["augmented"]
+    hybrid = result["solved_at"]["hybrid"]
+    show(
+        "Figure 9(a) — solved-fraction CDFs (time objective)",
+        [
+            ("naive solved at 6", "~60%", f"{naive['6']:.0%}"),
+            ("augmented solved at 6", ">= naive", f"{augmented['6']:.0%}"),
+            ("naive solved at 10", "~80%", f"{naive['10']:.0%}"),
+            ("augmented solved at 10", "~96%", f"{augmented['10']:.0%}"),
+            ("hybrid solved at 6", ">= naive", f"{hybrid['6']:.0%}"),
+            ("hybrid solved at 10", ">= naive", f"{hybrid['10']:.0%}"),
+        ],
+    )
+    for label, curve in result["curves"].items():
+        print(f"{label:<10}", " ".join(f"{v:.2f}" for v in curve))
+
+    # Shape claims (small slack for repeat noise):
+    assert augmented["10"] >= naive["10"] - 0.03
+    assert augmented["12"] >= naive["12"] - 0.03
+    assert hybrid["6"] >= naive["6"] - 0.05
+    assert hybrid["10"] >= naive["10"] - 0.05
+    # Everyone finishes a full sweep having found the optimum.
+    for curve in result["curves"].values():
+        assert curve[-1] == 1.0

@@ -1,0 +1,37 @@
+"""Figure 12: win/draw/loss of Augmented vs Naive BO (cost objective).
+
+Paper: with the prescribed stopping rules (10% EI vs Delta 1.1),
+Augmented BO wins on 46 of 107 workloads (lower search cost AND lower
+deployment cost), performs the same on 39, trades on 17 and loses search
+cost on only 5; on average it cuts search cost ~20% and deployment cost
+~5%.
+"""
+
+from conftest import show
+
+from repro.analysis.experiments import fig12_win_loss
+
+
+def test_fig12_win_loss(benchmark, runner):
+    result = benchmark.pedantic(fig12_win_loss, args=(runner,), rounds=1, iterations=1)
+
+    counts = result["counts"]
+    show(
+        "Figure 12 — Augmented vs Naive with stopping rules (cost)",
+        [
+            ("win (both axes better)", "46", str(counts["win"])),
+            ("same", "39", str(counts["same"])),
+            ("draw (trade-off)", "17", str(counts["draw"])),
+            ("loss (higher search cost)", "5", str(counts["loss"])),
+            ("mean search-cost reduction", "~20%", f"{result['mean_search_reduction']:.0%}"),
+            ("mean deployment-cost improvement", "~5%", f"{result['mean_value_improvement']:.0%}"),
+        ],
+    )
+
+    total = sum(counts.values())
+    assert total == 107
+    # Shape claims: wins dominate losses heavily, and the average search
+    # cost drops.
+    assert counts["win"] >= 3 * counts["loss"]
+    assert counts["win"] + counts["same"] >= total * 0.4
+    assert result["mean_search_reduction"] > 0.0

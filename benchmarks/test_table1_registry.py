@@ -1,0 +1,27 @@
+"""Table I: the application/workload inventory."""
+
+from conftest import show
+
+from repro.analysis.experiments import table1_registry
+
+
+def test_table1_registry(benchmark):
+    result = benchmark.pedantic(table1_registry, rounds=1, iterations=1)
+
+    by_category = result["applications_by_category"]
+    show(
+        "Table I — applications and workloads",
+        [
+            ("workloads measured", "107", str(result["n_workloads"])),
+            ("applications", "30", str(result["n_applications"])),
+            ("frameworks", "3", str(len(result["frameworks"]))),
+            ("micro benchmarks", "4", str(len(by_category["Micro Benchmark"]))),
+            ("OLAP queries", "3", str(len(by_category["OLAP"]))),
+            ("statistics functions", "9", str(len(by_category["Statistics Function"]))),
+            ("machine learning", "14", str(len(by_category["Machine Learning"]))),
+        ],
+    )
+
+    assert result["n_workloads"] == 107
+    assert result["n_applications"] == 30
+    assert result["frameworks"] == ["Hadoop 2.7", "Spark 1.5", "Spark 2.1"]

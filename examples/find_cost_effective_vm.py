@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Compare Naive BO and Augmented BO on the cost objective.
+
+Reproduces the Figure-12 story at small scale: both methods run with
+their paper-prescribed stopping rules (10% Expected Improvement for
+Naive, Prediction-Delta threshold 1.1 for Augmented) on a handful of
+workloads, and we report search cost and deployment-cost quality side by
+side.
+
+Run with::
+
+    python examples/find_cost_effective_vm.py
+"""
+
+import numpy as np
+
+from repro import (
+    AugmentedBO,
+    EIThreshold,
+    NaiveBO,
+    Objective,
+    PredictionDeltaThreshold,
+    default_trace,
+)
+
+WORKLOADS = (
+    "lr/Spark 1.5/medium",
+    "bayes/Spark 2.1/medium",
+    "terasort/Hadoop 2.7/large",
+    "kmeans/Spark 2.1/large",
+    "svd/Spark 2.1/medium",
+    "join/Hadoop 2.7/medium",
+)
+
+REPEATS = 10
+
+
+def run_method(trace, workload_id, method, repeats=REPEATS):
+    """Median (search cost, normalised deployment cost) over repeats."""
+    optimum = trace.objective_values(workload_id, "cost").min()
+    costs, values = [], []
+    for seed in range(repeats):
+        if method == "naive":
+            optimizer = NaiveBO(
+                trace.environment(workload_id),
+                objective=Objective.COST,
+                stopping=EIThreshold(fraction=0.1),
+                seed=seed,
+            )
+        else:
+            optimizer = AugmentedBO(
+                trace.environment(workload_id),
+                objective=Objective.COST,
+                stopping=PredictionDeltaThreshold(threshold=1.1),
+                seed=seed,
+            )
+        result = optimizer.run()
+        costs.append(result.search_cost)
+        values.append(result.best_value / optimum)
+    return float(np.median(costs)), float(np.median(values))
+
+
+def main() -> None:
+    trace = default_trace()
+    print(f"{'workload':<28} {'naive':>14} {'augmented':>14}  verdict")
+    print(f"{'':<28} {'meas / xopt':>14} {'meas / xopt':>14}")
+    wins = 0
+    for workload_id in WORKLOADS:
+        naive_cost, naive_value = run_method(trace, workload_id, "naive")
+        aug_cost, aug_value = run_method(trace, workload_id, "augmented")
+        if aug_cost <= naive_cost and aug_value <= naive_value + 0.01:
+            verdict = "augmented wins/ties"
+            wins += 1
+        elif aug_cost < naive_cost:
+            verdict = "cheaper search, worse pick"
+        else:
+            verdict = "naive wins"
+        print(
+            f"{workload_id:<28} {naive_cost:>6.1f} / {naive_value:>4.2f}"
+            f" {aug_cost:>7.1f} / {aug_value:>4.2f}  {verdict}"
+        )
+    print(f"\naugmented wins or ties on {wins}/{len(WORKLOADS)} workloads")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Use historical measurements of other workloads as a search prior.
+
+Implements the paper's future-work idea: a new recurring job arrives,
+but the operator has already profiled dozens of other workloads on the
+same VM fleet.  A prior trained on those old (VM pair, low-level
+metrics) -> speedup relations steers the first few acquisitions of the
+new search.
+
+Run with::
+
+    python examples/history_prior.py
+"""
+
+import numpy as np
+
+from repro import (
+    AugmentedBO,
+    HistoryAugmentedBO,
+    HistoryModel,
+    build_history_pairs,
+    default_trace,
+)
+
+TARGET = "word2vec/Spark 2.1/small"
+REPEATS = 10
+
+
+def main() -> None:
+    trace = default_trace()
+    optimum = trace.objective_values(TARGET, "time").min()
+
+    print(f"target workload: {TARGET}")
+    print("building a prior from the other 106 workloads' measurements...")
+    rows, targets = build_history_pairs(
+        trace, TARGET, "time", pairs_per_workload=16, seed=0
+    )
+    history = HistoryModel(rows, targets, seed=0)
+    print(f"prior trained on {len(targets)} historical (source -> dest) pairs\n")
+
+    plain_costs, primed_costs = [], []
+    for seed in range(REPEATS):
+        plain = AugmentedBO(trace.environment(TARGET), seed=seed).run()
+        primed = HistoryAugmentedBO(
+            trace.environment(TARGET), history=history, seed=seed
+        ).run()
+        plain_costs.append(plain.first_step_reaching(optimum) or 19)
+        primed_costs.append(primed.first_step_reaching(optimum) or 19)
+
+    print(f"{'method':<24} {'median':>7} {'worst':>6}   measurements to optimum")
+    print(f"{'augmented (no prior)':<24} {np.median(plain_costs):>7.1f} {max(plain_costs):>6}")
+    print(f"{'history-augmented':<24} {np.median(primed_costs):>7.1f} {max(primed_costs):>6}")
+    print("\nper-seed costs (no prior):  ", plain_costs)
+    print("per-seed costs (with prior):", primed_costs)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+"""Arrow: Low-Level Augmented Bayesian Optimization for Finding the Best
+Cloud VM — a full reproduction of Hsu, Nair, Freeh & Menzies (ICDCS 2018).
+
+Quickstart::
+
+    from repro import AugmentedBO, Objective, default_trace
+
+    trace = default_trace()                      # the 107x18 study dataset
+    env = trace.environment("als/Spark 2.1/medium")
+    result = AugmentedBO(env, objective=Objective.COST, seed=42).run()
+    print(result.best_vm_name, result.search_cost)
+
+Package layout:
+
+* :mod:`repro.cloud` — the 18-VM instance space, prices, encoding,
+* :mod:`repro.workloads` — the 107 workloads and their latent profiles,
+* :mod:`repro.simulator` — the performance model and low-level metrics,
+* :mod:`repro.trace` — the recorded measurement matrix and replay,
+* :mod:`repro.ml` — from-scratch GP, Extra-Trees, kernels, samplers,
+* :mod:`repro.core` — Naive/Augmented/Hybrid BO and baselines,
+* :mod:`repro.analysis` — the paper's experiment harness and metrics.
+"""
+
+from repro.cloud import InstanceEncoder, VMType, default_catalog, default_price_list
+from repro.core import (
+    AugmentedBO,
+    EIThreshold,
+    ExhaustiveSearch,
+    HistoryAugmentedBO,
+    HistoryModel,
+    HybridBO,
+    MaxMeasurements,
+    NaiveBO,
+    Objective,
+    PredictionDeltaThreshold,
+    RandomSearch,
+    SearchResult,
+    SingleVMRule,
+    build_history_pairs,
+)
+from repro.simulator import SimulatedCloud
+from repro.trace import BenchmarkTrace, default_trace, generate_trace, load_trace, save_trace
+from repro.workloads import Framework, InputSize, Workload, default_registry
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "VMType",
+    "InstanceEncoder",
+    "default_catalog",
+    "default_price_list",
+    "Workload",
+    "Framework",
+    "InputSize",
+    "default_registry",
+    "SimulatedCloud",
+    "BenchmarkTrace",
+    "default_trace",
+    "generate_trace",
+    "load_trace",
+    "save_trace",
+    "Objective",
+    "SearchResult",
+    "NaiveBO",
+    "AugmentedBO",
+    "HybridBO",
+    "HistoryAugmentedBO",
+    "HistoryModel",
+    "build_history_pairs",
+    "RandomSearch",
+    "ExhaustiveSearch",
+    "SingleVMRule",
+    "MaxMeasurements",
+    "EIThreshold",
+    "PredictionDeltaThreshold",
+    "__version__",
+]

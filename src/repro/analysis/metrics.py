@@ -1,0 +1,138 @@
+"""Evaluation metrics: search cost, CDFs, and win/draw/loss accounting.
+
+These implement the paper's measurements:
+
+* **search cost to optimum** — how many measurements until the optimal
+  VM (per the ground-truth trace) has been measured (Figures 1, 9),
+* **solved-fraction curves** — the cumulative share of workloads whose
+  optimum was found within k measurements (the CDF axes of Figures 1
+  and 9),
+* **win/draw/loss comparison** — the quadrant accounting of Figures 12
+  and 13: per workload, the relative reduction in search cost and the
+  relative improvement in the best value found, classified into
+  win / same / draw / loss.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import SearchResult
+
+#: Relative tolerance under which two outcomes count as "the same".
+SAME_TOLERANCE = 0.01
+
+
+def cost_to_optimum(result: SearchResult, optimal_value: float) -> int | None:
+    """Measurements until the search first reached the optimal value.
+
+    ``None`` when the search stopped without ever measuring the optimum.
+    """
+    return result.first_step_reaching(optimal_value)
+
+
+def solved_fraction_curve(
+    costs_by_workload: Mapping[str, Iterable[int | None]],
+    max_steps: int,
+) -> np.ndarray:
+    """Fraction of workloads solved within k measurements, k = 1..max_steps.
+
+    A workload counts as solved at step k if the *median* of its
+    per-repeat costs-to-optimum is <= k (unfound runs count as
+    ``max_steps + 1``).  Returns an array of length ``max_steps``.
+
+    Raises:
+        ValueError: if there are no workloads or ``max_steps`` < 1.
+    """
+    if max_steps < 1:
+        raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+    if not costs_by_workload:
+        raise ValueError("costs_by_workload must not be empty")
+    medians = []
+    for costs in costs_by_workload.values():
+        filled = [max_steps + 1 if cost is None else cost for cost in costs]
+        medians.append(float(np.median(filled)))
+    medians_arr = np.array(medians)
+    steps = np.arange(1, max_steps + 1)
+    return np.array([(medians_arr <= k).mean() for k in steps])
+
+
+class Outcome(enum.Enum):
+    """Quadrants of the Figure 12/13 comparison."""
+
+    WIN = "win"    # lower search cost and better final value
+    SAME = "same"  # indistinguishable on both axes
+    DRAW = "draw"  # lower search cost but worse final value (a trade-off)
+    LOSS = "loss"  # higher search cost
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """One workload's challenger-vs-baseline outcome.
+
+    Positive ``search_reduction`` / ``value_improvement`` favour the
+    challenger (both are relative fractions, e.g. 0.24 = 24% better).
+    """
+
+    workload_id: str
+    search_reduction: float
+    value_improvement: float
+    outcome: Outcome
+
+
+def _classify(search_reduction: float, value_improvement: float) -> Outcome:
+    if search_reduction < -SAME_TOLERANCE:
+        return Outcome.LOSS
+    if value_improvement > SAME_TOLERANCE and search_reduction > SAME_TOLERANCE:
+        return Outcome.WIN
+    if value_improvement < -SAME_TOLERANCE and search_reduction > SAME_TOLERANCE:
+        return Outcome.DRAW
+    return Outcome.SAME
+
+
+def compare_methods(
+    baseline: Mapping[str, Sequence[SearchResult]],
+    challenger: Mapping[str, Sequence[SearchResult]],
+) -> list[Comparison]:
+    """Per-workload comparison of two methods run with stopping criteria.
+
+    For each workload, the median search cost and median best value of
+    each method (across repeats) are compared; see Figure 12 of the
+    paper, where the challenger is Augmented BO with the Prediction-Delta
+    threshold and the baseline is Naive BO with the 10% EI rule.
+
+    Raises:
+        ValueError: if the two mappings cover different workloads.
+    """
+    if set(baseline) != set(challenger):
+        raise ValueError("baseline and challenger must cover the same workloads")
+    comparisons = []
+    for workload_id in baseline:
+        base_runs, chal_runs = baseline[workload_id], challenger[workload_id]
+        base_cost = float(np.median([r.search_cost for r in base_runs]))
+        chal_cost = float(np.median([r.search_cost for r in chal_runs]))
+        base_value = float(np.median([r.best_value for r in base_runs]))
+        chal_value = float(np.median([r.best_value for r in chal_runs]))
+        search_reduction = (base_cost - chal_cost) / base_cost
+        value_improvement = (base_value - chal_value) / base_value
+        comparisons.append(
+            Comparison(
+                workload_id=workload_id,
+                search_reduction=search_reduction,
+                value_improvement=value_improvement,
+                outcome=_classify(search_reduction, value_improvement),
+            )
+        )
+    return comparisons
+
+
+def outcome_counts(comparisons: Iterable[Comparison]) -> dict[Outcome, int]:
+    """Number of workloads per outcome quadrant."""
+    counts = {outcome: 0 for outcome in Outcome}
+    for comparison in comparisons:
+        counts[comparison.outcome] += 1
+    return counts

@@ -1,0 +1,77 @@
+"""Region classification (paper Figure 1).
+
+The paper partitions workloads by how much of the instance space Naive
+BO must measure before finding the optimal VM:
+
+* **Region I** — within 33% of the search space (≤ 6 of 18 VMs): BO is
+  effective,
+* **Region II** — within 66% (7-12 measurements): the fragility zone,
+* **Region III** — more than 66% (> 12 measurements): BO is barely
+  better than brute force.
+
+A workload's region is determined by the *median* search cost over
+repeated runs with different initial points; a run that never finds the
+optimum counts as a full sweep.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+#: Catalog size the thresholds are derived from.
+CATALOG_SIZE = 18
+
+#: Region I upper bound: 33% of the search space.
+REGION_I_MAX = 6
+
+#: Region II upper bound: 66% of the search space.
+REGION_II_MAX = 12
+
+
+class Region(enum.Enum):
+    """The paper's three effectiveness regions."""
+
+    I = "Region I"
+    II = "Region II"
+    III = "Region III"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+def classify_region(search_costs: Iterable[int | None]) -> Region:
+    """Region of one workload from its per-repeat search costs.
+
+    Args:
+        search_costs: measurements-to-optimum per repeat; ``None`` means
+            the optimum was never found and counts as a full sweep.
+
+    Raises:
+        ValueError: if ``search_costs`` is empty.
+    """
+    costs = [CATALOG_SIZE if cost is None else cost for cost in search_costs]
+    if not costs:
+        raise ValueError("search_costs must not be empty")
+    median = float(np.median(costs))
+    if median <= REGION_I_MAX:
+        return Region.I
+    if median <= REGION_II_MAX:
+        return Region.II
+    return Region.III
+
+
+def region_counts(
+    costs_by_workload: Mapping[str, Iterable[int | None]]
+) -> dict[Region, int]:
+    """Number of workloads in each region.
+
+    Args:
+        costs_by_workload: per-workload search costs (as for
+            :func:`classify_region`).
+    """
+    counts = Counter(classify_region(costs) for costs in costs_by_workload.values())
+    return {region: counts.get(region, 0) for region in Region}

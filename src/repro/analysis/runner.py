@@ -1,0 +1,178 @@
+"""Experiment runner with an on-disk result cache.
+
+The paper's evaluation repeats every (optimiser, objective, workload)
+search with many different initial designs.  Each repeat is deterministic
+given its seed, so results are cached as JSON keyed by
+``(grid key, objective)`` and never recomputed — every figure's bench can
+share one underlying grid of runs.
+
+Seeds are derived per (workload, repeat) so repeats are decorrelated
+across workloads while remaining reproducible across processes.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.objectives import Objective
+from repro.core.result import SearchResult, SearchStep
+from repro.core.smbo import SequentialOptimizer
+from repro.simulator.cluster import MeasurementEnvironment
+from repro.trace.dataset import BenchmarkTrace
+from repro.trace.generate import default_trace
+
+#: Builds a fresh optimiser for one run: (environment, objective, seed).
+OptimizerFactory = Callable[[MeasurementEnvironment, Objective, int], SequentialOptimizer]
+
+
+def run_seed(workload_id: str, repeat: int) -> int:
+    """Deterministic seed for one (workload, repeat) pair."""
+    return (zlib.crc32(workload_id.encode()) ^ (repeat * 0x9E3779B1)) & 0x7FFFFFFF
+
+
+@dataclass(frozen=True)
+class RunGrid:
+    """One experiment grid: an optimiser over workloads x repeats.
+
+    Attributes:
+        key: unique cache key; must change whenever ``factory`` changes
+            behaviour (e.g. ``"naive-bo"``, ``"augmented-bo[stop=1.1]"``).
+        factory: builds the optimiser for each run.
+        objective: what to minimise.
+        workload_ids: the workloads to run on.
+        repeats: number of repeats (seeds 0..repeats-1 per workload).
+    """
+
+    key: str
+    factory: OptimizerFactory
+    objective: Objective
+    workload_ids: tuple[str, ...]
+    repeats: int
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be >= 1, got {self.repeats}")
+        if not self.workload_ids:
+            raise ValueError("workload_ids must not be empty")
+        if "/" in self.key:
+            raise ValueError("grid key must not contain '/' (it names a file)")
+
+
+def _result_to_json(result: SearchResult) -> dict:
+    return {
+        "optimizer": result.optimizer,
+        "stopped_by": result.stopped_by,
+        "steps": [[s.vm_name, s.objective_value] for s in result.steps],
+    }
+
+
+def _result_from_json(
+    payload: Mapping, objective: Objective, workload_id: str
+) -> SearchResult:
+    steps = []
+    best = float("inf")
+    for index, (vm_name, value) in enumerate(payload["steps"], start=1):
+        best = min(best, float(value))
+        steps.append(
+            SearchStep(step=index, vm_name=vm_name, objective_value=float(value), best_value=best)
+        )
+    return SearchResult(
+        optimizer=payload["optimizer"],
+        objective=objective,
+        workload_id=workload_id,
+        steps=tuple(steps),
+        stopped_by=payload["stopped_by"],
+    )
+
+
+class ExperimentRunner:
+    """Runs :class:`RunGrid` experiments against one trace, with caching.
+
+    Args:
+        trace: the ground-truth trace to replay against (defaults to the
+            canonical one).
+        cache_dir: directory for JSON result caches; ``None`` disables
+            caching.
+    """
+
+    def __init__(
+        self,
+        trace: BenchmarkTrace | None = None,
+        cache_dir: str | Path | None = None,
+    ) -> None:
+        self.trace = trace if trace is not None else default_trace()
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    def _cache_path(self, grid: RunGrid) -> Path | None:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"{grid.key}__{grid.objective.value}.json"
+
+    def run(self, grid: RunGrid) -> dict[str, list[SearchResult]]:
+        """All results of ``grid``, computed or loaded from cache.
+
+        Returns:
+            Mapping from workload id to one result per repeat (repeat
+            order preserved).
+        """
+        cache_path = self._cache_path(grid)
+        cache: dict[str, dict[str, dict]] = {}
+        if cache_path is not None and cache_path.exists():
+            cache = json.loads(cache_path.read_text())
+
+        results: dict[str, list[SearchResult]] = {}
+        dirty = 0
+
+        def flush() -> None:
+            if cache_path is not None:
+                tmp_path = cache_path.with_suffix(".tmp")
+                tmp_path.write_text(json.dumps(cache))
+                tmp_path.replace(cache_path)
+
+        for workload_id in grid.workload_ids:
+            per_workload = cache.setdefault(workload_id, {})
+            runs = []
+            for repeat in range(grid.repeats):
+                seed_key = str(repeat)
+                if seed_key in per_workload:
+                    runs.append(
+                        _result_from_json(per_workload[seed_key], grid.objective, workload_id)
+                    )
+                    continue
+                environment = self.trace.environment(workload_id)
+                optimizer = grid.factory(
+                    environment, grid.objective, run_seed(workload_id, repeat)
+                )
+                result = optimizer.run()
+                per_workload[seed_key] = _result_to_json(result)
+                runs.append(result)
+                dirty += 1
+            results[workload_id] = runs
+            # Checkpoint periodically so a long grid survives interruption.
+            if dirty >= 100:
+                flush()
+                dirty = 0
+
+        if dirty:
+            flush()
+        return results
+
+    def optimal_value(self, workload_id: str, objective: Objective) -> float:
+        """Ground-truth optimal objective value for one workload."""
+        return float(self.trace.objective_values(workload_id, objective.trace_key).min())
+
+    def costs_to_optimum(
+        self, results: Mapping[str, Sequence[SearchResult]], objective: Objective
+    ) -> dict[str, list[int | None]]:
+        """Per-workload, per-repeat search cost to the trace optimum."""
+        costs: dict[str, list[int | None]] = {}
+        for workload_id, runs in results.items():
+            optimum = self.optimal_value(workload_id, objective)
+            costs[workload_id] = [run.first_step_reaching(optimum) for run in runs]
+        return costs

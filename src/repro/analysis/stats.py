@@ -1,0 +1,78 @@
+"""Median/IQR summaries for search-trace plots.
+
+Figure 10 of the paper plots, per optimiser, the median best-so-far
+value against search cost over 100 repeats, with the interquartile range
+shaded.  :func:`median_iqr_curve` computes exactly those three series
+from a list of :class:`SearchResult`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.result import SearchResult
+
+
+@dataclass(frozen=True, slots=True)
+class Summary:
+    """Five-number-ish summary of a sample."""
+
+    median: float
+    q1: float
+    q3: float
+    mean: float
+    count: int
+
+    @property
+    def iqr(self) -> float:
+        """Interquartile range (q3 - q1)."""
+        return self.q3 - self.q1
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics of ``values``.
+
+    Raises:
+        ValueError: if ``values`` is empty.
+    """
+    if len(values) == 0:
+        raise ValueError("cannot summarise an empty sample")
+    arr = np.asarray(values, dtype=float)
+    q1, median, q3 = np.percentile(arr, [25, 50, 75])
+    return Summary(
+        median=float(median), q1=float(q1), q3=float(q3),
+        mean=float(arr.mean()), count=int(arr.size),
+    )
+
+
+def median_iqr_curve(
+    results: Sequence[SearchResult],
+    max_steps: int,
+    normalise_to: float | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Best-so-far curves across repeats: (median, q1, q3) per step.
+
+    Each returned array has length ``max_steps``; runs shorter than
+    ``max_steps`` are extended with their final best value (a stopped
+    search keeps its result).  With ``normalise_to`` set, values are
+    divided by it (1.0 = the optimal VM, as plotted in the paper).
+
+    Raises:
+        ValueError: if ``results`` is empty or ``max_steps`` < 1.
+    """
+    if not results:
+        raise ValueError("results must not be empty")
+    if max_steps < 1:
+        raise ValueError(f"max_steps must be >= 1, got {max_steps}")
+    matrix = np.array(
+        [[run.best_value_at(step) for step in range(1, max_steps + 1)] for run in results]
+    )
+    if normalise_to is not None:
+        if normalise_to <= 0:
+            raise ValueError("normalise_to must be positive")
+        matrix = matrix / normalise_to
+    q1, median, q3 = np.percentile(matrix, [25, 50, 75], axis=0)
+    return median, q1, q3

@@ -1,0 +1,387 @@
+"""``arrow`` — the command-line interface of the reproduction.
+
+Subcommands:
+
+* ``arrow catalog`` — the 18 VM types with hardware attributes and prices,
+* ``arrow workloads`` — the 107-workload registry, filterable,
+* ``arrow trace generate|stats`` — build or summarise a benchmark trace,
+* ``arrow search`` — run an optimiser on one workload and show the trace,
+* ``arrow profile`` — simulate a run's sysstat time series on one VM,
+* ``arrow figure`` — render a cached experiment figure in the terminal,
+* ``arrow experiments`` — list the paper's experiment index.
+
+Every command is pure stdout; exit status 0 on success, 2 on usage
+errors (argparse), 1 on runtime errors with a message on stderr.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.ascii_plots import bar_chart, line_chart
+from repro.cloud.pricing import default_price_list
+from repro.cloud.vmtypes import default_catalog, get_vm_type
+from repro.core.augmented_bo import AugmentedBO
+from repro.core.baselines import ExhaustiveSearch, RandomSearch
+from repro.core.hybrid_bo import HybridBO
+from repro.core.naive_bo import NaiveBO
+from repro.core.objectives import Objective
+from repro.core.stopping import EIThreshold, PredictionDeltaThreshold
+from repro.simulator.perfmodel import PerformanceModel
+from repro.simulator.sar import record_sar_trace
+from repro.trace.generate import default_trace, generate_trace
+from repro.trace.io import load_trace, save_trace
+from repro.workloads.registry import default_registry
+from repro.workloads.spec import Category, Framework, InputSize
+
+_METHODS = {
+    "naive": NaiveBO,
+    "augmented": AugmentedBO,
+    "hybrid": HybridBO,
+    "random": RandomSearch,
+    "exhaustive": ExhaustiveSearch,
+}
+
+
+# -- catalog -------------------------------------------------------------
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    prices = default_price_list()
+    print(
+        f"{'name':<12} {'vCPU':>4} {'RAM GiB':>8} {'clock':>6} "
+        f"{'disk MB/s':>10} {'local SSD':>9} {'$/hour':>8}"
+    )
+    for vm in default_catalog():
+        print(
+            f"{vm.name:<12} {vm.vcpus:>4} {vm.ram_gb:>8.2f} {vm.clock_factor:>6.2f} "
+            f"{vm.disk_mbps:>10.0f} {'yes' if vm.local_ssd else 'no':>9} "
+            f"{prices.price_per_hour(vm):>8.3f}"
+        )
+    return 0
+
+
+# -- workloads -----------------------------------------------------------
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    framework = Framework(args.framework) if args.framework else None
+    category = Category(args.category) if args.category else None
+    size = InputSize(args.size) if args.size else None
+    matches = registry.filter(
+        application=args.application,
+        framework=framework,
+        category=category,
+        input_size=size,
+    )
+    for workload in matches:
+        print(f"{workload.workload_id:<40} {workload.category.value}")
+    print(f"-- {len(matches)} workloads", file=sys.stderr)
+    return 0
+
+
+# -- trace ---------------------------------------------------------------
+
+
+def _cmd_trace_generate(args: argparse.Namespace) -> int:
+    trace = generate_trace(seed=args.seed)
+    save_trace(trace, args.out)
+    print(f"wrote trace (seed {args.seed}) to {args.out}")
+    return 0
+
+
+def _load_trace_arg(path: str | None):
+    return load_trace(path) if path else default_trace()
+
+
+def _cmd_trace_stats(args: argparse.Namespace) -> int:
+    trace = _load_trace_arg(args.path)
+    objective = args.objective
+    spreads = [trace.spread(w, objective) for w in trace.registry]
+    winners: dict[str, int] = {}
+    for workload in trace.registry:
+        name = trace.best_vm(workload, objective).name
+        winners[name] = winners.get(name, 0) + 1
+    print(f"objective: {objective}")
+    print(
+        f"worst/best spread: max {max(spreads):.1f}x, "
+        f"median {float(np.median(spreads)):.1f}x"
+    )
+    print("\noptimal-VM histogram:")
+    ordered = dict(sorted(winners.items(), key=lambda kv: -kv[1]))
+    print(bar_chart({k: float(v) for k, v in ordered.items()}, unit=" workloads"))
+    return 0
+
+
+# -- search ----------------------------------------------------------------
+
+
+def _build_optimizer(args: argparse.Namespace, environment):
+    objective = Objective.from_name(args.objective)
+    stopping = None
+    if args.stop == "ei":
+        stopping = EIThreshold(fraction=args.stop_value or 0.1)
+    elif args.stop == "delta":
+        stopping = PredictionDeltaThreshold(threshold=args.stop_value or 1.1)
+    cls = _METHODS[args.method]
+    return cls(environment, objective=objective, stopping=stopping, seed=args.seed)
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    trace = _load_trace_arg(args.trace)
+    if args.workload not in trace.registry:
+        print(f"error: unknown workload {args.workload!r}", file=sys.stderr)
+        return 1
+    objective = Objective.from_name(args.objective)
+    optimum = trace.objective_values(args.workload, objective.trace_key).min()
+
+    if args.repeats == 1:
+        result = _build_optimizer(args, trace.environment(args.workload)).run()
+        print(f"{'step':>4}  {'VM type':<12} {'value':>12} {'best':>12}")
+        for step in result.steps:
+            print(
+                f"{step.step:>4}  {step.vm_name:<12} "
+                f"{step.objective_value:>12.4f} {step.best_value:>12.4f}"
+            )
+        print(
+            f"\nstopped by {result.stopped_by} after {result.search_cost} "
+            f"measurements; best {result.best_vm_name} "
+            f"({result.best_value / optimum:.2f}x optimum)"
+        )
+        return 0
+
+    costs, ratios = [], []
+    for seed in range(args.repeats):
+        args.seed = seed
+        result = _build_optimizer(args, trace.environment(args.workload)).run()
+        costs.append(result.search_cost)
+        ratios.append(result.best_value / optimum)
+    print(
+        f"{args.method} on {args.workload} ({objective.value}), "
+        f"{args.repeats} repeats:"
+    )
+    print(
+        f"  search cost: median {float(np.median(costs)):.1f} "
+        f"(min {min(costs)}, max {max(costs)})"
+    )
+    print(f"  best-vs-optimum: median {float(np.median(ratios)):.3f}x")
+    return 0
+
+
+# -- profile --------------------------------------------------------------
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    registry = default_registry()
+    if args.workload not in registry:
+        print(f"error: unknown workload {args.workload!r}", file=sys.stderr)
+        return 1
+    try:
+        vm = get_vm_type(args.vm)
+    except KeyError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    workload = registry.get(args.workload)
+    model = PerformanceModel()
+    breakdown = model.breakdown(vm, workload.profile)
+    sar = record_sar_trace(
+        vm, workload.profile, breakdown, interval_s=args.interval, seed=args.seed
+    )
+    matrix = sar.to_matrix()
+
+    print(f"{args.workload} on {vm.name}: {breakdown.total_time_s:.0f}s simulated")
+    print(
+        f"compute {breakdown.compute_time_s:.0f}s, disk {breakdown.disk_time_s:.0f}s, "
+        f"paging {'yes' if breakdown.paging else 'no'} "
+        f"(memory ratio {breakdown.memory_ratio:.2f})\n"
+    )
+    print(
+        line_chart(
+            {
+                "cpu user %": matrix[:, 0].tolist(),
+                "iowait %": matrix[:, 1].tolist(),
+                "mem commit %": matrix[:, 3].tolist(),
+            },
+            x_label=f"samples ({args.interval:.0f}s interval)",
+            y_label="utilisation",
+            y_min=0.0,
+        )
+    )
+    summary = sar.aggregate()
+    print(
+        f"\nsummary: cpu {summary.cpu_user_pct:.0f}%, iowait "
+        f"{summary.cpu_iowait_pct:.0f}%, mem commit {summary.mem_commit_pct:.0f}%, "
+        f"disk util {summary.disk_util_pct:.0f}%, disk wait {summary.disk_wait_ms:.1f}ms"
+    )
+    return 0
+
+
+# -- figure -----------------------------------------------------------------
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    path = Path(args.dir) / f"{args.name}.json"
+    if not path.exists():
+        print(
+            f"error: {path} not found — run scripts/build_cache.py first",
+            file=sys.stderr,
+        )
+        return 1
+    payload = json.loads(path.read_text())
+
+    if args.name in {"fig9a", "fig9b"}:
+        print(
+            line_chart(
+                {label: curve for label, curve in payload["curves"].items()},
+                x_label="search cost (# of measurements)",
+                y_label="fraction of workloads solved",
+                y_min=0.0,
+                y_max=1.0,
+            )
+        )
+        return 0
+    if args.name == "fig1":
+        print(
+            line_chart(
+                {"naive-bo": payload["curve"]},
+                x_label="search cost (# of measurements)",
+                y_label="fraction of workloads solved",
+                y_min=0.0,
+                y_max=1.0,
+            )
+        )
+        print(f"\nregions: {payload['regions']}")
+        return 0
+    if args.name in {"fig2"}:
+        print(
+            line_chart(
+                {
+                    "median": payload["median_curve"],
+                    "q1": payload["q1_curve"],
+                    "q3": payload["q3_curve"],
+                },
+                x_label="search cost (# of measurements)",
+                y_label="execution time (normalised)",
+            )
+        )
+        return 0
+    if args.name == "fig8":
+        bars = {
+            row["vm"]: row["normalised_time"] for row in payload["rows"]
+        }
+        print(bar_chart(bars, unit="x"))
+        return 0
+
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+# -- experiments -------------------------------------------------------------
+
+
+_EXPERIMENT_INDEX = (
+    ("table1", "Table I — applications and workloads"),
+    ("fig1", "Figure 1 — Naive BO search-cost CDF"),
+    ("fig2", "Figure 2 — Naive BO trace on ALS"),
+    ("fig3", "Figure 3 — worst/best VM spreads"),
+    ("fig4", "Figure 4 — extreme VMs are not optimal"),
+    ("fig5", "Figure 5 — input size moves the optimum"),
+    ("fig6", "Figure 6 — cost levels the playing field"),
+    ("fig7", "Figure 7 — kernel fragility"),
+    ("sec3c", "Section III-C — initial-point sensitivity"),
+    ("fig8", "Figure 8 — memory bottleneck in low-level metrics"),
+    ("fig9a", "Figure 9(a) — CDFs, time objective"),
+    ("fig9b", "Figure 9(b) — CDFs, cost objective"),
+    ("fig10", "Figure 10 — example search traces"),
+    ("fig11", "Figure 11 — stopping-criterion trade-off"),
+    ("fig12", "Figure 12 — win/draw/loss, cost"),
+    ("fig13", "Figure 13 — time-cost product"),
+)
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    for name, description in _EXPERIMENT_INDEX:
+        print(f"{name:<8} {description}")
+    return 0
+
+
+# -- parser -------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``arrow`` argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="arrow",
+        description="Low-level augmented Bayesian optimisation for cloud VM selection.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    catalog = sub.add_parser("catalog", help="list the 18 VM types")
+    catalog.set_defaults(func=_cmd_catalog)
+
+    workloads = sub.add_parser("workloads", help="list the 107 workloads")
+    workloads.add_argument("--framework", choices=[f.value for f in Framework])
+    workloads.add_argument("--category", choices=[c.value for c in Category])
+    workloads.add_argument("--size", choices=[s.value for s in InputSize])
+    workloads.add_argument("--application")
+    workloads.set_defaults(func=_cmd_workloads)
+
+    trace = sub.add_parser("trace", help="generate or summarise a benchmark trace")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_gen = trace_sub.add_parser("generate", help="sweep all workloads and save")
+    trace_gen.add_argument("--seed", type=int, default=2018)
+    trace_gen.add_argument("--out", required=True)
+    trace_gen.set_defaults(func=_cmd_trace_generate)
+    trace_stats = trace_sub.add_parser("stats", help="summarise a trace")
+    trace_stats.add_argument("--path", help="trace JSON (default: canonical)")
+    trace_stats.add_argument(
+        "--objective", choices=["time", "cost", "product"], default="time"
+    )
+    trace_stats.set_defaults(func=_cmd_trace_stats)
+
+    search = sub.add_parser("search", help="run an optimiser on one workload")
+    search.add_argument("workload", help='e.g. "als/Spark 2.1/medium"')
+    search.add_argument("--method", choices=sorted(_METHODS), default="augmented")
+    search.add_argument(
+        "--objective", choices=["time", "cost", "product"], default="time"
+    )
+    search.add_argument("--seed", type=int, default=0)
+    search.add_argument("--repeats", type=int, default=1)
+    search.add_argument("--stop", choices=["none", "ei", "delta"], default="none")
+    search.add_argument("--stop-value", type=float, default=None)
+    search.add_argument("--trace", help="trace JSON (default: canonical)")
+    search.set_defaults(func=_cmd_search)
+
+    profile = sub.add_parser("profile", help="simulate a run's sysstat time series")
+    profile.add_argument("workload")
+    profile.add_argument("vm", help='e.g. "c4.2xlarge"')
+    profile.add_argument("--interval", type=float, default=1.0)
+    profile.add_argument("--seed", type=int, default=0)
+    profile.set_defaults(func=_cmd_profile)
+
+    figure = sub.add_parser("figure", help="render a cached experiment figure")
+    figure.add_argument("name", choices=[name for name, _ in _EXPERIMENT_INDEX])
+    figure.add_argument("--dir", default="results/figures")
+    figure.set_defaults(func=_cmd_figure)
+
+    experiments = sub.add_parser("experiments", help="list the experiment index")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit status."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""Cloud substrate: the AWS instance-space the paper searches over.
+
+This package models the *published* side of the cloud — the 18 EC2 VM types
+used in the paper (families c3, c4, m3, m4, r3, r4 in sizes large, xlarge,
+2xlarge), their on-demand prices, and the numeric encoding of the instance
+space described in Section V-A of the paper.
+"""
+
+from repro.cloud.vmtypes import (
+    VM_FAMILIES,
+    VM_SIZES,
+    VMType,
+    default_catalog,
+    get_vm_type,
+)
+from repro.cloud.pricing import PriceList, default_price_list, deployment_cost
+from repro.cloud.encoding import InstanceEncoder
+
+__all__ = [
+    "VM_FAMILIES",
+    "VM_SIZES",
+    "VMType",
+    "default_catalog",
+    "get_vm_type",
+    "PriceList",
+    "default_price_list",
+    "deployment_cost",
+    "InstanceEncoder",
+]

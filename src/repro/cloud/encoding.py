@@ -1,0 +1,82 @@
+"""Numeric encoding of the instance space (paper Section V-A).
+
+The optimisers never see hardware ground truth; they see four published
+characteristics encoded as numbers, exactly as the paper prescribes:
+
+1. **CPU type** — the family, encoded 1..6 in the order
+   ``c3, c4, m3, m4, r3, r4``,
+2. **core count** — the actual vCPU count ``{2, 4, 8}``,
+3. **RAM per core** — the coarse class ``{2, 4, 8}`` GiB/core,
+4. **EBS bandwidth class** — ``{1, 2, 3}`` by size.
+
+This encoding is deliberately imperfect — e.g. adjacent CPU-type codes can
+have wildly different memory capacity — which is precisely the source of the
+fragility the paper studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cloud.vmtypes import VM_FAMILIES, VMType, default_catalog
+
+#: Names of the four encoded features, in column order.
+FEATURE_NAMES: tuple[str, ...] = (
+    "cpu_type",
+    "core_count",
+    "ram_per_core",
+    "ebs_class",
+)
+
+
+class InstanceEncoder:
+    """Encodes :class:`VMType` objects into the paper's 4-feature space.
+
+    The encoder is stateless apart from the catalog it serves; it exists as
+    a class so optimisers can hold one object that maps both directions
+    (VM -> vector for the surrogate, row index -> VM for acquisition argmax).
+    """
+
+    def __init__(self, catalog: tuple[VMType, ...] | None = None) -> None:
+        self._catalog: tuple[VMType, ...] = (
+            catalog if catalog is not None else default_catalog()
+        )
+        self._index_by_name = {vm.name: i for i, vm in enumerate(self._catalog)}
+        self._matrix = np.array([self.encode(vm) for vm in self._catalog], dtype=float)
+
+    @property
+    def catalog(self) -> tuple[VMType, ...]:
+        """The VM types this encoder serves, in canonical order."""
+        return self._catalog
+
+    @property
+    def n_features(self) -> int:
+        """Number of encoded features (always 4)."""
+        return len(FEATURE_NAMES)
+
+    def encode(self, vm: VMType) -> np.ndarray:
+        """Encode a single VM type as a length-4 float vector."""
+        return np.array(
+            [
+                float(VM_FAMILIES.index(vm.family) + 1),
+                float(vm.vcpus),
+                float(vm.ram_per_core_class),
+                float(vm.ebs_class),
+            ]
+        )
+
+    def encode_all(self) -> np.ndarray:
+        """Return the full ``(n_vms, 4)`` design matrix for the catalog."""
+        return self._matrix.copy()
+
+    def index_of(self, vm: VMType | str) -> int:
+        """Row index of ``vm`` in :meth:`encode_all`'s matrix."""
+        name = vm.name if isinstance(vm, VMType) else vm
+        try:
+            return self._index_by_name[name]
+        except KeyError:
+            raise KeyError(f"VM type {name!r} is not in this encoder's catalog") from None
+
+    def vm_at(self, index: int) -> VMType:
+        """The VM type at row ``index`` of the design matrix."""
+        return self._catalog[index]

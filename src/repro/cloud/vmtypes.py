@@ -1,0 +1,154 @@
+"""The 18 EC2 VM types evaluated in the paper.
+
+The paper (Section V-A) measures six VM families available on AWS in 2017
+— c3, c4 (compute optimised), m3, m4 (general purpose), r3, r4 (memory
+optimised) — in three sizes: ``large`` (2 vCPUs), ``xlarge`` (4 vCPUs) and
+``2xlarge`` (8 vCPUs).  This module provides a static catalog of those 18
+types with the hardware attributes the simulator needs:
+
+* vCPU count and per-core clock factor (relative to a reference core),
+* real RAM in GiB (not the coarse per-core class used for *encoding*),
+* EBS bandwidth in MB/s and whether the family ships local instance-store
+  SSDs (third-generation families do; fourth-generation families are
+  EBS-only — a real AWS distinction that matters for I/O-heavy workloads).
+
+The *encoded* instance space the optimisers see is produced separately by
+:class:`repro.cloud.encoding.InstanceEncoder`, mirroring the paper's split
+between published characteristics and actual behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Family order used throughout the paper's encoding (CPU types 1..6).
+VM_FAMILIES: tuple[str, ...] = ("c3", "c4", "m3", "m4", "r3", "r4")
+
+#: Size order; vCPU count doubles at each step.
+VM_SIZES: tuple[str, ...] = ("large", "xlarge", "2xlarge")
+
+_VCPUS_BY_SIZE = {"large": 2, "xlarge": 4, "2xlarge": 8}
+
+# Real RAM (GiB) per family for the "large" size; doubles with each size.
+_RAM_LARGE_GB = {
+    "c3": 3.75,
+    "c4": 3.75,
+    "m3": 7.5,
+    "m4": 8.0,
+    "r3": 15.25,
+    "r4": 15.25,
+}
+
+# Per-core clock factor relative to a reference core.  Fourth-generation
+# compute family (c4, Haswell 2.9 GHz) is fastest; third-generation general
+# purpose and memory families are slowest.
+_CLOCK_FACTOR = {
+    "c3": 1.00,
+    "c4": 1.18,
+    "m3": 0.82,
+    "m4": 0.95,
+    "r3": 0.85,
+    "r4": 1.02,
+}
+
+# EBS bandwidth (MB/s) by size for third-generation families; the
+# fourth generation is EBS-optimised and substantially faster.
+_EBS_MBPS_BY_SIZE = {"large": 70.0, "xlarge": 110.0, "2xlarge": 170.0}
+_GEN4_EBS_BOOST = 1.6
+
+# Third-generation families carry local instance-store SSDs.
+_LOCAL_SSD_GENERATIONS = frozenset({3})
+
+# Local SSD bandwidth (MB/s) by size, where present.
+_LOCAL_SSD_MBPS_BY_SIZE = {"large": 130.0, "xlarge": 230.0, "2xlarge": 380.0}
+
+
+@dataclass(frozen=True, slots=True)
+class VMType:
+    """A single cloud VM type and the hardware attributes that drive it.
+
+    Instances are immutable and hashable so they can key dictionaries and
+    appear in sets; identity is the full attribute tuple, but in practice
+    ``name`` uniquely identifies a type within a catalog.
+    """
+
+    name: str
+    family: str
+    generation: int
+    size: str
+    vcpus: int
+    ram_gb: float
+    clock_factor: float
+    ebs_mbps: float
+    local_ssd: bool
+    local_ssd_mbps: float
+
+    @property
+    def ram_per_core_gb(self) -> float:
+        """Actual RAM per vCPU in GiB."""
+        return self.ram_gb / self.vcpus
+
+    @property
+    def ram_per_core_class(self) -> int:
+        """Coarse RAM-per-core class used by the paper's encoding.
+
+        Compute-optimised families encode as 2 GiB/core, general purpose as
+        4 GiB/core and memory-optimised as 8 GiB/core.
+        """
+        return {"c": 2, "m": 4, "r": 8}[self.family[0]]
+
+    @property
+    def ebs_class(self) -> int:
+        """EBS bandwidth class (1..3) used by the paper's encoding."""
+        return VM_SIZES.index(self.size) + 1
+
+    @property
+    def disk_mbps(self) -> float:
+        """Best available disk bandwidth: local SSD when present, else EBS."""
+        return max(self.ebs_mbps, self.local_ssd_mbps) if self.local_ssd else self.ebs_mbps
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _build_vm_type(family: str, size: str) -> VMType:
+    generation = int(family[1])
+    size_index = VM_SIZES.index(size)
+    ebs = _EBS_MBPS_BY_SIZE[size] * (_GEN4_EBS_BOOST if generation == 4 else 1.0)
+    has_ssd = generation in _LOCAL_SSD_GENERATIONS
+    return VMType(
+        name=f"{family}.{size}",
+        family=family,
+        generation=generation,
+        size=size,
+        vcpus=_VCPUS_BY_SIZE[size],
+        ram_gb=_RAM_LARGE_GB[family] * (2**size_index),
+        clock_factor=_CLOCK_FACTOR[family],
+        ebs_mbps=ebs,
+        local_ssd=has_ssd,
+        local_ssd_mbps=_LOCAL_SSD_MBPS_BY_SIZE[size] if has_ssd else 0.0,
+    )
+
+
+_CATALOG: tuple[VMType, ...] = tuple(
+    _build_vm_type(family, size) for family in VM_FAMILIES for size in VM_SIZES
+)
+_CATALOG_BY_NAME = {vm.name: vm for vm in _CATALOG}
+
+
+def default_catalog() -> tuple[VMType, ...]:
+    """Return the paper's 18 VM types in canonical (family, size) order."""
+    return _CATALOG
+
+
+def get_vm_type(name: str) -> VMType:
+    """Look up a VM type by its AWS name, e.g. ``"c4.2xlarge"``.
+
+    Raises:
+        KeyError: if ``name`` is not one of the 18 catalog types.
+    """
+    try:
+        return _CATALOG_BY_NAME[name]
+    except KeyError:
+        known = ", ".join(sorted(_CATALOG_BY_NAME))
+        raise KeyError(f"unknown VM type {name!r}; known types: {known}") from None

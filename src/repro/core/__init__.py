@@ -1,0 +1,61 @@
+"""The paper's contribution: Bayesian optimisation for cloud VM selection.
+
+* :class:`~repro.core.naive_bo.NaiveBO` — CherryPick-style BO: Gaussian
+  Process over the encoded instance space, Matérn 5/2, Expected
+  Improvement (the paper's baseline, shown to be fragile),
+* :class:`~repro.core.augmented_bo.AugmentedBO` — the paper's method
+  (Arrow): Extra-Trees surrogate over instance features *augmented with
+  low-level metrics of measured VMs*, Prediction-Delta acquisition,
+* :class:`~repro.core.hybrid_bo.HybridBO` — the combination sketched in
+  Section V-B (Naive early, Augmented once low-level data accumulates),
+* baselines, acquisition functions, stopping criteria, and the generic
+  SMBO loop (Algorithm 1) they all share.
+"""
+
+from repro.core.objectives import Objective
+from repro.core.result import SearchResult, SearchStep
+from repro.core.acquisition import (
+    expected_improvement,
+    lower_confidence_bound,
+    prediction_delta,
+    probability_of_improvement,
+)
+from repro.core.stopping import (
+    EIThreshold,
+    MaxMeasurements,
+    PredictionDeltaThreshold,
+    SearchState,
+    StoppingCriterion,
+)
+from repro.core.smbo import MeasurementError, SequentialOptimizer
+from repro.core.naive_bo import NaiveBO
+from repro.core.augmented_bo import AugmentedBO
+from repro.core.hybrid_bo import HybridBO
+from repro.core.history_bo import HistoryAugmentedBO, HistoryModel, build_history_pairs
+from repro.core.baselines import ExhaustiveSearch, RandomSearch, SingleVMRule
+
+__all__ = [
+    "Objective",
+    "SearchResult",
+    "SearchStep",
+    "expected_improvement",
+    "probability_of_improvement",
+    "lower_confidence_bound",
+    "prediction_delta",
+    "SearchState",
+    "StoppingCriterion",
+    "MaxMeasurements",
+    "EIThreshold",
+    "PredictionDeltaThreshold",
+    "SequentialOptimizer",
+    "MeasurementError",
+    "NaiveBO",
+    "AugmentedBO",
+    "HybridBO",
+    "HistoryAugmentedBO",
+    "HistoryModel",
+    "build_history_pairs",
+    "RandomSearch",
+    "ExhaustiveSearch",
+    "SingleVMRule",
+]

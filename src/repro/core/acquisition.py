@@ -1,0 +1,167 @@
+"""Acquisition functions (all for minimisation).
+
+Every function returns *scores to maximise*: the optimiser measures the
+candidate with the highest score next.
+
+* :func:`expected_improvement` — CherryPick's (and Naive BO's) choice.
+* :func:`probability_of_improvement` — the classic PI alternative.
+* :func:`lower_confidence_bound` — GP-LCB (the minimisation form of
+  GP-UCB) for completeness.
+* :func:`prediction_delta` — Augmented BO's choice: simply pick the VM
+  with the best *predicted* objective.  The paper prefers it because EI
+  is meaningless when the surrogate's uncertainty estimate is (kernel-)
+  misspecified; prediction delta needs only a point prediction and
+  doubles as a stopping signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+_EPS = 1e-12
+
+
+def _validate(mean: np.ndarray, std: np.ndarray | None = None) -> tuple[np.ndarray, np.ndarray | None]:
+    mean = np.asarray(mean, dtype=float).ravel()
+    if std is None:
+        return mean, None
+    std = np.asarray(std, dtype=float).ravel()
+    if std.shape != mean.shape:
+        raise ValueError(f"mean shape {mean.shape} != std shape {std.shape}")
+    if np.any(std < 0):
+        raise ValueError("std must be non-negative")
+    return mean, std
+
+
+def expected_improvement(
+    mean: np.ndarray, std: np.ndarray, best_observed: float
+) -> np.ndarray:
+    """EI of each candidate over the incumbent ``best_observed`` (minimising).
+
+    Candidates with zero posterior std get their deterministic
+    improvement, ``max(best - mean, 0)``.
+    """
+    mean, std = _validate(mean, std)
+    assert std is not None
+    improvement = best_observed - mean
+    ei = np.maximum(improvement, 0.0)
+    positive = std > _EPS
+    z = improvement[positive] / std[positive]
+    ei[positive] = improvement[positive] * stats.norm.cdf(z) + std[positive] * stats.norm.pdf(z)
+    return np.maximum(ei, 0.0)
+
+
+def probability_of_improvement(
+    mean: np.ndarray, std: np.ndarray, best_observed: float
+) -> np.ndarray:
+    """Probability that each candidate improves on ``best_observed``."""
+    mean, std = _validate(mean, std)
+    assert std is not None
+    improvement = best_observed - mean
+    pi = (improvement > 0).astype(float)
+    positive = std > _EPS
+    pi[positive] = stats.norm.cdf(improvement[positive] / std[positive])
+    return pi
+
+
+def lower_confidence_bound(
+    mean: np.ndarray, std: np.ndarray, kappa: float = 2.0
+) -> np.ndarray:
+    """Negated GP-LCB: score = -(mean - kappa * std).
+
+    Maximising this score measures the candidate whose optimistic
+    (lower-confidence) estimate is best.
+
+    Raises:
+        ValueError: if ``kappa`` is negative.
+    """
+    if kappa < 0:
+        raise ValueError(f"kappa must be non-negative, got {kappa}")
+    mean, std = _validate(mean, std)
+    assert std is not None
+    return -(mean - kappa * std)
+
+
+def prediction_delta(mean: np.ndarray) -> np.ndarray:
+    """Negated point prediction: the candidate with the best estimate wins."""
+    mean, _ = _validate(mean)
+    return -mean
+
+
+def _sample_min_values(
+    mean: np.ndarray, std: np.ndarray, rng: np.random.Generator, n_samples: int
+) -> np.ndarray:
+    """Sample plausible global-minimum values via a Gumbel approximation.
+
+    Approximates ``P(min f > y) = prod_i (1 - Phi((y - mu_i) / sigma_i))``
+    over the candidate set, locates its 25/50/75% quantiles by bisection,
+    fits a (negated) Gumbel to them, and draws ``n_samples`` minima.
+    """
+    lower = float(np.min(mean - 6.0 * std))
+    upper = float(np.min(mean))  # the min cannot exceed the best mean
+
+    def prob_min_above(y: float) -> float:
+        z = (y - mean) / np.maximum(std, _EPS)
+        return float(np.exp(np.sum(stats.norm.logsf(z))))
+
+    def quantile(p: float) -> float:
+        lo, hi = lower, upper
+        for _ in range(60):
+            mid = 0.5 * (lo + hi)
+            # P(min < mid) = 1 - P(min > mid)
+            if 1.0 - prob_min_above(mid) < p:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    q25, q50, q75 = quantile(0.25), quantile(0.50), quantile(0.75)
+    # Fit a Gumbel (for minima) via the quartile method.
+    beta = max((q75 - q25) / (np.log(np.log(4.0)) - np.log(np.log(4.0 / 3.0))), _EPS)
+    loc = q50 + beta * np.log(np.log(2.0))
+    uniform = np.clip(rng.uniform(size=n_samples), 1e-12, 1.0 - 1e-12)
+    return loc - beta * np.log(-np.log(uniform))
+
+
+def max_value_entropy_search(
+    mean: np.ndarray,
+    std: np.ndarray,
+    rng: np.random.Generator | int | None = None,
+    n_samples: int = 16,
+) -> np.ndarray:
+    """Max-value entropy search (MES, Wang & Jegelka 2017), minimisation form.
+
+    Scores each candidate by the expected reduction in entropy of the
+    optimum's *value*: with ``gamma = (mu - y*) / sigma`` for each sampled
+    optimum value ``y*`` (the minimisation transform of Wang & Jegelka's
+    maximisation form),
+
+    ``alpha = E_{y*}[ gamma phi(gamma) / (2 Phi(gamma)) - log Phi(gamma) ]``.
+
+    The paper's Section III-A points to entropy-search methods as
+    promising alternatives to EI; this is the cheap, finite-candidate
+    variant.
+
+    Raises:
+        ValueError: if ``n_samples`` is not positive.
+    """
+    if n_samples < 1:
+        raise ValueError(f"n_samples must be positive, got {n_samples}")
+    mean, std = _validate(mean, std)
+    assert std is not None
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+
+    if np.all(std <= _EPS):
+        # Degenerate posterior: fall back to pure exploitation.
+        return prediction_delta(mean)
+
+    minima = _sample_min_values(mean, std, rng, n_samples)
+    safe_std = np.maximum(std, _EPS)
+    gamma = (mean[:, None] - minima[None, :]) / safe_std[:, None]
+    cdf = np.clip(stats.norm.cdf(gamma), 1e-12, 1.0)
+    alpha = gamma * stats.norm.pdf(gamma) / (2.0 * cdf) - np.log(cdf)
+    scores = alpha.mean(axis=1)
+    # Deterministic candidates can gain no information.
+    scores[std <= _EPS] = 0.0
+    return scores

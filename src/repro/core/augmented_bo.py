@@ -1,0 +1,186 @@
+"""Augmented BO — the paper's contribution (Algorithm 2, "Arrow").
+
+Three design changes relative to Naive BO (Section IV-B):
+
+* **Augmented instance space** — the surrogate's inputs are the encoded
+  characteristics of the *destination* VM (the one whose performance we
+  want) concatenated with the characteristics *and low-level metrics* of
+  a *source* VM on which the workload has actually run.
+* **Surrogate model** — an Extra-Trees ensemble instead of a GP, so no
+  kernel has to be chosen (side-stepping one fragility source).
+* **Acquisition** — Prediction Delta: measure the VM with the best point
+  prediction; the same quantity drives the stopping rule.
+
+Training uses every ordered pair of measured VMs ``(source j -> dest i)``
+plus the identity pairs ``(j -> j)``; prediction for an unmeasured VM
+averages the model over all measured sources.  This is how low-level
+information about VMs we *have* measured informs estimates for VMs we
+*have not* — the paper's central trick.
+
+**A reproduction note on the target variable.**  Algorithm 2 leaves open
+what exactly the pairwise model regresses.  The literal reading — the
+destination's absolute performance — makes the low-level metrics
+provably uninformative for a single workload: within one search, the
+target varies only with the destination while the metrics vary only with
+the source, so no split on a metric can ever reduce training error.  We
+therefore regress the *log performance ratio* ``log y_dest - log y_src``
+(``relational=True``, the default), which matches the paper's narrative
+that "experts interpolate or extrapolate the workload performance using
+not only characteristics of VM but also the low-level performance
+information": a source observed at 140% memory commit predicts a large
+speedup on a destination with more RAM, and that interaction is exactly
+what the trees learn.  ``relational=False`` keeps the literal absolute
+form for comparison (``benchmarks/test_ablation_surrogate.py``
+quantifies the difference).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.acquisition import prediction_delta
+from repro.core.smbo import AcquisitionScores, SequentialOptimizer
+from repro.ml.extra_trees import ExtraTreesRegressor
+from repro.ml.random_forest import RandomForestRegressor
+from repro.ml.scaling import StandardScaler
+from repro.simulator.cluster import Measurement
+
+#: Default ensemble size for the Extra-Trees surrogate.
+DEFAULT_N_ESTIMATORS = 24
+
+#: Tree ensembles the surrogate can use; the paper picks Extra-Trees,
+#: the CART random forest is its classic sibling (for the ablation).
+ENSEMBLES = ("extra_trees", "random_forest")
+
+
+class PairwiseTreeScorer:
+    """Fits the pairwise low-level surrogate and scores Prediction Delta.
+
+    Factored out of :class:`AugmentedBO` so
+    :class:`~repro.core.hybrid_bo.HybridBO` can reuse it for its late phase.
+
+    Args:
+        design_matrix: full encoded instance space.
+        n_estimators: ensemble size.
+        relational: regress log performance *ratios* (source -> dest)
+            instead of absolute log performance; see the module docstring.
+        ensemble: ``"extra_trees"`` (the paper's choice, default) or
+            ``"random_forest"`` (bagged CART, for the ablation).
+        seed: seed for the ensemble's randomisation.
+    """
+
+    def __init__(
+        self,
+        design_matrix: np.ndarray,
+        n_estimators: int = DEFAULT_N_ESTIMATORS,
+        relational: bool = True,
+        ensemble: str = "extra_trees",
+        seed: int | None = None,
+    ) -> None:
+        if ensemble not in ENSEMBLES:
+            raise ValueError(f"unknown ensemble {ensemble!r}; known: {ENSEMBLES}")
+        self._design = np.asarray(design_matrix, dtype=float)
+        self.n_estimators = n_estimators
+        self.relational = relational
+        self.ensemble = ensemble
+        self._rng = np.random.default_rng(seed)
+
+    def _build_model(self):
+        seed = int(self._rng.integers(2**31))
+        if self.ensemble == "extra_trees":
+            return ExtraTreesRegressor(
+                n_estimators=self.n_estimators, min_samples_split=6, seed=seed
+            )
+        return RandomForestRegressor(
+            n_estimators=self.n_estimators,
+            max_features=None,
+            min_samples_split=6,
+            seed=seed,
+        )
+
+    def _pair_row(self, dest: int, source: int, source_metrics: np.ndarray) -> np.ndarray:
+        return np.concatenate([self._design[dest], self._design[source], source_metrics])
+
+    def _training_set(
+        self, measured: list[int], log_values: np.ndarray, metrics: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        rows, targets = [], []
+        for src_pos, src_index in enumerate(measured):
+            for dst_pos, dst_index in enumerate(measured):
+                rows.append(self._pair_row(dst_index, src_index, metrics[src_pos]))
+                if self.relational:
+                    targets.append(log_values[dst_pos] - log_values[src_pos])
+                else:
+                    targets.append(log_values[dst_pos])
+        return np.array(rows), np.array(targets)
+
+    def score(
+        self,
+        measured: list[int],
+        values: np.ndarray,
+        measurements: list[Measurement],
+        unmeasured: list[int],
+    ) -> AcquisitionScores:
+        """Fit the pairwise surrogate and score the unmeasured candidates."""
+        metrics = np.array([m.metrics.to_vector() for m in measurements])
+        log_values = np.log(values)
+        X_train, y_train = self._training_set(measured, log_values, metrics)
+
+        scaler = StandardScaler().fit(X_train)
+        model = self._build_model()
+        model.fit(scaler.transform(X_train), y_train)
+
+        # One prediction per (candidate, measured source); average sources
+        # in log space (a geometric mean over sources), so one
+        # catastrophic source cannot drown the rest.
+        query_rows = np.array(
+            [
+                self._pair_row(candidate, src_index, metrics[src_pos])
+                for candidate in unmeasured
+                for src_pos, src_index in enumerate(measured)
+            ]
+        )
+        predictions = model.predict(scaler.transform(query_rows))
+        per_source = predictions.reshape(len(unmeasured), len(measured))
+        if self.relational:
+            per_source = per_source + log_values[None, :]
+        predicted = np.exp(per_source.mean(axis=1))
+        return AcquisitionScores(scores=prediction_delta(predicted), predicted=predicted)
+
+
+class AugmentedBO(SequentialOptimizer):
+    """Low-level augmented Bayesian optimisation (the paper's method).
+
+    Args:
+        n_estimators: ensemble size.
+        relational: surrogate target mode; see :class:`PairwiseTreeScorer`.
+        ensemble: surrogate ensemble family; see :class:`PairwiseTreeScorer`.
+        **kwargs: forwarded to :class:`SequentialOptimizer`.
+    """
+
+    name = "augmented-bo"
+
+    def __init__(
+        self,
+        *args,
+        n_estimators: int = DEFAULT_N_ESTIMATORS,
+        relational: bool = True,
+        ensemble: str = "extra_trees",
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self._scorer = PairwiseTreeScorer(
+            self.design_matrix,
+            n_estimators=n_estimators,
+            relational=relational,
+            ensemble=ensemble,
+            seed=int(self._rng.integers(2**31)),
+        )
+
+    def _score_candidates(self, unmeasured: list[int]) -> AcquisitionScores:
+        return self._scorer.score(
+            self.measured_indices,
+            self.measured_values,
+            self.measured_measurements,
+            unmeasured,
+        )

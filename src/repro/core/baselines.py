@@ -1,0 +1,74 @@
+"""Non-Bayesian baselines.
+
+* :class:`RandomSearch` — measure VMs in uniformly random order; the
+  standard floor any model-based search must beat.
+* :class:`ExhaustiveSearch` — brute force in catalog order; always finds
+  the optimum at full cost (what the paper argues is no longer viable as
+  VM portfolios grow).
+* :class:`SingleVMRule` — the "rule of thumb" strategy the paper's
+  Section II-C debunks: always pick one fixed VM type (e.g. the most
+  expensive, or the official recommendation) and measure nothing else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.smbo import AcquisitionScores, SequentialOptimizer
+from repro.core.stopping import MaxMeasurements
+
+
+class RandomSearch(SequentialOptimizer):
+    """Measure unmeasured VMs in uniformly random order."""
+
+    name = "random-search"
+
+    def _initial_indices(self) -> list[int]:
+        n = min(self.n_initial, len(self._env.catalog))
+        return list(map(int, self._rng.choice(len(self._env.catalog), size=n, replace=False)))
+
+    def _score_candidates(self, unmeasured: list[int]) -> AcquisitionScores:
+        return AcquisitionScores(scores=self._rng.uniform(size=len(unmeasured)))
+
+
+class ExhaustiveSearch(SequentialOptimizer):
+    """Measure every VM in catalog order (brute force)."""
+
+    name = "exhaustive-search"
+
+    def _initial_indices(self) -> list[int]:
+        return [0]
+
+    def _score_candidates(self, unmeasured: list[int]) -> AcquisitionScores:
+        scores = -np.array(unmeasured, dtype=float)
+        return AcquisitionScores(scores=scores)
+
+
+class SingleVMRule(SequentialOptimizer):
+    """Measure exactly one fixed VM type and stop.
+
+    Args:
+        vm_name: the catalog VM the rule prescribes (e.g. ``"c4.2xlarge"``
+            for "just take the most expensive compute VM").
+        **kwargs: forwarded to :class:`SequentialOptimizer`.
+
+    Raises:
+        KeyError: if ``vm_name`` is not in the environment's catalog.
+    """
+
+    name = "single-vm-rule"
+
+    def __init__(self, environment, vm_name: str, **kwargs) -> None:
+        kwargs.setdefault("n_initial", 1)
+        kwargs["stopping"] = MaxMeasurements(1)
+        super().__init__(environment, **kwargs)
+        self._vm_index = self._encoder.index_of(vm_name)
+        self.vm_name = vm_name
+
+    def _initial_indices(self) -> list[int]:
+        return [self._vm_index]
+
+    def _score_candidates(self, unmeasured: list[int]) -> AcquisitionScores:
+        # Never reached in practice (MaxMeasurements(1) fires first), but
+        # keep a deterministic fallback: prefer lower catalog indices.
+        return AcquisitionScores(scores=-np.array(unmeasured, dtype=float))

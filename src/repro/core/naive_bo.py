@@ -1,0 +1,121 @@
+"""Naive BO — the CherryPick baseline.
+
+Gaussian Process surrogate over the four encoded VM characteristics with
+a Matérn 5/2 kernel (CherryPick's choice; any of the paper's four kernels
+can be substituted, which is how Figure 7 studies kernel fragility) and
+Expected Improvement acquisition.
+
+The surrogate sees *only* the published instance space — no low-level
+information — which is the insufficiency the paper demonstrates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.acquisition import (
+    expected_improvement,
+    lower_confidence_bound,
+    max_value_entropy_search,
+    probability_of_improvement,
+)
+from repro.core.smbo import AcquisitionScores, SequentialOptimizer
+from repro.ml.gp import GaussianProcessRegressor
+from repro.ml.kernels import Kernel, Matern52
+from repro.ml.scaling import StandardScaler
+
+#: Acquisition functions a GP surrogate can drive.  Section III-A lists
+#: PI, EI and GP-UCB as the common choices (EI is CherryPick's) and
+#: points to entropy-search methods — here max-value entropy search — as
+#: promising alternatives.
+GP_ACQUISITIONS = ("ei", "pi", "lcb", "mes")
+
+
+class GPScorer:
+    """Fits a GP on measured (encoded VM, objective) pairs and scores an
+    acquisition function (Expected Improvement by default).
+
+    Factored out of :class:`NaiveBO` so :class:`~repro.core.hybrid_bo.HybridBO`
+    can reuse it verbatim for its early phase.
+
+    Args:
+        design_matrix: full encoded instance space (scaling is fitted on
+            it once, so feature scales don't drift as measurements arrive).
+        kernel: GP covariance function (cloned per fit).
+        acquisition: ``"ei"`` (default), ``"pi"`` or ``"lcb"``.
+        seed: seed for the GP's hyperparameter restarts.
+    """
+
+    def __init__(
+        self,
+        design_matrix: np.ndarray,
+        kernel: Kernel | None = None,
+        acquisition: str = "ei",
+        seed: int | None = None,
+    ) -> None:
+        if acquisition not in GP_ACQUISITIONS:
+            raise ValueError(
+                f"unknown acquisition {acquisition!r}; known: {GP_ACQUISITIONS}"
+            )
+        self.acquisition = acquisition
+        self._design = np.asarray(design_matrix, dtype=float)
+        self._scaler = StandardScaler().fit(self._design)
+        self._scaled_design = self._scaler.transform(self._design)
+        self._rng = np.random.default_rng(seed)
+        # One persistent GP: successive fits warm-start the likelihood
+        # optimisation from the previous step's hyperparameters, which
+        # keeps per-step cost low without losing adaptivity.
+        self._gp = GaussianProcessRegressor(
+            kernel=kernel if kernel is not None else Matern52(),
+            n_restarts=0,
+            seed=int(self._rng.integers(2**31)),
+        )
+
+    def score(
+        self, measured: list[int], values: np.ndarray, unmeasured: list[int]
+    ) -> AcquisitionScores:
+        """Fit on the measured rows and return EI scores for the rest."""
+        gp = self._gp
+        gp.fit(self._scaled_design[measured], values)
+        mean, std = gp.predict(self._scaled_design[unmeasured], return_std=True)
+        ei = expected_improvement(mean, std, float(values.min()))
+        if self.acquisition == "ei":
+            scores = ei
+        elif self.acquisition == "pi":
+            scores = probability_of_improvement(mean, std, float(values.min()))
+        elif self.acquisition == "lcb":
+            scores = lower_confidence_bound(mean, std)
+        else:
+            scores = max_value_entropy_search(mean, std, self._rng)
+        return AcquisitionScores(scores=scores, predicted=mean, expected_improvements=ei)
+
+
+class NaiveBO(SequentialOptimizer):
+    """CherryPick-style Bayesian optimisation (the paper's baseline).
+
+    Args:
+        kernel: covariance function; defaults to Matérn 5/2.
+        acquisition: ``"ei"`` (CherryPick's choice, default), ``"pi"`` or
+            ``"lcb"``.
+        **kwargs: forwarded to :class:`SequentialOptimizer`.
+    """
+
+    name = "naive-bo"
+
+    def __init__(
+        self,
+        *args,
+        kernel: Kernel | None = None,
+        acquisition: str = "ei",
+        **kwargs,
+    ) -> None:
+        super().__init__(*args, **kwargs)
+        self._scorer = GPScorer(
+            self.design_matrix,
+            kernel=kernel,
+            acquisition=acquisition,
+            seed=int(self._rng.integers(2**31)),
+        )
+
+    def _score_candidates(self, unmeasured: list[int]) -> AcquisitionScores:
+        return self._scorer.score(self.measured_indices, self.measured_values, unmeasured)

@@ -1,0 +1,46 @@
+"""Optimisation objectives.
+
+The paper optimises three objectives, always minimised:
+
+* execution **time** (RQ1),
+* deployment **cost** = time x unit price (RQ2, shown to be harder
+  because cost "creates a level playing field"),
+* the **time-cost product** (Section VI-B), which values a 10% time
+  improvement exactly as much as a 10% cost increase hurts.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.simulator.cluster import Measurement
+
+
+class Objective(enum.Enum):
+    """A minimisation objective over measurements."""
+
+    TIME = "time"
+    COST = "cost"
+    TIME_COST_PRODUCT = "product"
+
+    def value_of(self, measurement: Measurement) -> float:
+        """The scalar to minimise, extracted from one measurement."""
+        if self is Objective.TIME:
+            return measurement.execution_time_s
+        if self is Objective.COST:
+            return measurement.cost_usd
+        return measurement.execution_time_s * measurement.cost_usd
+
+    @property
+    def trace_key(self) -> str:
+        """The :meth:`BenchmarkTrace.objective_values` key for this objective."""
+        return self.value
+
+    @classmethod
+    def from_name(cls, name: str) -> Objective:
+        """Parse ``"time"``, ``"cost"`` or ``"product"`` (case-insensitive)."""
+        try:
+            return cls(name.lower())
+        except ValueError:
+            known = ", ".join(o.value for o in cls)
+            raise ValueError(f"unknown objective {name!r}; known: {known}") from None

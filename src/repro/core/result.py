@@ -1,0 +1,101 @@
+"""Search traces and results.
+
+A :class:`SearchResult` records everything the paper's evaluation needs
+from one optimiser run: the ordered measurements (one :class:`SearchStep`
+per charge), the best VM found, and why the search ended.  Analysis
+utilities (search cost to optimum, normalised performance at step k) live
+in :mod:`repro.analysis.metrics`; this module is pure record-keeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.objectives import Objective
+
+
+@dataclass(frozen=True, slots=True)
+class SearchStep:
+    """One charged measurement during a search.
+
+    Attributes:
+        step: 1-based measurement index (initial samples included).
+        vm_name: the VM type measured at this step.
+        objective_value: the objective of this measurement.
+        best_value: the best (lowest) objective observed up to this step.
+    """
+
+    step: int
+    vm_name: str
+    objective_value: float
+    best_value: float
+
+
+@dataclass(frozen=True, slots=True)
+class SearchResult:
+    """The outcome of one optimiser run on one workload.
+
+    Attributes:
+        optimizer: the optimiser's display name.
+        objective: what was minimised.
+        workload_id: the workload searched, when known.
+        steps: one entry per charged measurement, in order.
+        stopped_by: ``"exhausted"`` (all VMs measured),
+            ``"criterion"`` (stopping rule fired) or ``"budget"``
+            (``max_measurements`` reached).
+    """
+
+    optimizer: str
+    objective: Objective
+    workload_id: str | None
+    steps: tuple[SearchStep, ...]
+    stopped_by: str
+
+    def __post_init__(self) -> None:
+        if not self.steps:
+            raise ValueError("a search result must contain at least one step")
+
+    @property
+    def search_cost(self) -> int:
+        """Total number of charged measurements."""
+        return len(self.steps)
+
+    @property
+    def best_value(self) -> float:
+        """Best objective value observed over the whole search."""
+        return self.steps[-1].best_value
+
+    @property
+    def best_vm_name(self) -> str:
+        """Name of the VM achieving :attr:`best_value`."""
+        best = min(self.steps, key=lambda s: s.objective_value)
+        return best.vm_name
+
+    @property
+    def measured_vm_names(self) -> tuple[str, ...]:
+        """Names of all measured VMs, in measurement order."""
+        return tuple(s.vm_name for s in self.steps)
+
+    def best_value_at(self, step: int) -> float:
+        """Best objective after ``step`` measurements.
+
+        For ``step`` beyond the search's end, returns the final best —
+        the search has converged and would not improve further.
+
+        Raises:
+            ValueError: if ``step`` is less than 1.
+        """
+        if step < 1:
+            raise ValueError(f"step must be >= 1, got {step}")
+        index = min(step, len(self.steps)) - 1
+        return self.steps[index].best_value
+
+    def first_step_reaching(self, target_value: float, tolerance: float = 1e-9) -> int | None:
+        """Earliest step whose best value is within ``tolerance`` of target.
+
+        Returns ``None`` if the search never reached ``target_value``.
+        """
+        for step_record in self.steps:
+            if step_record.best_value <= target_value * (1.0 + tolerance):
+                return step_record.step
+        return None

@@ -1,0 +1,247 @@
+"""Sequential model-based optimisation — Algorithm 1 of the paper.
+
+The loop is shared by every optimiser in this package:
+
+1. measure an initial quasi-random sample of distinct VMs,
+2. fit a surrogate on everything measured so far and score the
+   unmeasured VMs with an acquisition function (subclass hook),
+3. stop if the stopping criterion fires, otherwise measure the
+   highest-scoring VM and repeat.
+
+The instance space is finite (18 VMs), so optimisers never re-measure a
+VM and a search that exhausts the catalog ends with ``"exhausted"``.
+Search cost is the number of charged measurements, initial samples
+included — the paper's accounting.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.encoding import InstanceEncoder
+from repro.core.objectives import Objective
+from repro.core.result import SearchResult, SearchStep
+from repro.core.stopping import SearchState, StoppingCriterion
+from repro.ml.sampling import quasi_random_distinct
+from repro.simulator.cluster import Measurement, MeasurementEnvironment
+
+#: CherryPick's initial-design size, used by default throughout the paper.
+DEFAULT_N_INITIAL = 3
+
+
+class MeasurementError(RuntimeError):
+    """A measurement failed even after the configured retries."""
+
+
+@dataclass(frozen=True, slots=True)
+class AcquisitionScores:
+    """A subclass's verdict on the unmeasured candidates.
+
+    Attributes:
+        scores: one score per unmeasured candidate; the highest is
+            measured next.
+        predicted: surrogate point predictions for the same candidates
+            (``None`` when the optimiser has no surrogate).
+        expected_improvements: EI values for the same candidates
+            (``None`` when the acquisition is not EI-based).
+    """
+
+    scores: np.ndarray
+    predicted: np.ndarray | None = None
+    expected_improvements: np.ndarray | None = None
+
+
+class SequentialOptimizer(abc.ABC):
+    """Base class implementing the SMBO loop over a finite VM catalog.
+
+    Args:
+        environment: where measurements come from (simulator or trace).
+        objective: what to minimise.
+        n_initial: size of the quasi-random initial design.
+        stopping: optional early-stopping criterion.
+        max_measurements: optional hard measurement budget.
+        seed: seed for the initial design and any surrogate randomness.
+        initial_design: explicit catalog indices to measure first instead
+            of the quasi-random design (the Section III-C sensitivity
+            experiments fix these).
+        measure_retries: how many times a failed (raising) measurement is
+            retried before the search aborts with
+            :class:`MeasurementError`.  Cloud measurements do fail —
+            spot interruptions, provisioning errors — and a search tool
+            must survive transient ones.  Each retry is charged like any
+            other measurement (the cloud billed it).
+    """
+
+    #: Display name; subclasses override.
+    name = "smbo"
+
+    def __init__(
+        self,
+        environment: MeasurementEnvironment,
+        objective: Objective = Objective.TIME,
+        n_initial: int = DEFAULT_N_INITIAL,
+        stopping: StoppingCriterion | None = None,
+        max_measurements: int | None = None,
+        seed: int | None = None,
+        initial_design: list[int] | None = None,
+        measure_retries: int = 0,
+    ) -> None:
+        if n_initial < 1:
+            raise ValueError(f"n_initial must be at least 1, got {n_initial}")
+        if max_measurements is not None and max_measurements < n_initial:
+            raise ValueError("max_measurements must be at least n_initial")
+        if measure_retries < 0:
+            raise ValueError(f"measure_retries must be >= 0, got {measure_retries}")
+        self.measure_retries = measure_retries
+        self.initial_design = list(initial_design) if initial_design is not None else None
+        self._env = environment
+        self.objective = objective
+        self.n_initial = n_initial
+        self.stopping = stopping
+        self.max_measurements = max_measurements
+        self._rng = np.random.default_rng(seed)
+        # The initial design gets its own stream, split off before any
+        # subclass draws: optimisers with the same seed then share the
+        # same initial design regardless of how many surrogate seeds they
+        # consume (Hybrid BO's early phase must match Naive BO's exactly).
+        self._init_rng = np.random.default_rng(self._rng.integers(2**31))
+        self._encoder = InstanceEncoder(tuple(environment.catalog))
+        self._design = self._encoder.encode_all()
+        self._observations: list[tuple[int, Measurement, float]] = []
+
+    # -- state exposed to subclasses ----------------------------------------
+
+    @property
+    def design_matrix(self) -> np.ndarray:
+        """The full encoded instance space, one row per catalog VM."""
+        return self._design
+
+    @property
+    def measured_indices(self) -> list[int]:
+        """Catalog indices measured so far, in measurement order."""
+        return [index for index, _, _ in self._observations]
+
+    @property
+    def measured_values(self) -> np.ndarray:
+        """Objective values measured so far, aligned with indices."""
+        return np.array([value for _, _, value in self._observations])
+
+    @property
+    def measured_measurements(self) -> list[Measurement]:
+        """Full measurements so far (low-level metrics included)."""
+        return [measurement for _, measurement, _ in self._observations]
+
+    @property
+    def best_observed(self) -> float:
+        """Incumbent objective value.
+
+        Raises:
+            RuntimeError: before any measurement.
+        """
+        if not self._observations:
+            raise RuntimeError("no measurements yet")
+        return float(min(value for _, _, value in self._observations))
+
+    # -- subclass hooks ------------------------------------------------------
+
+    @abc.abstractmethod
+    def _score_candidates(self, unmeasured: list[int]) -> AcquisitionScores:
+        """Fit the surrogate and score the ``unmeasured`` catalog indices."""
+
+    def _initial_indices(self) -> list[int]:
+        """Catalog indices of the initial design (quasi-random distinct)."""
+        if self.initial_design is not None:
+            return list(self.initial_design)
+        n = min(self.n_initial, len(self._env.catalog))
+        return quasi_random_distinct(self._design, n, self._init_rng)
+
+    # -- the loop ------------------------------------------------------------
+
+    def _observe(self, index: int) -> None:
+        vm = self._env.catalog[index]
+        last_error: Exception | None = None
+        for _ in range(self.measure_retries + 1):
+            try:
+                measurement = self._env.measure(vm)
+            except Exception as error:  # noqa: BLE001 - cloud errors are diverse
+                last_error = error
+                continue
+            value = self.objective.value_of(measurement)
+            self._observations.append((index, measurement, value))
+            return
+        raise MeasurementError(
+            f"measuring {vm.name} failed after {self.measure_retries + 1} attempts"
+        ) from last_error
+
+    def run(self, initial_vms: list[int] | None = None) -> SearchResult:
+        """Execute the search and return its full trace.
+
+        Args:
+            initial_vms: override the initial design with explicit
+                catalog indices (used by the initial-point sensitivity
+                experiments of Section III-C).
+        """
+        self._env.reset()
+        self._observations = []
+        n_vms = len(self._env.catalog)
+
+        initial = initial_vms if initial_vms is not None else self._initial_indices()
+        if not initial:
+            raise ValueError("initial design must contain at least one VM")
+        if len(set(initial)) != len(initial):
+            raise ValueError("initial design must not repeat VMs")
+        budget = self.max_measurements if self.max_measurements is not None else n_vms
+        for index in initial[:budget]:
+            self._observe(index)
+
+        stopped_by = "exhausted"
+        while len(self._observations) < n_vms:
+            if len(self._observations) >= budget:
+                stopped_by = "budget"
+                break
+            measured = set(self.measured_indices)
+            unmeasured = [i for i in range(n_vms) if i not in measured]
+            acquisition = self._score_candidates(unmeasured)
+            if acquisition.scores.shape != (len(unmeasured),):
+                raise RuntimeError(
+                    f"{self.name}: expected {len(unmeasured)} scores, "
+                    f"got shape {acquisition.scores.shape}"
+                )
+            if self.stopping is not None and self.stopping.should_stop(
+                SearchState(
+                    measurement_count=len(self._observations),
+                    best_observed=self.best_observed,
+                    predicted=acquisition.predicted,
+                    expected_improvements=acquisition.expected_improvements,
+                )
+            ):
+                stopped_by = "criterion"
+                break
+            self._observe(unmeasured[int(np.argmax(acquisition.scores))])
+
+        return self._build_result(stopped_by)
+
+    def _build_result(self, stopped_by: str) -> SearchResult:
+        steps = []
+        best = np.inf
+        for step, (index, _, value) in enumerate(self._observations, start=1):
+            best = min(best, value)
+            steps.append(
+                SearchStep(
+                    step=step,
+                    vm_name=self._env.catalog[index].name,
+                    objective_value=value,
+                    best_value=best,
+                )
+            )
+        workload = getattr(self._env, "workload", None)
+        return SearchResult(
+            optimizer=self.name,
+            objective=self.objective,
+            workload_id=workload.workload_id if workload is not None else None,
+            steps=tuple(steps),
+            stopped_by=stopped_by,
+        )

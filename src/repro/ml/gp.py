@@ -1,0 +1,173 @@
+"""Gaussian Process regression, from scratch.
+
+This is the surrogate of Naive BO (CherryPick): a GP prior over the
+objective with one of the four kernels of :mod:`repro.ml.kernels`.
+The implementation follows Rasmussen & Williams Algorithm 2.1:
+
+* Cholesky factorisation of ``K + sigma_n^2 I`` (with jitter escalation if
+  the matrix is numerically indefinite),
+* hyperparameters (kernel theta and the noise level) fitted by maximising
+  the log marginal likelihood with multi-restart L-BFGS-B in log space,
+* targets are standardised internally so priors are scale-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import linalg, optimize
+
+from repro.ml.kernels import Kernel, Matern52
+
+_JITTERS = (1e-10, 1e-8, 1e-6, 1e-4, 1e-2)
+
+
+def _cholesky_with_jitter(K: np.ndarray) -> np.ndarray:
+    """Lower Cholesky factor of ``K``, escalating diagonal jitter as needed.
+
+    Raises:
+        np.linalg.LinAlgError: if ``K`` stays indefinite even at the
+            largest jitter.
+    """
+    for jitter in _JITTERS:
+        try:
+            return linalg.cholesky(K + jitter * np.eye(K.shape[0]), lower=True)
+        except linalg.LinAlgError:
+            continue
+    raise np.linalg.LinAlgError("covariance matrix is not positive definite")
+
+
+class GaussianProcessRegressor:
+    """GP regression with marginal-likelihood hyperparameter fitting.
+
+    Args:
+        kernel: covariance function; defaults to Matérn 5/2 (CherryPick's
+            choice).  The instance is cloned, never mutated.
+        noise: initial observation-noise variance.
+        optimise: whether to fit hyperparameters at :meth:`fit` time.
+        n_restarts: extra random restarts for the likelihood optimisation.
+        seed: seed for restart sampling.
+    """
+
+    def __init__(
+        self,
+        kernel: Kernel | None = None,
+        noise: float = 1e-4,
+        optimise: bool = True,
+        n_restarts: int = 2,
+        seed: int | None = None,
+    ) -> None:
+        if noise <= 0:
+            raise ValueError("noise must be positive")
+        self.kernel = (kernel if kernel is not None else Matern52()).clone()
+        self.noise = float(noise)
+        self.optimise = optimise
+        self.n_restarts = n_restarts
+        self._rng = np.random.default_rng(seed)
+        self._X: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._L: np.ndarray | None = None
+        self._alpha: np.ndarray | None = None
+
+    # -- fitting -----------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> GaussianProcessRegressor:
+        """Fit the GP to observations ``(X, y)``.
+
+        Raises:
+            ValueError: on empty or mismatched inputs.
+        """
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a GP on zero observations")
+
+        self._X = X
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        y_scaled = (y - self._y_mean) / self._y_std
+
+        if self.optimise and X.shape[0] >= 2:
+            self._optimise_hyperparameters(y_scaled)
+
+        K = self.kernel(self._X) + self.noise * np.eye(X.shape[0])
+        self._L = _cholesky_with_jitter(K)
+        self._alpha = linalg.cho_solve((self._L, True), y_scaled)
+        return self
+
+    def _packed_theta(self) -> np.ndarray:
+        return np.concatenate([self.kernel.theta, np.log([self.noise])])
+
+    def _set_packed_theta(self, theta: np.ndarray) -> None:
+        self.kernel.theta = theta[:-1]
+        self.noise = float(np.exp(theta[-1]))
+
+    def _packed_bounds(self) -> np.ndarray:
+        noise_bounds = np.log([[1e-8, 1e1]])
+        return np.vstack([self.kernel.bounds, noise_bounds])
+
+    def log_marginal_likelihood(self, y_scaled: np.ndarray) -> float:
+        """Log marginal likelihood at the current hyperparameters."""
+        assert self._X is not None
+        n = self._X.shape[0]
+        K = self.kernel(self._X) + self.noise * np.eye(n)
+        try:
+            L = _cholesky_with_jitter(K)
+        except np.linalg.LinAlgError:
+            return -np.inf
+        alpha = linalg.cho_solve((L, True), y_scaled)
+        return float(
+            -0.5 * y_scaled @ alpha
+            - np.sum(np.log(np.diag(L)))
+            - 0.5 * n * np.log(2.0 * np.pi)
+        )
+
+    def _optimise_hyperparameters(self, y_scaled: np.ndarray) -> None:
+        bounds = self._packed_bounds()
+
+        def negative_lml(theta: np.ndarray) -> float:
+            self._set_packed_theta(theta)
+            return -self.log_marginal_likelihood(y_scaled)
+
+        starts = [self._packed_theta()]
+        for _ in range(self.n_restarts):
+            starts.append(self._rng.uniform(bounds[:, 0], bounds[:, 1]))
+
+        best_theta, best_value = starts[0], np.inf
+        for start in starts:
+            result = optimize.minimize(
+                negative_lml, start, method="L-BFGS-B", bounds=bounds
+            )
+            if result.fun < best_value:
+                best_theta, best_value = result.x, float(result.fun)
+        self._set_packed_theta(best_theta)
+
+    # -- prediction --------------------------------------------------------
+
+    def predict(
+        self, X: np.ndarray, return_std: bool = False
+    ) -> np.ndarray | tuple[np.ndarray, np.ndarray]:
+        """Posterior mean (and optionally standard deviation) at ``X``.
+
+        Raises:
+            RuntimeError: if called before :meth:`fit`.
+        """
+        if self._X is None or self._L is None or self._alpha is None:
+            raise RuntimeError("GP must be fitted before predict")
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+
+        K_star = self.kernel(X, self._X)
+        mean = K_star @ self._alpha * self._y_std + self._y_mean
+        if not return_std:
+            return mean
+
+        v = linalg.solve_triangular(self._L, K_star.T, lower=True)
+        var = self.kernel.diag(X) + self.noise - np.sum(v**2, axis=0)
+        std = np.sqrt(np.maximum(var, 0.0)) * self._y_std
+        return mean, std

@@ -1,0 +1,328 @@
+"""Covariance kernels for Gaussian Process regression.
+
+The paper's Section III-B studies exactly four kernels — RBF and the
+Matérn family with smoothness 1/2, 3/2 and 5/2 — and shows the choice
+among them flips which workloads Naive BO handles well (Figure 7).
+All four are implemented here with a shared (signal variance,
+lengthscale) parameterisation, plus the sum/product algebra and a white
+noise kernel used for composing priors.
+
+Every kernel exposes its free hyperparameters in log space
+(:meth:`Kernel.theta`) so the GP can optimise the marginal likelihood
+with unconstrained L-BFGS.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+
+import numpy as np
+
+
+def _as_2d(X: np.ndarray) -> np.ndarray:
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError(f"expected a 2-D design matrix, got shape {X.shape}")
+    return X
+
+
+def _sq_dists(X: np.ndarray, Y: np.ndarray, lengthscale: float | np.ndarray) -> np.ndarray:
+    """Pairwise squared Euclidean distances of scaled inputs, clipped at 0.
+
+    ``lengthscale`` may be a scalar (isotropic) or a per-dimension vector
+    (ARD — automatic relevance determination).
+    """
+    Xs, Ys = X / lengthscale, Y / lengthscale
+    sq = (
+        np.sum(Xs**2, axis=1)[:, None]
+        + np.sum(Ys**2, axis=1)[None, :]
+        - 2.0 * Xs @ Ys.T
+    )
+    return np.maximum(sq, 0.0)
+
+
+class Kernel(abc.ABC):
+    """A positive semi-definite covariance function.
+
+    Subclasses implement :meth:`__call__`; hyperparameters live in
+    ``theta`` as log-transformed values so optimisation is unconstrained.
+    """
+
+    @abc.abstractmethod
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        """Covariance matrix between rows of ``X`` and rows of ``Y`` (or ``X``)."""
+
+    @property
+    @abc.abstractmethod
+    def theta(self) -> np.ndarray:
+        """Free hyperparameters in log space."""
+
+    @theta.setter
+    @abc.abstractmethod
+    def theta(self, value: np.ndarray) -> None: ...
+
+    @property
+    @abc.abstractmethod
+    def bounds(self) -> np.ndarray:
+        """``(n_params, 2)`` log-space bounds for optimisation."""
+
+    @abc.abstractmethod
+    def clone(self) -> Kernel:
+        """An independent copy with the same hyperparameters."""
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        """The diagonal of ``self(X, X)`` without forming the matrix."""
+        X = _as_2d(X)
+        return np.array([self(row.reshape(1, -1))[0, 0] for row in X])
+
+    def __add__(self, other: Kernel) -> Kernel:
+        return Sum(self, other)
+
+    def __mul__(self, other: Kernel) -> Kernel:
+        return Product(self, other)
+
+
+class _Stationary(Kernel):
+    """Shared machinery for stationary kernels with (variance, lengthscale).
+
+    ``lengthscale`` may be a scalar (isotropic kernel, the default) or a
+    per-dimension vector (ARD): with a vector, each input dimension gets
+    its own learned scale, letting the GP discount irrelevant features.
+    """
+
+    def __init__(
+        self,
+        variance: float = 1.0,
+        lengthscale: float | np.ndarray = 1.0,
+        lengthscale_bounds: tuple[float, float] = (1e-2, 1e3),
+        variance_bounds: tuple[float, float] = (1e-3, 1e3),
+    ) -> None:
+        lengthscale_arr = np.asarray(lengthscale, dtype=float)
+        if variance <= 0 or np.any(lengthscale_arr <= 0):
+            raise ValueError("variance and lengthscale must be positive")
+        if lengthscale_arr.ndim > 1:
+            raise ValueError("lengthscale must be a scalar or a 1-D vector")
+        self.variance = float(variance)
+        self.lengthscale: float | np.ndarray = (
+            float(lengthscale_arr) if lengthscale_arr.ndim == 0 else lengthscale_arr
+        )
+        self._ls_bounds = lengthscale_bounds
+        self._var_bounds = variance_bounds
+
+    @property
+    def is_ard(self) -> bool:
+        """Whether this kernel carries per-dimension lengthscales."""
+        return isinstance(self.lengthscale, np.ndarray)
+
+    def _lengthscales(self) -> np.ndarray:
+        return np.atleast_1d(np.asarray(self.lengthscale, dtype=float))
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.log(np.concatenate([[self.variance], self._lengthscales()]))
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        value = np.asarray(value, dtype=float)
+        expected = 1 + self._lengthscales().size
+        if value.shape != (expected,):
+            raise ValueError(
+                f"expected {expected} log-parameters, got shape {value.shape}"
+            )
+        exp = np.exp(value)
+        self.variance = float(exp[0])
+        self.lengthscale = exp[1:] if self.is_ard else float(exp[1])
+
+    @property
+    def bounds(self) -> np.ndarray:
+        ls_rows = [self._ls_bounds] * self._lengthscales().size
+        return np.log([self._var_bounds, *ls_rows])
+
+    def clone(self) -> Kernel:
+        lengthscale = (
+            self.lengthscale.copy() if self.is_ard else self.lengthscale
+        )
+        return type(self)(self.variance, lengthscale, self._ls_bounds, self._var_bounds)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.full(_as_2d(X).shape[0], self.variance)
+
+    def __repr__(self) -> str:
+        if self.is_ard:
+            scales = np.array2string(self._lengthscales(), precision=3)
+            return f"{type(self).__name__}(variance={self.variance:.4g}, ard={scales})"
+        return (
+            f"{type(self).__name__}(variance={self.variance:.4g}, "
+            f"lengthscale={self.lengthscale:.4g})"
+        )
+
+
+class RBF(_Stationary):
+    """Radial basis function (squared exponential) kernel.
+
+    Infinitely smooth — the strongest smoothness prior of the four, which
+    the paper notes "considers the effects of features on the covariance
+    equally" and can be unrealistic for cloud performance.
+    """
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        X = _as_2d(X)
+        Y = X if Y is None else _as_2d(Y)
+        return self.variance * np.exp(-0.5 * _sq_dists(X, Y, self.lengthscale))
+
+
+class Matern12(_Stationary):
+    """Matérn kernel with smoothness 1/2 (the exponential kernel).
+
+    The roughest prior: sample paths are continuous but nowhere
+    differentiable.
+    """
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        X = _as_2d(X)
+        Y = X if Y is None else _as_2d(Y)
+        d = np.sqrt(_sq_dists(X, Y, self.lengthscale))
+        return self.variance * np.exp(-d)
+
+
+class Matern32(_Stationary):
+    """Matérn kernel with smoothness 3/2 (once-differentiable paths)."""
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        X = _as_2d(X)
+        Y = X if Y is None else _as_2d(Y)
+        d = math.sqrt(3.0) * np.sqrt(_sq_dists(X, Y, self.lengthscale))
+        return self.variance * (1.0 + d) * np.exp(-d)
+
+
+class Matern52(_Stationary):
+    """Matérn kernel with smoothness 5/2 — CherryPick's choice.
+
+    Twice-differentiable sample paths: smooth enough for efficient
+    optimisation but without RBF's unrealistically strong smoothness.
+    """
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        X = _as_2d(X)
+        Y = X if Y is None else _as_2d(Y)
+        d = math.sqrt(5.0) * np.sqrt(_sq_dists(X, Y, self.lengthscale))
+        return self.variance * (1.0 + d + d**2 / 3.0) * np.exp(-d)
+
+
+class White(Kernel):
+    """White noise kernel: adds ``noise`` to the diagonal of K(X, X)."""
+
+    def __init__(
+        self, noise: float = 1e-4, noise_bounds: tuple[float, float] = (1e-8, 1e1)
+    ) -> None:
+        if noise <= 0:
+            raise ValueError("noise must be positive")
+        self.noise = float(noise)
+        self._bounds = noise_bounds
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        X = _as_2d(X)
+        if Y is None:
+            return self.noise * np.eye(X.shape[0])
+        return np.zeros((X.shape[0], _as_2d(Y).shape[0]))
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.log([self.noise])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        value = np.asarray(value, dtype=float)
+        if value.shape != (1,):
+            raise ValueError(f"expected 1 log-parameter, got shape {value.shape}")
+        self.noise = float(np.exp(value[0]))
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return np.log([self._bounds])
+
+    def clone(self) -> Kernel:
+        return White(self.noise, self._bounds)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.full(_as_2d(X).shape[0], self.noise)
+
+    def __repr__(self) -> str:
+        return f"White(noise={self.noise:.4g})"
+
+
+class _Combination(Kernel):
+    """Shared machinery for binary kernel combinations."""
+
+    def __init__(self, left: Kernel, right: Kernel) -> None:
+        self.left = left
+        self.right = right
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.concatenate([self.left.theta, self.right.theta])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        value = np.asarray(value, dtype=float)
+        n_left = self.left.theta.size
+        self.left.theta = value[:n_left]
+        self.right.theta = value[n_left:]
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return np.vstack([self.left.bounds, self.right.bounds])
+
+    def clone(self) -> Kernel:
+        return type(self)(self.left.clone(), self.right.clone())
+
+
+class Sum(_Combination):
+    """Pointwise sum of two kernels."""
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        return self.left(X, Y) + self.right(X, Y)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return self.left.diag(X) + self.right.diag(X)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} + {self.right!r})"
+
+
+class Product(_Combination):
+    """Pointwise product of two kernels."""
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        return self.left(X, Y) * self.right(X, Y)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return self.left.diag(X) * self.right.diag(X)
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} * {self.right!r})"
+
+
+_KERNELS_BY_NAME = {
+    "rbf": RBF,
+    "matern12": Matern12,
+    "matern32": Matern32,
+    "matern52": Matern52,
+}
+
+
+def kernel_by_name(name: str, **kwargs: float) -> Kernel:
+    """Construct one of the paper's four kernels by name.
+
+    Accepted names: ``"rbf"``, ``"matern12"``, ``"matern32"``,
+    ``"matern52"`` (case-insensitive; ``"matern5/2"`` style also works).
+    """
+    key = name.lower().replace("/", "").replace("-", "").replace("_", "")
+    try:
+        return _KERNELS_BY_NAME[key](**kwargs)
+    except KeyError:
+        known = ", ".join(sorted(_KERNELS_BY_NAME))
+        raise ValueError(f"unknown kernel {name!r}; known kernels: {known}") from None

@@ -1,0 +1,153 @@
+"""Quasi-random sampling: Sobol sequences, Latin hypercubes, and the
+distinct-VM initial design.
+
+CherryPick (and hence Naive BO) seeds Bayesian optimisation with a
+quasi-random sample of "very distinct" VMs (paper Section III-C, citing
+Sobol).  We provide three pieces:
+
+* :class:`SobolSequence` — a from-scratch gray-code Sobol generator with
+  Joe-Kuo direction numbers for up to 8 dimensions,
+* :func:`latin_hypercube` — stratified uniform sampling,
+* :func:`quasi_random_distinct` — the finite-catalog analogue used to pick
+  initial VMs: a random first pick followed by greedy maximin selection in
+  the scaled instance space, which is what "uniformly very distinct"
+  means over 18 discrete points.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.scaling import MinMaxScaler
+
+#: Joe-Kuo "new-joe-kuo-6" direction-number table for dimensions 2..8:
+#: (degree s, polynomial coefficients a, initial m values).
+_JOE_KUO: tuple[tuple[int, int, tuple[int, ...]], ...] = (
+    (1, 0, (1,)),
+    (2, 1, (1, 3)),
+    (3, 1, (1, 3, 1)),
+    (3, 2, (1, 1, 1)),
+    (4, 1, (1, 1, 3, 3)),
+    (4, 4, (1, 3, 5, 13)),
+    (5, 2, (1, 1, 5, 5, 17)),
+)
+
+#: Bits of precision of the generated points.
+_SOBOL_BITS = 30
+
+#: Maximum supported dimensionality (1 van-der-Corput + 7 tabulated).
+MAX_SOBOL_DIM = len(_JOE_KUO) + 1
+
+
+class SobolSequence:
+    """Gray-code Sobol sequence over the unit hypercube.
+
+    Args:
+        dim: dimensionality, between 1 and :data:`MAX_SOBOL_DIM`.
+
+    The generator is stateful: successive :meth:`next_point` /
+    :meth:`generate` calls continue the sequence.
+    """
+
+    def __init__(self, dim: int) -> None:
+        if not 1 <= dim <= MAX_SOBOL_DIM:
+            raise ValueError(f"dim must be in [1, {MAX_SOBOL_DIM}], got {dim}")
+        self.dim = dim
+        self._v = np.zeros((dim, _SOBOL_BITS + 1), dtype=np.int64)
+        self._build_direction_numbers()
+        self._x = np.zeros(dim, dtype=np.int64)
+        self._count = 0
+
+    def _build_direction_numbers(self) -> None:
+        # First dimension: van der Corput (all m_k = 1).
+        for k in range(1, _SOBOL_BITS + 1):
+            self._v[0, k] = 1 << (_SOBOL_BITS - k)
+
+        for j in range(1, self.dim):
+            s, a, m_init = _JOE_KUO[j - 1]
+            m = np.zeros(_SOBOL_BITS + 1, dtype=np.int64)
+            m[1 : s + 1] = m_init
+            for k in range(s + 1, _SOBOL_BITS + 1):
+                value = m[k - s] ^ (m[k - s] << s)
+                for i in range(1, s):
+                    if (a >> (s - 1 - i)) & 1:
+                        value ^= m[k - i] << i
+                m[k] = value
+            for k in range(1, _SOBOL_BITS + 1):
+                self._v[j, k] = m[k] << (_SOBOL_BITS - k)
+
+    def next_point(self) -> np.ndarray:
+        """The next point of the sequence (the first point is the origin)."""
+        if self._count > 0:
+            # Index of the lowest zero bit of (count - 1), 1-based.
+            c, value = 1, self._count - 1
+            while value & 1:
+                value >>= 1
+                c += 1
+            self._x ^= self._v[:, c]
+        self._count += 1
+        return self._x / float(1 << _SOBOL_BITS)
+
+    def generate(self, n: int) -> np.ndarray:
+        """The next ``n`` points as an ``(n, dim)`` array."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return np.array([self.next_point() for _ in range(n)]).reshape(n, self.dim)
+
+
+def latin_hypercube(
+    n: int, dim: int, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """``n`` Latin-hypercube points in the unit ``dim``-cube.
+
+    Each dimension is divided into ``n`` strata; every stratum contains
+    exactly one point, placed uniformly within it.
+    """
+    if n < 1:
+        raise ValueError("n must be at least 1")
+    if dim < 1:
+        raise ValueError("dim must be at least 1")
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    points = np.empty((n, dim))
+    for j in range(dim):
+        strata = (rng.permutation(n) + rng.uniform(size=n)) / n
+        points[:, j] = strata
+    return points
+
+
+def quasi_random_distinct(
+    candidates: np.ndarray,
+    n: int,
+    rng: np.random.Generator | int | None = None,
+) -> list[int]:
+    """Pick ``n`` mutually distinct rows of ``candidates`` (greedy maximin).
+
+    The first pick is uniform at random; each subsequent pick maximises
+    the minimum Euclidean distance (in min-max-scaled feature space) to
+    the rows already chosen.  This is the finite-space equivalent of the
+    quasi-random "very distinct VMs" initial design of the paper.
+
+    Returns:
+        Row indices of the chosen candidates, in pick order.
+
+    Raises:
+        ValueError: if ``n`` exceeds the number of candidates.
+    """
+    candidates = np.asarray(candidates, dtype=float)
+    if candidates.ndim != 2:
+        raise ValueError(f"candidates must be 2-D, got shape {candidates.shape}")
+    n_candidates = candidates.shape[0]
+    if not 1 <= n <= n_candidates:
+        raise ValueError(f"n must be in [1, {n_candidates}], got {n}")
+    rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+
+    scaled = MinMaxScaler().fit_transform(candidates)
+    chosen = [int(rng.integers(n_candidates))]
+    min_dist = np.linalg.norm(scaled - scaled[chosen[0]], axis=1)
+    for _ in range(n - 1):
+        min_dist[chosen] = -np.inf
+        # Random tie-break: perturb by a negligible random epsilon.
+        best = int(np.argmax(min_dist + rng.uniform(0.0, 1e-9, size=n_candidates)))
+        chosen.append(best)
+        min_dist = np.minimum(min_dist, np.linalg.norm(scaled - scaled[best], axis=1))
+    return chosen

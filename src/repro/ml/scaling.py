@@ -1,0 +1,96 @@
+"""Feature and target scaling.
+
+Both surrogate families need their inputs on comparable scales: the GP's
+single lengthscale assumes isotropic inputs, and the paper's encoded
+instance space mixes axes of very different magnitude (CPU type 1-6 vs
+I/O-wait percentages 0-100 once low-level metrics are appended).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_2d(X: np.ndarray) -> np.ndarray:
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(-1, 1)
+    if X.ndim != 2:
+        raise ValueError(f"expected a 2-D array, got shape {X.shape}")
+    return X
+
+
+class StandardScaler:
+    """Zero-mean, unit-variance scaling per feature.
+
+    Constant features (zero variance) are centred but left unscaled, so
+    transforming never divides by zero.
+    """
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> StandardScaler:
+        """Learn per-feature mean and standard deviation from ``X``."""
+        X = _as_2d(X)
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a scaler on an empty array")
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.scale_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Scale ``X`` with the fitted statistics."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler must be fitted before transform")
+        return (_as_2d(X) - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit on ``X`` and return the scaled values."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Undo :meth:`transform`."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler must be fitted before inverse_transform")
+        return _as_2d(X) * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale each feature to [0, 1] over the fitted range.
+
+    Constant features map to 0.  Out-of-range inputs at transform time map
+    outside [0, 1]; callers who need hard bounds should clip.
+    """
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> MinMaxScaler:
+        """Learn per-feature minimum and range from ``X``."""
+        X = _as_2d(X)
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a scaler on an empty array")
+        self.min_ = X.min(axis=0)
+        span = X.max(axis=0) - self.min_
+        self.range_ = np.where(span > 0, span, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Scale ``X`` with the fitted range."""
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("scaler must be fitted before transform")
+        return (_as_2d(X) - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        """Fit on ``X`` and return the scaled values."""
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        """Undo :meth:`transform`."""
+        if self.min_ is None or self.range_ is None:
+            raise RuntimeError("scaler must be fitted before inverse_transform")
+        return _as_2d(X) * self.range_ + self.min_

@@ -1,0 +1,200 @@
+"""Regression trees with extremely-randomised splits.
+
+Building block for the Extra-Trees ensemble (Geurts, Ernst & Wehenkel,
+2006) that Augmented BO uses as its surrogate: at every node a random
+subset of features is considered and, for each, a *uniformly random*
+threshold between the node's min and max — the split with the best
+variance reduction wins.  Randomised thresholds are what distinguish
+Extra-Trees from random forests and make single trees cheap to grow.
+
+The implementation is tuned for the surrogate's inner loop (the ensemble
+is refitted after every measurement): split search uses running-sum SSE
+instead of repeated variance calls, and prediction is a vectorised batch
+traversal over flat node arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class RegressionTree:
+    """A single extremely-randomised regression tree.
+
+    Args:
+        max_features: features considered per split; ``None`` means all
+            (the Extra-Trees default for regression).
+        min_samples_split: nodes smaller than this become leaves.
+        max_depth: depth cap; ``None`` means unlimited.
+        seed: seed (or Generator) for split randomisation.
+    """
+
+    def __init__(
+        self,
+        max_features: int | None = None,
+        min_samples_split: int = 2,
+        max_depth: int | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if min_samples_split < 2:
+            raise ValueError("min_samples_split must be at least 2")
+        if max_depth is not None and max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_features = max_features
+        self.min_samples_split = min_samples_split
+        self.max_depth = max_depth
+        self._rng = np.random.default_rng(seed)
+        # Flat node arrays (filled by fit): leaves have feature == -1.
+        self._feature: np.ndarray | None = None
+        self._threshold: np.ndarray | None = None
+        self._left: np.ndarray | None = None
+        self._right: np.ndarray | None = None
+        self._value: np.ndarray | None = None
+        self._depths: list[int] = []
+
+    @property
+    def node_count(self) -> int:
+        """Number of nodes in the fitted tree (0 before fitting)."""
+        return 0 if self._feature is None else int(self._feature.size)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> RegressionTree:
+        """Grow the tree on observations ``(X, y)``.
+
+        Raises:
+            ValueError: on empty or mismatched inputs.
+        """
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a tree on zero observations")
+
+        features: list[int] = []
+        thresholds: list[float] = []
+        lefts: list[int] = []
+        rights: list[int] = []
+        values: list[float] = []
+        self._depths = []
+
+        y_sq = y * y
+
+        def grow(indices: np.ndarray, depth: int) -> int:
+            node = len(features)
+            node_y = y[indices]
+            features.append(-1)
+            thresholds.append(0.0)
+            lefts.append(-1)
+            rights.append(-1)
+            values.append(float(node_y.mean()))
+            self._depths.append(depth)
+
+            if (
+                indices.size < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or node_y.min() == node_y.max()
+            ):
+                return node
+
+            split = self._best_random_split(X, y, y_sq, indices)
+            if split is None:
+                return node
+
+            feature, threshold, left_mask = split
+            left_child = grow(indices[left_mask], depth + 1)
+            right_child = grow(indices[~left_mask], depth + 1)
+            features[node] = feature
+            thresholds[node] = threshold
+            lefts[node] = left_child
+            rights[node] = right_child
+            return node
+
+        grow(np.arange(X.shape[0]), 0)
+        self._feature = np.array(features, dtype=np.int64)
+        self._threshold = np.array(thresholds, dtype=float)
+        self._left = np.array(lefts, dtype=np.int64)
+        self._right = np.array(rights, dtype=np.int64)
+        self._value = np.array(values, dtype=float)
+        return self
+
+    def _best_random_split(
+        self, X: np.ndarray, y: np.ndarray, y_sq: np.ndarray, indices: np.ndarray
+    ) -> tuple[int, float, np.ndarray] | None:
+        """Pick the best of one random threshold per candidate feature.
+
+        The winner minimises the children's summed squared error, computed
+        from running sums (``sse = sum(y^2) - sum(y)^2 / n``) rather than
+        per-partition variance calls.  Returns ``None`` when no candidate
+        feature varies within the node.
+        """
+        n_features = X.shape[1]
+        k = self.max_features if self.max_features is not None else n_features
+        k = min(max(k, 1), n_features)
+        candidates = self._rng.choice(n_features, size=k, replace=False)
+
+        node_X = X[np.ix_(indices, candidates)]
+        node_y = y[indices]
+        node_y_sq = y_sq[indices]
+        total_sum = float(node_y.sum())
+        total_sq = float(node_y_sq.sum())
+        n_total = indices.size
+
+        lows = node_X.min(axis=0)
+        highs = node_X.max(axis=0)
+        varying = lows < highs
+        if not varying.any():
+            return None
+        thresholds = lows + self._rng.uniform(size=k) * (highs - lows)
+
+        masks = node_X <= thresholds  # (n_total, k)
+        n_left = masks.sum(axis=0)
+        valid = varying & (n_left > 0) & (n_left < n_total)
+        if not valid.any():
+            return None
+
+        left_sum = node_y @ masks
+        left_sq = node_y_sq @ masks
+        n_right = n_total - n_left
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sse = (
+                left_sq
+                - left_sum**2 / n_left
+                + (total_sq - left_sq)
+                - (total_sum - left_sum) ** 2 / n_right
+            )
+        sse = np.where(valid, sse, np.inf)
+        pick = int(np.argmin(sse))
+        return int(candidates[pick]), float(thresholds[pick]), masks[:, pick]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted values for each row of ``X`` (vectorised traversal).
+
+        Raises:
+            RuntimeError: if called before :meth:`fit`.
+        """
+        if self._feature is None:
+            raise RuntimeError("tree must be fitted before predict")
+        assert self._threshold is not None and self._value is not None
+        assert self._left is not None and self._right is not None
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+
+        node = np.zeros(X.shape[0], dtype=np.int64)
+        active = self._feature[node] >= 0
+        rows = np.arange(X.shape[0])
+        while active.any():
+            current = node[active]
+            feats = self._feature[current]
+            go_left = X[rows[active], feats] <= self._threshold[current]
+            node[active] = np.where(go_left, self._left[current], self._right[current])
+            active = self._feature[node] >= 0
+        return self._value[node]
+
+    def depth(self) -> int:
+        """Depth of the fitted tree (a root-only tree has depth 0)."""
+        if self._feature is None:
+            raise RuntimeError("tree must be fitted before depth")
+        return max(self._depths)

@@ -1,0 +1,120 @@
+"""The measurable cloud: the black-box ``f`` that optimisers call.
+
+In the paper, ``f(vm)`` deploys the workload on a VM type, runs it to
+completion under a sysstat daemon, and returns the execution time (hence
+deployment cost) and the collected low-level metrics — each call costs
+real money, which is why search cost is counted in measurements.
+
+:class:`SimulatedCloud` reproduces that interface over the performance
+model.  :class:`MeasurementEnvironment` is the protocol optimisers depend
+on, so they run unchanged against either a live simulation or a recorded
+trace (:class:`repro.trace.dataset.TraceEnvironment`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.cloud.pricing import PriceList, default_price_list, deployment_cost
+from repro.cloud.vmtypes import VMType, default_catalog
+from repro.simulator.lowlevel import LowLevelMetrics, derive_metrics
+from repro.simulator.noise import InterferenceModel
+from repro.simulator.perfmodel import PerformanceModel
+from repro.workloads.spec import Workload
+
+
+@dataclass(frozen=True, slots=True)
+class Measurement:
+    """The outcome of running one workload once on one VM type."""
+
+    vm: VMType
+    execution_time_s: float
+    cost_usd: float
+    metrics: LowLevelMetrics
+
+
+@runtime_checkable
+class MeasurementEnvironment(Protocol):
+    """What an optimiser needs from the world: measure a VM, count the bill."""
+
+    @property
+    def catalog(self) -> tuple[VMType, ...]:
+        """The VM types available for measurement."""
+        ...
+
+    @property
+    def measurement_count(self) -> int:
+        """How many measurements have been charged so far."""
+        ...
+
+    def measure(self, vm: VMType) -> Measurement:
+        """Run the workload on ``vm`` and return the measured outcome."""
+        ...
+
+    def reset(self) -> None:
+        """Reset the measurement counter (the trace/noise stream may continue)."""
+        ...
+
+
+class SimulatedCloud:
+    """Live simulation of measuring one workload across the VM catalog.
+
+    Each :meth:`measure` call draws fresh interference noise, mimicking
+    repeated real executions.  Use a fixed ``seed`` for reproducible runs.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        catalog: tuple[VMType, ...] | None = None,
+        prices: PriceList | None = None,
+        noise: InterferenceModel | None = None,
+        seed: int | None = None,
+    ) -> None:
+        if noise is not None and seed is not None:
+            raise ValueError("pass either a noise model or a seed, not both")
+        self.workload = workload
+        self._catalog = catalog if catalog is not None else default_catalog()
+        self._prices = prices if prices is not None else default_price_list()
+        self._noise = noise if noise is not None else InterferenceModel(seed=seed)
+        self._model = PerformanceModel()
+        self._count = 0
+
+    @property
+    def catalog(self) -> tuple[VMType, ...]:
+        return self._catalog
+
+    @property
+    def measurement_count(self) -> int:
+        return self._count
+
+    def measure(self, vm: VMType) -> Measurement:
+        """Simulate one full run of the workload on ``vm``."""
+        breakdown = self._model.breakdown(vm, self.workload.profile)
+        time_s = self._noise.perturb_time(breakdown.total_time_s)
+        metrics = self._noise.perturb_metrics(
+            derive_metrics(vm, self.workload.profile, breakdown)
+        )
+        self._count += 1
+        return Measurement(
+            vm=vm,
+            execution_time_s=time_s,
+            cost_usd=deployment_cost(time_s, vm, self._prices),
+            metrics=metrics,
+        )
+
+    def reset(self) -> None:
+        self._count = 0
+
+    def measure_all(self) -> list[Measurement]:
+        """Measure every VM in the catalog once (a brute-force sweep)."""
+        return [self.measure(vm) for vm in self._catalog]
+
+    def noise_free_times(self) -> np.ndarray:
+        """Ground-truth execution times per catalog VM (for analysis only)."""
+        return np.array(
+            [self._model.execution_time(vm, self.workload.profile) for vm in self._catalog]
+        )

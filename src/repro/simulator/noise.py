@@ -1,0 +1,58 @@
+"""Cloud interference noise.
+
+The paper motivates search-based optimisation over one-shot modelling
+partly because cloud measurements are noisy — shared infrastructure causes
+performance interference (Section II-D).  We model that as multiplicative
+lognormal noise, applied *independently* to the execution time and to each
+low-level metric, so that metrics are an informative but imperfect window
+into the latent state, as they are on real machines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulator.lowlevel import LowLevelMetrics
+
+#: Default relative noise on execution time (a few percent, per CherryPick).
+DEFAULT_TIME_SIGMA = 0.03
+
+#: Default relative noise on each low-level metric.
+DEFAULT_METRIC_SIGMA = 0.05
+
+
+class InterferenceModel:
+    """Seedable multiplicative-noise generator for one measurement stream.
+
+    Args:
+        time_sigma: lognormal sigma applied to execution times.
+        metric_sigma: lognormal sigma applied to each low-level metric.
+        seed: seed (or Generator) for the noise stream.  Two models built
+            from the same seed produce identical noise sequences.
+    """
+
+    def __init__(
+        self,
+        time_sigma: float = DEFAULT_TIME_SIGMA,
+        metric_sigma: float = DEFAULT_METRIC_SIGMA,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if time_sigma < 0 or metric_sigma < 0:
+            raise ValueError("noise sigmas must be non-negative")
+        self.time_sigma = time_sigma
+        self.metric_sigma = metric_sigma
+        self._rng = np.random.default_rng(seed)
+
+    def perturb_time(self, execution_time_s: float) -> float:
+        """Return ``execution_time_s`` with one draw of interference noise."""
+        if self.time_sigma == 0.0:
+            return execution_time_s
+        return float(execution_time_s * np.exp(self._rng.normal(0.0, self.time_sigma)))
+
+    def perturb_metrics(self, metrics: LowLevelMetrics) -> LowLevelMetrics:
+        """Return ``metrics`` with independent noise on each component."""
+        if self.metric_sigma == 0.0:
+            return metrics
+        vector = metrics.to_vector()
+        factors = np.exp(self._rng.normal(0.0, self.metric_sigma, size=vector.shape))
+        return LowLevelMetrics.from_vector(vector * factors)

@@ -1,0 +1,167 @@
+"""Sysstat-style time-series recording.
+
+The paper runs a ``sysstat`` daemon during each execution and consumes
+*summaries* of its samples (Section IV-A).  The rest of this library
+works with those summaries (:class:`LowLevelMetrics`); this module adds
+the layer underneath: a per-interval sample stream shaped like ``sar``
+output, whose time-average reproduces the summary metrics.
+
+This matters for fidelity tests (the summary really is an aggregate of a
+plausible sample stream) and for the CLI's ``profile`` command, which
+shows how a run *looks* over time: CPU ramps through start-up, I/O wait
+burts at the start and end (input read / output write), memory commit
+climbs towards the working set, and paging runs pin the disk throughout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cloud.vmtypes import VMType
+from repro.simulator.lowlevel import METRIC_NAMES, LowLevelMetrics, derive_metrics
+from repro.simulator.perfmodel import PhaseBreakdown
+from repro.workloads.spec import ResourceProfile
+
+#: Relative jitter of each sample around its shaped value.
+_SAMPLE_NOISE_SIGMA = 0.08
+
+
+@dataclass(frozen=True, slots=True)
+class SarSample:
+    """One sampling interval of the recorder."""
+
+    time_s: float
+    cpu_user_pct: float
+    cpu_iowait_pct: float
+    task_count: float
+    mem_commit_pct: float
+    disk_util_pct: float
+    disk_wait_ms: float
+
+    def to_vector(self) -> np.ndarray:
+        """Metric values in :data:`METRIC_NAMES` order."""
+        return np.array(
+            [
+                self.cpu_user_pct,
+                self.cpu_iowait_pct,
+                self.task_count,
+                self.mem_commit_pct,
+                self.disk_util_pct,
+                self.disk_wait_ms,
+            ]
+        )
+
+
+class SarTrace:
+    """An ordered sequence of :class:`SarSample` for one run."""
+
+    def __init__(self, samples: list[SarSample]) -> None:
+        if not samples:
+            raise ValueError("a sar trace needs at least one sample")
+        self._samples = list(samples)
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def __iter__(self):
+        return iter(self._samples)
+
+    @property
+    def samples(self) -> tuple[SarSample, ...]:
+        return tuple(self._samples)
+
+    @property
+    def duration_s(self) -> float:
+        """Timestamp of the last sample."""
+        return self._samples[-1].time_s
+
+    def to_matrix(self) -> np.ndarray:
+        """``(n_samples, 6)`` matrix in :data:`METRIC_NAMES` order."""
+        return np.stack([sample.to_vector() for sample in self._samples])
+
+    def aggregate(self) -> LowLevelMetrics:
+        """Time-averaged summary, as the paper's pipeline consumes."""
+        return LowLevelMetrics.from_vector(self.to_matrix().mean(axis=0))
+
+
+def _shape(name: str, t: np.ndarray, paging: bool) -> np.ndarray:
+    """Unit-mean temporal shape of one metric over normalised time t in [0, 1]."""
+    if name == "cpu_user_pct":
+        # Trapezoid: ramp up through start-up, steady, tail off at the end.
+        raw = np.minimum(np.minimum(t / 0.08, 1.0), np.minimum((1.0 - t) / 0.08, 1.0))
+        raw = np.clip(raw, 0.05, 1.0)
+    elif name == "cpu_iowait_pct":
+        # Input read at the start, output write at the end; constant under paging.
+        raw = 0.35 + 0.65 * (np.exp(-t / 0.15) + np.exp(-(1 - t) / 0.15))
+        if paging:
+            raw = np.maximum(raw, 0.9)
+    elif name == "task_count":
+        raw = np.where(t < 0.05, 0.6, 1.0)
+    elif name == "mem_commit_pct":
+        # Sigmoid climb towards the working set.
+        raw = 0.35 + 0.65 / (1.0 + np.exp(-(t - 0.2) / 0.08))
+    elif name == "disk_util_pct":
+        raw = 0.4 + 0.6 * (np.exp(-t / 0.2) + np.exp(-(1 - t) / 0.2))
+        if paging:
+            raw = np.maximum(raw, 0.95)
+    elif name == "disk_wait_ms":
+        raw = 0.5 + 0.5 * (np.exp(-t / 0.2) + np.exp(-(1 - t) / 0.2))
+        if paging:
+            raw = np.maximum(raw, 0.9)
+    else:
+        raise ValueError(f"unknown metric {name!r}")
+    return raw / raw.mean()
+
+
+def record_sar_trace(
+    vm: VMType,
+    profile: ResourceProfile,
+    breakdown: PhaseBreakdown,
+    interval_s: float = 1.0,
+    seed: int | np.random.Generator | None = None,
+) -> SarTrace:
+    """Simulate the sysstat sample stream of one run.
+
+    The stream's time-average matches
+    :func:`~repro.simulator.lowlevel.derive_metrics` for the same run up
+    to sampling noise (each metric's shaped series is renormalised to the
+    summary value, then jittered).
+
+    Args:
+        vm: the VM the workload ran on.
+        profile: the workload's latent profile.
+        breakdown: the run's phase decomposition.
+        interval_s: sampling interval (sysstat default: 1 second).
+        seed: seed (or Generator) for sample jitter.
+
+    Raises:
+        ValueError: if ``interval_s`` is not positive.
+    """
+    if interval_s <= 0:
+        raise ValueError(f"interval_s must be positive, got {interval_s}")
+    rng = seed if isinstance(seed, np.random.Generator) else np.random.default_rng(seed)
+
+    summary = derive_metrics(vm, profile, breakdown).to_vector()
+    n_samples = max(int(round(breakdown.total_time_s / interval_s)), 4)
+    t = (np.arange(n_samples) + 0.5) / n_samples
+
+    columns = []
+    for name, target in zip(METRIC_NAMES, summary):
+        series = target * _shape(name, t, breakdown.paging)
+        noise = np.exp(rng.normal(0.0, _SAMPLE_NOISE_SIGMA, size=n_samples))
+        series = series * noise
+        # Renormalise so the time-average equals the summary exactly,
+        # then clip utilisation-style metrics into their physical range.
+        series *= target / series.mean() if series.mean() > 0 else 1.0
+        if name.endswith("_pct") and name != "mem_commit_pct":
+            series = np.clip(series, 0.0, 100.0)
+        columns.append(series)
+
+    matrix = np.column_stack(columns)
+    samples = [
+        SarSample(time_s=float((i + 1) * interval_s), **dict(zip(METRIC_NAMES, row)))
+        for i, row in enumerate(matrix)
+    ]
+    return SarTrace(samples)

@@ -1,0 +1,23 @@
+"""Benchmark traces: the recorded 107-workload x 18-VM measurement matrix.
+
+The paper first collects one large dataset (execution time, deployment
+cost and low-level metrics for every workload on every VM) and then
+*replays* the optimisers against it, so that 100 repeats with different
+initial points compare methods on identical ground truth.  This package
+provides the trace container, its deterministic generation from the
+simulator, a replay environment, and file round-trip.
+"""
+
+from repro.trace.dataset import BenchmarkTrace, TraceEnvironment
+from repro.trace.generate import DEFAULT_TRACE_SEED, default_trace, generate_trace
+from repro.trace.io import load_trace, save_trace
+
+__all__ = [
+    "BenchmarkTrace",
+    "TraceEnvironment",
+    "DEFAULT_TRACE_SEED",
+    "default_trace",
+    "generate_trace",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,95 @@
+"""Deterministic trace generation.
+
+``generate_trace(seed)`` sweeps every workload across every VM through the
+simulator, with each workload's interference-noise stream seeded from the
+trace seed and the workload id — so the canonical trace is bit-identical
+across processes and machines.  ``default_trace()`` memoises the canonical
+``seed=2018`` trace used by all experiments.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+import numpy as np
+
+from repro.cloud.pricing import PriceList, default_price_list
+from repro.cloud.vmtypes import VMType, default_catalog
+from repro.simulator.cluster import SimulatedCloud
+from repro.simulator.lowlevel import METRIC_NAMES
+from repro.simulator.noise import InterferenceModel
+from repro.trace.dataset import BenchmarkTrace
+from repro.workloads.registry import WorkloadRegistry, default_registry
+
+#: Seed of the canonical trace (the paper's data was collected in 2017-18).
+DEFAULT_TRACE_SEED = 2018
+
+
+def generate_trace(
+    seed: int = DEFAULT_TRACE_SEED,
+    registry: WorkloadRegistry | None = None,
+    catalog: tuple[VMType, ...] | None = None,
+    prices: PriceList | None = None,
+    time_sigma: float | None = None,
+    metric_sigma: float | None = None,
+) -> BenchmarkTrace:
+    """Measure every workload on every VM once and record the results.
+
+    Args:
+        seed: master seed; each workload's noise stream is derived from it.
+        registry: workloads to sweep (defaults to the canonical 107).
+        catalog: VM types to sweep (defaults to the canonical 18).
+        prices: price list for deployment costs.
+        time_sigma: override the interference noise on execution time
+            (``None`` keeps the model default; ``0.0`` gives a noise-free
+            trace, useful in tests).
+        metric_sigma: override the noise on low-level metrics, likewise.
+    """
+    registry = registry if registry is not None else default_registry()
+    catalog = catalog if catalog is not None else default_catalog()
+    prices = prices if prices is not None else default_price_list()
+
+    n_w, n_v = len(registry), len(catalog)
+    times = np.empty((n_w, n_v))
+    costs = np.empty((n_w, n_v))
+    metrics = np.empty((n_w, n_v, len(METRIC_NAMES)))
+
+    noise_kwargs = {}
+    if time_sigma is not None:
+        noise_kwargs["time_sigma"] = time_sigma
+    if metric_sigma is not None:
+        noise_kwargs["metric_sigma"] = metric_sigma
+
+    for row, workload in enumerate(registry):
+        workload_seed = seed ^ zlib.crc32(workload.workload_id.encode())
+        cloud = SimulatedCloud(
+            workload,
+            catalog=catalog,
+            prices=prices,
+            noise=InterferenceModel(seed=workload_seed, **noise_kwargs),
+        )
+        for col, vm in enumerate(catalog):
+            measurement = cloud.measure(vm)
+            times[row, col] = measurement.execution_time_s
+            costs[row, col] = measurement.cost_usd
+            metrics[row, col] = measurement.metrics.to_vector()
+
+    return BenchmarkTrace(
+        registry=registry,
+        catalog=catalog,
+        times=times,
+        costs=costs,
+        metrics=metrics,
+        seed=seed,
+    )
+
+
+_DEFAULT_TRACE: BenchmarkTrace | None = None
+
+
+def default_trace() -> BenchmarkTrace:
+    """The canonical trace (seed 2018), generated once per process."""
+    global _DEFAULT_TRACE
+    if _DEFAULT_TRACE is None:
+        _DEFAULT_TRACE = generate_trace(DEFAULT_TRACE_SEED)
+    return _DEFAULT_TRACE

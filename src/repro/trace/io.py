@@ -1,0 +1,72 @@
+"""Trace persistence: JSON round-trip.
+
+Traces are saved as a single self-describing JSON document (workload ids,
+VM names, metric names, the three value arrays, and the generation seed).
+Loading validates the ids against the in-process registry and catalog, so
+a trace file produced by a different registry version fails loudly rather
+than silently misaligning rows.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.cloud.vmtypes import default_catalog
+from repro.simulator.lowlevel import METRIC_NAMES
+from repro.trace.dataset import BenchmarkTrace
+from repro.workloads.registry import WorkloadRegistry, default_registry
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: BenchmarkTrace, path: str | Path) -> None:
+    """Write ``trace`` to ``path`` as JSON (parent dirs must exist)."""
+    document = {
+        "format_version": _FORMAT_VERSION,
+        "seed": trace.seed,
+        "workloads": [w.workload_id for w in trace.registry],
+        "vms": [vm.name for vm in trace.catalog],
+        "metric_names": list(METRIC_NAMES),
+        "times": trace.times.tolist(),
+        "costs": trace.costs.tolist(),
+        "metrics": trace.metrics.tolist(),
+    }
+    Path(path).write_text(json.dumps(document))
+
+
+def load_trace(path: str | Path, registry: WorkloadRegistry | None = None) -> BenchmarkTrace:
+    """Load a trace written by :func:`save_trace`.
+
+    Raises:
+        ValueError: if the file's format version, workload ids, VM names
+            or metric names do not match the in-process definitions.
+    """
+    document = json.loads(Path(path).read_text())
+
+    version = document.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format version {version!r}")
+
+    registry = registry if registry is not None else default_registry()
+    catalog = default_catalog()
+
+    expected_workloads = [w.workload_id for w in registry]
+    if document["workloads"] != expected_workloads:
+        raise ValueError("trace workload ids do not match the current registry")
+    expected_vms = [vm.name for vm in catalog]
+    if document["vms"] != expected_vms:
+        raise ValueError("trace VM names do not match the current catalog")
+    if document["metric_names"] != list(METRIC_NAMES):
+        raise ValueError("trace metric names do not match the current metric set")
+
+    return BenchmarkTrace(
+        registry=registry,
+        catalog=catalog,
+        times=np.array(document["times"], dtype=float),
+        costs=np.array(document["costs"], dtype=float),
+        metrics=np.array(document["metrics"], dtype=float),
+        seed=int(document["seed"]),
+    )

@@ -1,0 +1,38 @@
+"""Workload substrate: the 107 workloads of the paper's empirical study.
+
+The paper runs 30 applications (HiBench and spark-perf suites) on Hadoop 2.7,
+Spark 1.5 and Spark 2.1 with three input sizes each; after excluding runs
+that fail with out-of-memory errors on small VMs, 107 workloads remain.
+
+This package reproduces that population: each application family carries a
+latent :class:`~repro.workloads.spec.ResourceProfile` (CPU work, parallel
+fraction, working-set size, I/O and shuffle volume) from which the simulator
+derives execution time and low-level metrics.  The profiles are *latent* —
+optimisers never see them; they only see measurements.
+"""
+
+from repro.workloads.spec import (
+    Category,
+    Framework,
+    InputSize,
+    ResourceProfile,
+    Workload,
+)
+from repro.workloads.registry import (
+    WorkloadRegistry,
+    default_registry,
+)
+from repro.workloads.profiles import APPLICATIONS, ApplicationProfile, base_profile
+
+__all__ = [
+    "Category",
+    "Framework",
+    "InputSize",
+    "ResourceProfile",
+    "Workload",
+    "WorkloadRegistry",
+    "default_registry",
+    "APPLICATIONS",
+    "ApplicationProfile",
+    "base_profile",
+]

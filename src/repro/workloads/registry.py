@@ -1,0 +1,146 @@
+"""The registry of exactly 107 workloads used throughout the reproduction.
+
+Composition (mirrors Section II-B and Table I of the paper):
+
+* Hadoop 2.7 runs the 4 micro benchmarks and the 3 OLAP queries (7 apps),
+* Spark 2.1 runs all 9 statistics functions and all 14 ML applications
+  (23 apps),
+* Spark 1.5 runs an 8-application ML/statistics subset, reflecting the
+  narrower spark-perf coverage for the older release.
+
+That yields 38 (application, framework) pairs x 3 input sizes = 114 runs.
+The paper excludes workloads whose tests failed because "smaller VM
+instances run out of memory"; we exclude the 7 most memory-hungry large
+configurations, leaving **exactly 107 workloads**.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.workloads.profiles import APPLICATIONS, build_profile
+from repro.workloads.spec import Category, Framework, InputSize, Workload
+
+#: (application, framework) pairs, per Table I.
+_HADOOP_APPS = ("sort", "terasort", "pagerank", "wordcount", "aggregation", "join", "scan")
+_SPARK21_APPS = tuple(
+    name
+    for name, app in APPLICATIONS.items()
+    if app.category in (Category.STATISTICS, Category.MACHINE_LEARNING)
+)
+_SPARK15_APPS = ("classification", "regression", "als", "bayes", "lr", "kmeans", "gmm", "svd")
+
+#: Workloads excluded because they OOM on the smaller VMs (paper §II-B).
+EXCLUDED: frozenset[tuple[str, Framework, InputSize]] = frozenset(
+    {
+        ("lr", Framework.SPARK_15, InputSize.LARGE),
+        ("als", Framework.SPARK_21, InputSize.LARGE),
+        ("svd", Framework.SPARK_21, InputSize.LARGE),
+        ("fp-growth", Framework.SPARK_21, InputSize.LARGE),
+        ("gmm", Framework.SPARK_15, InputSize.LARGE),
+        ("word2vec", Framework.SPARK_21, InputSize.LARGE),
+        ("lda", Framework.SPARK_21, InputSize.LARGE),
+    }
+)
+
+#: Number of workloads in the paper's (and our) study.
+EXPECTED_WORKLOAD_COUNT = 107
+
+
+def _iter_pairs() -> Iterator[tuple[str, Framework]]:
+    for app in _HADOOP_APPS:
+        yield app, Framework.HADOOP_27
+    for app in _SPARK21_APPS:
+        yield app, Framework.SPARK_21
+    for app in _SPARK15_APPS:
+        yield app, Framework.SPARK_15
+
+
+class WorkloadRegistry:
+    """Immutable collection of the study's workloads, indexable by id."""
+
+    def __init__(self, workloads: tuple[Workload, ...]) -> None:
+        self._workloads = workloads
+        self._by_id = {w.workload_id: w for w in workloads}
+        if len(self._by_id) != len(workloads):
+            raise ValueError("duplicate workload ids in registry")
+
+    def __len__(self) -> int:
+        return len(self._workloads)
+
+    def __iter__(self) -> Iterator[Workload]:
+        return iter(self._workloads)
+
+    def __contains__(self, workload_id: str) -> bool:
+        return workload_id in self._by_id
+
+    @property
+    def workloads(self) -> tuple[Workload, ...]:
+        """All workloads in canonical order."""
+        return self._workloads
+
+    def get(self, workload_id: str) -> Workload:
+        """Look up a workload by id, e.g. ``"als/Spark 2.1/medium"``.
+
+        Raises:
+            KeyError: if no workload with that id exists.
+        """
+        try:
+            return self._by_id[workload_id]
+        except KeyError:
+            raise KeyError(f"unknown workload id {workload_id!r}") from None
+
+    def filter(
+        self,
+        application: str | None = None,
+        framework: Framework | None = None,
+        input_size: InputSize | None = None,
+        category: Category | None = None,
+    ) -> tuple[Workload, ...]:
+        """All workloads matching every provided criterion."""
+        return tuple(
+            w
+            for w in self._workloads
+            if (application is None or w.application == application)
+            and (framework is None or w.framework == framework)
+            and (input_size is None or w.input_size == input_size)
+            and (category is None or w.category == category)
+        )
+
+    def applications(self) -> tuple[str, ...]:
+        """Distinct application names, in Table-I order."""
+        seen: dict[str, None] = {}
+        for w in self._workloads:
+            seen.setdefault(w.application, None)
+        return tuple(seen)
+
+
+def _build_default() -> WorkloadRegistry:
+    workloads = []
+    for app, framework in _iter_pairs():
+        for size in InputSize:
+            if (app, framework, size) in EXCLUDED:
+                continue
+            workloads.append(
+                Workload(
+                    application=app,
+                    framework=framework,
+                    input_size=size,
+                    category=APPLICATIONS[app].category,
+                    profile=build_profile(app, framework, size),
+                )
+            )
+    registry = WorkloadRegistry(tuple(workloads))
+    if len(registry) != EXPECTED_WORKLOAD_COUNT:
+        raise AssertionError(
+            f"registry has {len(registry)} workloads, expected {EXPECTED_WORKLOAD_COUNT}"
+        )
+    return registry
+
+
+_DEFAULT_REGISTRY = _build_default()
+
+
+def default_registry() -> WorkloadRegistry:
+    """The canonical 107-workload registry used by all experiments."""
+    return _DEFAULT_REGISTRY

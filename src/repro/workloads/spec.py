@@ -1,0 +1,128 @@
+"""Workload specifications and latent resource profiles.
+
+A :class:`Workload` is what the paper calls ``w`` — one (application,
+framework, input size) triple.  Its :class:`ResourceProfile` captures the
+latent demands that determine how it behaves on any VM.  The profile is the
+simulator's private ground truth; the optimisers interact only with measured
+execution times, deployment costs and low-level metrics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Framework(enum.Enum):
+    """Software systems the paper evaluates (Table I)."""
+
+    HADOOP_27 = "Hadoop 2.7"
+    SPARK_15 = "Spark 1.5"
+    SPARK_21 = "Spark 2.1"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class InputSize(enum.Enum):
+    """The three input scales every application is run with."""
+
+    SMALL = "small"
+    MEDIUM = "medium"
+    LARGE = "large"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class Category(enum.Enum):
+    """Application categories from Table I."""
+
+    MICRO = "Micro Benchmark"
+    OLAP = "OLAP"
+    STATISTICS = "Statistics Function"
+    MACHINE_LEARNING = "Machine Learning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceProfile:
+    """Latent resource demands of one workload.
+
+    Attributes:
+        cpu_seconds: total compute on a single reference core (reference
+            clock factor 1.0), in seconds.
+        parallel_fraction: Amdahl fraction of the compute that scales with
+            core count, in [0, 1].
+        working_set_gb: peak memory working set in GiB.  Exceeding a VM's
+            RAM triggers the simulator's superlinear paging penalty — the
+            performance cliff at the heart of the paper's fragility story.
+        io_gb: bulk input/output volume read and written through storage.
+        shuffle_gb: intermediate (shuffle/spill) volume, which favours VMs
+            with local SSDs.
+        cpu_gen_sensitivity: exponent in [0, 1] describing how much the
+            workload benefits from a faster core (1 = fully clock-bound).
+    """
+
+    cpu_seconds: float
+    parallel_fraction: float
+    working_set_gb: float
+    io_gb: float
+    shuffle_gb: float
+    cpu_gen_sensitivity: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_seconds <= 0:
+            raise ValueError(f"cpu_seconds must be positive, got {self.cpu_seconds}")
+        if not 0.0 <= self.parallel_fraction <= 1.0:
+            raise ValueError(
+                f"parallel_fraction must be in [0, 1], got {self.parallel_fraction}"
+            )
+        if self.working_set_gb < 0:
+            raise ValueError(f"working_set_gb must be >= 0, got {self.working_set_gb}")
+        if self.io_gb < 0:
+            raise ValueError(f"io_gb must be >= 0, got {self.io_gb}")
+        if self.shuffle_gb < 0:
+            raise ValueError(f"shuffle_gb must be >= 0, got {self.shuffle_gb}")
+        if not 0.0 <= self.cpu_gen_sensitivity <= 1.0:
+            raise ValueError(
+                f"cpu_gen_sensitivity must be in [0, 1], got {self.cpu_gen_sensitivity}"
+            )
+
+    def scaled(
+        self,
+        cpu: float = 1.0,
+        working_set: float = 1.0,
+        io: float = 1.0,
+        shuffle: float = 1.0,
+    ) -> ResourceProfile:
+        """Return a copy with the named demands multiplied by the factors."""
+        return ResourceProfile(
+            cpu_seconds=self.cpu_seconds * cpu,
+            parallel_fraction=self.parallel_fraction,
+            working_set_gb=self.working_set_gb * working_set,
+            io_gb=self.io_gb * io,
+            shuffle_gb=self.shuffle_gb * shuffle,
+            cpu_gen_sensitivity=self.cpu_gen_sensitivity,
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Workload:
+    """One workload ``w``: an application at a given scale on a framework."""
+
+    application: str
+    framework: Framework
+    input_size: InputSize
+    category: Category
+    profile: ResourceProfile
+
+    @property
+    def workload_id(self) -> str:
+        """Stable identifier, e.g. ``"als/Spark 2.1/medium"``."""
+        return f"{self.application}/{self.framework.value}/{self.input_size.value}"
+
+    def __str__(self) -> str:
+        return self.workload_id

@@ -1,0 +1,81 @@
+"""Unit tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.analysis.ascii_plots import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_single_series(self):
+        chart = line_chart({"cdf": [0.1, 0.5, 0.9]}, width=20, height=5)
+        assert "*" in chart
+        assert "cdf" in chart
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        chart = line_chart(
+            {"naive": [1, 2, 3], "augmented": [3, 2, 1]}, width=20, height=5
+        )
+        assert "* naive" in chart
+        assert "o augmented" in chart
+        assert "o" in chart.splitlines()[0] + chart
+
+    def test_monotone_series_plots_monotone(self):
+        chart = line_chart({"s": [0.0, 0.5, 1.0]}, width=3, height=3)
+        rows = [line for line in chart.splitlines() if "|" in line and "+" not in line]
+        plot = [row.split("|")[1] for row in rows]
+        # Highest value in top row rightmost column, lowest bottom-left.
+        assert plot[0][2] == "*"
+        assert plot[2][0] == "*"
+
+    def test_y_range_override(self):
+        chart = line_chart({"s": [0.5, 0.5]}, height=4, y_min=0.0, y_max=1.0)
+        assert "1.00" in chart
+        assert "0.00" in chart
+
+    def test_axis_labels_included(self):
+        chart = line_chart(
+            {"s": [1, 2]}, x_label="measurements", y_label="fraction solved"
+        )
+        assert "measurements" in chart
+        assert "fraction solved" in chart
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            line_chart({})
+        with pytest.raises(ValueError, match="empty"):
+            line_chart({"s": []})
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            line_chart({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_constant_series_does_not_crash(self):
+        line_chart({"s": [2.0, 2.0, 2.0]})
+
+
+class TestBarChart:
+    def test_values_scale_bar_lengths(self):
+        chart = bar_chart({"short": 1.0, "long": 4.0}, width=8)
+        short_row, long_row = chart.splitlines()
+        assert short_row.count("#") < long_row.count("#")
+
+    def test_labels_aligned(self):
+        chart = bar_chart({"a": 1.0, "bbbb": 2.0})
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_unit_suffix(self):
+        chart = bar_chart({"a": 1.5}, unit="x")
+        assert "1.50x" in chart
+
+    def test_zero_values_render(self):
+        chart = bar_chart({"a": 0.0, "b": 0.0})
+        assert "#" not in chart
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            bar_chart({"a": -1.0})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            bar_chart({})

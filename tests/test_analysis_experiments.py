@@ -1,0 +1,148 @@
+"""Integration tests for the canonical experiment functions.
+
+These run the real figure pipelines on reduced workload subsets and tiny
+repeat counts — asserting structure and invariants, not the paper-scale
+numbers (the benchmark suite covers those).
+"""
+
+import pytest
+
+from repro.analysis import experiments as exp
+from repro.analysis.runner import ExperimentRunner
+from repro.core.objectives import Objective
+
+#: A small but diverse slice of the registry for grid experiments.
+SUBSET = None  # initialised in fixture
+
+
+@pytest.fixture(scope="module")
+def runner(trace, tmp_path_factory):
+    return ExperimentRunner(trace=trace, cache_dir=tmp_path_factory.mktemp("cache"))
+
+
+@pytest.fixture(scope="module")
+def subset():
+    return exp.all_workload_ids()[::9]  # 12 workloads
+
+
+class TestDatasetExperiments:
+    def test_table1(self):
+        result = exp.table1_registry()
+        assert result["n_workloads"] == 107
+        assert result["n_applications"] == 30
+        assert len(result["frameworks"]) == 3
+        assert sum(len(v) for v in result["applications_by_category"].values()) == 30
+
+    def test_fig3_spreads(self, runner):
+        result = exp.fig3_worst_best_spread(runner)
+        assert result["max_time_spread"] > result["median_time_spread"] > 1.0
+        assert result["max_cost_spread"] > result["median_cost_spread"] > 1.0
+        assert result["max_time_workload"] in {w.workload_id for w in runner.trace.registry}
+
+    def test_fig4_extremes(self, runner):
+        result = exp.fig4_extreme_vms(runner)
+        for fraction in result["expensive_optimal_time_fraction"].values():
+            assert 0.0 <= fraction <= 1.0
+        assert result["any_expensive_time_fraction"] <= 1.0
+        # No extreme VM (nor all three together) wins everything.
+        assert result["any_cheap_cost_fraction"] < 1.0
+
+    def test_fig5_input_size_moves_optima(self, runner):
+        result = exp.fig5_input_size(runner)
+        assert result["n_app_framework_pairs"] == 38
+        assert result["changed_best_cost"] > 10
+        assert result["examples"]
+
+    def test_fig6_cost_levelling(self, runner):
+        result = exp.fig6_cost_levelling(runner)
+        assert len(result["rows"]) == 18
+        assert result["cost_spread"] < result["time_spread"]
+
+    def test_fig8_memory_bottleneck(self, runner):
+        result = exp.fig8_memory_bottleneck(runner)
+        rows = result["rows"]
+        assert len(rows) == 18
+        slowest, fastest = rows[0], rows[-1]
+        assert slowest["normalised_time"] > 3.0
+        assert slowest["mem_commit_pct"] > 100.0
+        assert fastest["mem_commit_pct"] < 100.0
+
+
+class TestSearchExperiments:
+    def test_fig1_structure(self, runner, subset):
+        result = exp.fig1_naive_cdf(runner, repeats=2, workload_ids=subset)
+        assert len(result["curve"]) == 18
+        assert result["curve"][-1] == 1.0  # full sweeps always find the optimum
+        assert sum(result["regions"].values()) == len(subset)
+
+    def test_fig2_trace_shape(self, runner):
+        result = exp.fig2_als_trace(runner, repeats=3)
+        assert len(result["median_curve"]) == 18
+        assert result["median_curve"][-1] == pytest.approx(1.0)
+        assert all(a >= b for a, b in zip(result["median_curve"], result["median_curve"][1:]))
+
+    def test_fig7_kernels(self, runner):
+        result = exp.fig7_kernel_fragility(runner, repeats=2)
+        assert len(result["cases"]) == 2
+        for case in result["cases"]:
+            assert set(case["median_cost_by_kernel"]) == {
+                "rbf", "matern12", "matern32", "matern52",
+            }
+            assert case["best_kernel"] != case["worst_kernel"]
+
+    def test_fig9_structure(self, runner, subset):
+        result = exp.fig9_cdf(
+            runner, Objective.TIME, repeats=2, include_hybrid=False, workload_ids=subset
+        )
+        assert set(result["curves"]) == {"naive", "augmented"}
+        for curve in result["curves"].values():
+            assert len(curve) == 18
+            assert curve[-1] == 1.0
+
+    def test_fig10_structure(self, runner):
+        result = exp.fig10_example_traces(runner, repeats=2)
+        assert len(result["cases"]) == 3
+        for case in result["cases"]:
+            assert set(case["methods"]) == {"naive", "augmented"}
+            for method in case["methods"].values():
+                assert len(method["median_curve"]) == 18
+                assert method["median_cost_to_optimum"] <= 18
+
+    def test_sec3c_structure(self, runner, subset):
+        result = exp.sec3c_initial_points(runner, repeats=2, workload_ids=subset)
+        assert 0.0 <= result["bad_unsolved_at_6"] <= 1.0
+        assert 0.0 <= result["good_unsolved_at_6"] <= 1.0
+
+    def test_fig12_structure(self, runner, subset):
+        result = exp.fig12_win_loss(runner, repeats=2, workload_ids=subset)
+        assert sum(result["counts"].values()) == len(subset)
+        assert len(result["comparisons"]) == len(subset)
+        for comparison in result["comparisons"]:
+            assert comparison["outcome"] in {"win", "same", "draw", "loss"}
+
+    def test_fig13_structure(self, runner, subset):
+        result = exp.fig13_timecost_product(runner, repeats=2, workload_ids=subset)
+        assert 0.0 <= result["naive_long_search_fraction"] <= 1.0
+        assert result["augmented_max_search_cost"] <= 18
+
+    def test_fig11_structure(self, runner, subset):
+        result = exp.fig11_stopping_tradeoff(
+            runner, repeats=2, workload_ids=subset, region_repeats=2
+        )
+        assert set(result["naive_ei"]) == {str(v) for v in exp.EI_FRACTIONS}
+        assert set(result["augmented_delta"]) == {str(v) for v in exp.DELTA_THRESHOLDS}
+        for per_region in result["augmented_delta"].values():
+            for point in per_region.values():
+                assert point["mean_search_cost"] >= 3
+                assert point["mean_normalised_cost"] >= 1.0 - 1e-9
+
+    def test_stopping_tradeoff_direction(self, runner, subset):
+        """Within fig11, a patient threshold (1.3) must search at least as
+        long as an aggressive one (0.9) on the same workloads."""
+        result = exp.fig11_stopping_tradeoff(
+            runner, repeats=2, workload_ids=subset, region_repeats=2
+        )
+        for region in result["augmented_delta"]["0.9"]:
+            aggressive = result["augmented_delta"]["0.9"][region]["mean_search_cost"]
+            patient = result["augmented_delta"]["1.3"][region]["mean_search_cost"]
+            assert patient >= aggressive - 1e-9

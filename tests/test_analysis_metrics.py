@@ -1,0 +1,117 @@
+"""Unit tests for evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    Outcome,
+    compare_methods,
+    cost_to_optimum,
+    outcome_counts,
+    solved_fraction_curve,
+)
+from repro.core.objectives import Objective
+from repro.core.result import SearchResult, SearchStep
+
+
+def make_result(values, workload_id="w", stopped_by="criterion"):
+    steps = []
+    best = float("inf")
+    for index, value in enumerate(values, start=1):
+        best = min(best, value)
+        steps.append(SearchStep(index, f"vm{index}", value, best))
+    return SearchResult(
+        optimizer="x",
+        objective=Objective.COST,
+        workload_id=workload_id,
+        steps=tuple(steps),
+        stopped_by=stopped_by,
+    )
+
+
+class TestCostToOptimum:
+    def test_finds_first_reaching_step(self):
+        result = make_result([5.0, 2.0, 3.0])
+        assert cost_to_optimum(result, 2.0) == 2
+
+    def test_none_when_never_reached(self):
+        assert cost_to_optimum(make_result([5.0, 3.0]), 1.0) is None
+
+
+class TestSolvedFractionCurve:
+    def test_monotone_nondecreasing(self):
+        costs = {"a": [3, 5], "b": [10, 12], "c": [None, 4]}
+        curve = solved_fraction_curve(costs, 18)
+        assert np.all(np.diff(curve) >= 0)
+
+    def test_known_values(self):
+        costs = {"a": [2, 2, 2], "b": [8, 8, 8]}
+        curve = solved_fraction_curve(costs, 10)
+        assert curve[0] == 0.0
+        assert curve[1] == 0.5
+        assert curve[7] == 1.0
+
+    def test_median_semantics(self):
+        # Median of [2, 18-unfound] with None -> (2+19)/2 = 10.5 -> solved at 11.
+        curve = solved_fraction_curve({"a": [2, None]}, 18)
+        assert curve[9] == 0.0
+        assert curve[10] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            solved_fraction_curve({}, 18)
+        with pytest.raises(ValueError):
+            solved_fraction_curve({"a": [1]}, 0)
+
+
+class TestCompareMethods:
+    def _methods(self, base_cost, base_val, chal_cost, chal_val):
+        baseline = {"w": [make_result([base_val] * base_cost)]}
+        challenger = {"w": [make_result([chal_val] * chal_cost)]}
+        return baseline, challenger
+
+    def test_win_quadrant(self):
+        baseline, challenger = self._methods(10, 100.0, 7, 90.0)
+        (comparison,) = compare_methods(baseline, challenger)
+        assert comparison.outcome is Outcome.WIN
+        assert comparison.search_reduction == pytest.approx(0.3)
+        assert comparison.value_improvement == pytest.approx(0.1)
+
+    def test_loss_quadrant_on_higher_search_cost(self):
+        baseline, challenger = self._methods(7, 100.0, 10, 90.0)
+        (comparison,) = compare_methods(baseline, challenger)
+        assert comparison.outcome is Outcome.LOSS
+
+    def test_draw_quadrant_trades_value_for_search(self):
+        baseline, challenger = self._methods(10, 100.0, 6, 110.0)
+        (comparison,) = compare_methods(baseline, challenger)
+        assert comparison.outcome is Outcome.DRAW
+
+    def test_same_quadrant_within_tolerance(self):
+        baseline, challenger = self._methods(10, 100.0, 10, 100.0)
+        (comparison,) = compare_methods(baseline, challenger)
+        assert comparison.outcome is Outcome.SAME
+
+    def test_medians_across_repeats(self):
+        baseline = {"w": [make_result([100.0] * c) for c in (8, 10, 12)]}
+        challenger = {"w": [make_result([100.0] * c) for c in (5, 6, 7)]}
+        (comparison,) = compare_methods(baseline, challenger)
+        assert comparison.search_reduction == pytest.approx((10 - 6) / 10)
+
+    def test_mismatched_workloads_rejected(self):
+        with pytest.raises(ValueError, match="same workloads"):
+            compare_methods({"a": []}, {"b": []})
+
+    def test_outcome_counts(self):
+        baseline = {
+            "w1": [make_result([100.0] * 10)],
+            "w2": [make_result([100.0] * 10)],
+        }
+        challenger = {
+            "w1": [make_result([90.0] * 7)],   # win
+            "w2": [make_result([100.0] * 10)],  # same
+        }
+        counts = outcome_counts(compare_methods(baseline, challenger))
+        assert counts[Outcome.WIN] == 1
+        assert counts[Outcome.SAME] == 1
+        assert counts[Outcome.LOSS] == 0

@@ -1,0 +1,52 @@
+"""Unit tests for Region I/II/III classification."""
+
+import pytest
+
+from repro.analysis.regions import Region, classify_region, region_counts
+
+
+class TestClassifyRegion:
+    def test_region_boundaries(self):
+        assert classify_region([6, 6, 6]) is Region.I
+        assert classify_region([7, 7, 7]) is Region.II
+        assert classify_region([12, 12]) is Region.II
+        assert classify_region([13, 13]) is Region.III
+
+    def test_median_decides(self):
+        assert classify_region([1, 6, 18]) is Region.I
+        assert classify_region([5, 8, 9]) is Region.II
+
+    def test_none_counts_as_full_sweep(self):
+        assert classify_region([None, None, None]) is Region.III
+        assert classify_region([4, None, 5]) is Region.I
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            classify_region([])
+
+    def test_string_names_match_paper(self):
+        assert str(Region.I) == "Region I"
+        assert str(Region.III) == "Region III"
+
+
+class TestRegionCounts:
+    def test_counts_cover_all_regions(self):
+        counts = region_counts(
+            {
+                "a": [3, 3],
+                "b": [8, 8],
+                "c": [15, 15],
+                "d": [5, 5],
+            }
+        )
+        assert counts == {Region.I: 2, Region.II: 1, Region.III: 1}
+
+    def test_absent_regions_count_zero(self):
+        counts = region_counts({"a": [2]})
+        assert counts[Region.II] == 0
+        assert counts[Region.III] == 0
+
+    def test_total_conserved(self):
+        costs = {f"w{i}": [i % 18 + 1] for i in range(30)}
+        counts = region_counts(costs)
+        assert sum(counts.values()) == 30

@@ -1,0 +1,118 @@
+"""Unit tests for the experiment runner and its cache."""
+
+import json
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner, RunGrid, run_seed
+from repro.core.baselines import RandomSearch
+from repro.core.objectives import Objective
+
+
+def random_factory(environment, objective, seed):
+    return RandomSearch(environment, objective=objective, seed=seed)
+
+
+@pytest.fixture()
+def runner(trace, tmp_path):
+    return ExperimentRunner(trace=trace, cache_dir=tmp_path / "cache")
+
+
+WORKLOADS = ("kmeans/Spark 2.1/small", "scan/Hadoop 2.7/small")
+
+
+class TestRunGrid:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="repeats"):
+            RunGrid("k", random_factory, Objective.TIME, WORKLOADS, 0)
+        with pytest.raises(ValueError, match="workload_ids"):
+            RunGrid("k", random_factory, Objective.TIME, (), 1)
+        with pytest.raises(ValueError, match="'/'"):
+            RunGrid("a/b", random_factory, Objective.TIME, WORKLOADS, 1)
+
+
+class TestRunSeed:
+    def test_deterministic(self):
+        assert run_seed("w", 3) == run_seed("w", 3)
+
+    def test_varies_with_workload_and_repeat(self):
+        assert run_seed("a", 0) != run_seed("b", 0)
+        assert run_seed("a", 0) != run_seed("a", 1)
+
+    def test_non_negative_31_bit(self):
+        for repeat in range(20):
+            seed = run_seed("some/workload/id", repeat)
+            assert 0 <= seed < 2**31
+
+
+class TestRunner:
+    def test_runs_grid_and_returns_per_workload_results(self, runner):
+        grid = RunGrid("random", random_factory, Objective.TIME, WORKLOADS, 3)
+        results = runner.run(grid)
+        assert set(results) == set(WORKLOADS)
+        assert all(len(runs) == 3 for runs in results.values())
+        assert all(r.search_cost == 18 for runs in results.values() for r in runs)
+
+    def test_results_deterministic_across_runner_instances(self, trace, tmp_path):
+        grid = RunGrid("random", random_factory, Objective.TIME, WORKLOADS, 2)
+        a = ExperimentRunner(trace=trace, cache_dir=None).run(grid)
+        b = ExperimentRunner(trace=trace, cache_dir=None).run(grid)
+        for workload in WORKLOADS:
+            assert [r.measured_vm_names for r in a[workload]] == [
+                r.measured_vm_names for r in b[workload]
+            ]
+
+    def test_cache_roundtrip_preserves_results(self, runner, trace, tmp_path):
+        grid = RunGrid("random", random_factory, Objective.TIME, WORKLOADS, 2)
+        fresh = runner.run(grid)
+        cached = runner.run(grid)  # second call must hit the cache
+        for workload in WORKLOADS:
+            for a, b in zip(fresh[workload], cached[workload]):
+                assert a.measured_vm_names == b.measured_vm_names
+                assert a.best_value == pytest.approx(b.best_value)
+                assert a.stopped_by == b.stopped_by
+
+    def test_cache_file_created(self, runner, tmp_path):
+        grid = RunGrid("random", random_factory, Objective.TIME, WORKLOADS, 1)
+        runner.run(grid)
+        cache_file = tmp_path / "cache" / "random__time.json"
+        assert cache_file.exists()
+        payload = json.loads(cache_file.read_text())
+        assert set(payload) == set(WORKLOADS)
+
+    def test_incremental_repeats_extend_cache(self, runner):
+        grid_small = RunGrid("random", random_factory, Objective.TIME, WORKLOADS, 2)
+        grid_large = RunGrid("random", random_factory, Objective.TIME, WORKLOADS, 4)
+        small = runner.run(grid_small)
+        large = runner.run(grid_large)
+        for workload in WORKLOADS:
+            # The first two repeats are the cached ones, unchanged.
+            assert [r.measured_vm_names for r in large[workload][:2]] == [
+                r.measured_vm_names for r in small[workload]
+            ]
+            assert len(large[workload]) == 4
+
+    def test_objectives_cached_separately(self, runner, tmp_path):
+        runner.run(RunGrid("random", random_factory, Objective.TIME, WORKLOADS, 1))
+        runner.run(RunGrid("random", random_factory, Objective.COST, WORKLOADS, 1))
+        assert (tmp_path / "cache" / "random__time.json").exists()
+        assert (tmp_path / "cache" / "random__cost.json").exists()
+
+    def test_optimal_value_matches_trace(self, runner, trace):
+        workload = WORKLOADS[0]
+        assert runner.optimal_value(workload, Objective.COST) == pytest.approx(
+            trace.costs_for(workload).min()
+        )
+
+    def test_costs_to_optimum_structure(self, runner):
+        grid = RunGrid("random", random_factory, Objective.TIME, WORKLOADS, 3)
+        results = runner.run(grid)
+        costs = runner.costs_to_optimum(results, Objective.TIME)
+        assert set(costs) == set(WORKLOADS)
+        # Full random sweeps always find the optimum somewhere.
+        assert all(c is not None and 1 <= c <= 18 for cs in costs.values() for c in cs)
+
+    def test_no_cache_dir_disables_caching(self, trace):
+        runner = ExperimentRunner(trace=trace, cache_dir=None)
+        grid = RunGrid("random", random_factory, Objective.TIME, WORKLOADS, 1)
+        runner.run(grid)  # must simply not raise

@@ -1,0 +1,83 @@
+"""Unit tests for statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import Summary, median_iqr_curve, summarize
+from repro.core.objectives import Objective
+from repro.core.result import SearchResult, SearchStep
+
+
+def make_result(values):
+    steps = []
+    best = float("inf")
+    for index, value in enumerate(values, start=1):
+        best = min(best, value)
+        steps.append(SearchStep(index, f"vm{index}", value, best))
+    return SearchResult(
+        optimizer="x",
+        objective=Objective.TIME,
+        workload_id="w",
+        steps=tuple(steps),
+        stopped_by="exhausted",
+    )
+
+
+class TestSummarize:
+    def test_known_values(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.median == 3.0
+        assert summary.q1 == 2.0
+        assert summary.q3 == 4.0
+        assert summary.mean == 3.0
+        assert summary.count == 5
+        assert summary.iqr == 2.0
+
+    def test_single_value(self):
+        summary = summarize([7.0])
+        assert summary.median == summary.q1 == summary.q3 == 7.0
+        assert summary.iqr == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            summarize([])
+
+    def test_summary_is_dataclass(self):
+        assert isinstance(summarize([1.0, 2.0]), Summary)
+
+
+class TestMedianIqrCurve:
+    def test_curves_have_requested_length(self):
+        results = [make_result([5.0, 3.0, 4.0]), make_result([6.0, 2.0, 7.0])]
+        median, q1, q3 = median_iqr_curve(results, 10)
+        assert median.shape == q1.shape == q3.shape == (10,)
+
+    def test_median_is_between_quartiles(self):
+        rng = np.random.default_rng(0)
+        results = [make_result(list(rng.uniform(1, 10, size=6))) for _ in range(20)]
+        median, q1, q3 = median_iqr_curve(results, 6)
+        assert np.all(q1 <= median)
+        assert np.all(median <= q3)
+
+    def test_best_so_far_is_nonincreasing(self):
+        results = [make_result([9.0, 4.0, 6.0, 2.0])]
+        median, _, _ = median_iqr_curve(results, 4)
+        assert np.all(np.diff(median) <= 0)
+
+    def test_short_runs_extended_with_final_best(self):
+        results = [make_result([5.0, 3.0])]
+        median, _, _ = median_iqr_curve(results, 6)
+        assert np.all(median[1:] == 3.0)
+
+    def test_normalisation(self):
+        results = [make_result([10.0, 5.0])]
+        median, _, _ = median_iqr_curve(results, 2, normalise_to=5.0)
+        assert median.tolist() == [2.0, 1.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            median_iqr_curve([], 5)
+        with pytest.raises(ValueError):
+            median_iqr_curve([make_result([1.0])], 0)
+        with pytest.raises(ValueError):
+            median_iqr_curve([make_result([1.0])], 3, normalise_to=0.0)

@@ -1,0 +1,123 @@
+"""Unit tests for the SVG figure renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.analysis.svg_plots import PALETTE, bar_chart_svg, line_chart_svg
+
+
+def parse(svg: str) -> ET.Element:
+    return ET.fromstring(svg)
+
+
+class TestLineChartSvg:
+    def test_produces_valid_xml(self):
+        svg = line_chart_svg({"a": [1.0, 2.0, 3.0]})
+        root = parse(svg)
+        assert root.tag.endswith("svg")
+
+    def test_one_polyline_per_series(self):
+        svg = line_chart_svg({"a": [1, 2], "b": [2, 1], "c": [0, 0]})
+        assert svg.count("<polyline") == 3
+
+    def test_series_colours_follow_palette(self):
+        svg = line_chart_svg({"a": [1, 2], "b": [2, 1]})
+        assert PALETTE[0] in svg
+        assert PALETTE[1] in svg
+
+    def test_title_and_labels_included(self):
+        svg = line_chart_svg(
+            {"s": [1, 2]}, title="My Chart", x_label="xx", y_label="yy"
+        )
+        assert "My Chart" in svg
+        assert "xx" in svg
+        assert "yy" in svg
+
+    def test_labels_are_escaped(self):
+        svg = line_chart_svg({"a<b": [1, 2]}, title="t&t")
+        assert "a&lt;b" in svg
+        assert "t&amp;t" in svg
+        parse(svg)  # still valid XML
+
+    def test_y_range_override_changes_tick_labels(self):
+        svg = line_chart_svg({"s": [0.5, 0.5]}, y_min=0.0, y_max=1.0)
+        assert ">0.00<" in svg
+        assert ">1.00<" in svg
+
+    def test_higher_values_render_higher(self):
+        svg = line_chart_svg({"s": [0.0, 1.0]}, y_min=0.0, y_max=1.0)
+        (points,) = [
+            line.split('points="')[1].split('"')[0]
+            for line in svg.splitlines()
+            if "<polyline" in line
+        ]
+        (x0, y0), (x1, y1) = [tuple(map(float, p.split(","))) for p in points.split()]
+        assert y1 < y0  # SVG y grows downwards
+        assert x1 > x0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            line_chart_svg({})
+        with pytest.raises(ValueError, match="empty"):
+            line_chart_svg({"s": []})
+        with pytest.raises(ValueError, match="lengths differ"):
+            line_chart_svg({"a": [1], "b": [1, 2]})
+
+    def test_deterministic(self):
+        a = line_chart_svg({"s": [1, 2, 3]})
+        b = line_chart_svg({"s": [1, 2, 3]})
+        assert a == b
+
+
+class TestBarChartSvg:
+    def test_produces_valid_xml(self):
+        parse(bar_chart_svg({"vm1": 1.0, "vm2": 2.5}))
+
+    def test_one_rect_per_bar_plus_background(self):
+        svg = bar_chart_svg({"a": 1.0, "b": 2.0, "c": 3.0})
+        assert svg.count("<rect") == 4
+
+    def test_bar_width_proportional_to_value(self):
+        svg = bar_chart_svg({"small": 1.0, "large": 4.0})
+        widths = [
+            float(line.split('width="')[1].split('"')[0])
+            for line in svg.splitlines()
+            if "<rect" in line and PALETTE[0] in line
+        ]
+        assert widths[1] == pytest.approx(4 * widths[0], rel=1e-6)
+
+    def test_unit_suffix_rendered(self):
+        svg = bar_chart_svg({"a": 2.0}, unit="x")
+        assert "2.00x" in svg
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            bar_chart_svg({})
+        with pytest.raises(ValueError, match="non-negative"):
+            bar_chart_svg({"a": -1.0})
+
+
+class TestRenderScript:
+    def test_renders_known_figures(self, tmp_path, monkeypatch):
+        import importlib.util
+        import json
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "render_figures",
+            Path(__file__).parent.parent / "scripts" / "render_figures.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        figures = tmp_path / "figures"
+        figures.mkdir()
+        (figures / "fig1.json").write_text(
+            json.dumps({"curve": [0.1, 0.5, 1.0], "regions": {}})
+        )
+        (figures / "fig12.json").write_text(json.dumps({"counts": {}}))  # no renderer
+        monkeypatch.setattr(module, "FIGURES", figures)
+        module.main()
+        assert (figures / "fig1.svg").exists()
+        assert not (figures / "fig12.svg").exists()

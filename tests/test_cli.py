@@ -1,0 +1,152 @@
+"""Unit tests for the ``arrow`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCatalog:
+    def test_lists_all_18_vms(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 19  # header + 18 rows
+        assert "c4.2xlarge" in out
+        assert "$/hour" in out
+
+
+class TestWorkloads:
+    def test_lists_all_by_default(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 107
+
+    def test_framework_filter(self, capsys):
+        assert main(["workloads", "--framework", "Hadoop 2.7"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 21  # 7 apps x 3 sizes
+        assert "Spark" not in out
+
+    def test_combined_filters(self, capsys):
+        assert main(
+            ["workloads", "--application", "als", "--size", "medium"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 2  # Spark 2.1 and Spark 1.5
+
+    def test_invalid_framework_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["workloads", "--framework", "Flink"])
+        assert excinfo.value.code == 2
+
+
+class TestTrace:
+    def test_generate_and_stats_roundtrip(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.json"
+        assert main(["trace", "generate", "--seed", "7", "--out", str(out_path)]) == 0
+        assert out_path.exists()
+        capsys.readouterr()
+        assert main(["trace", "stats", "--path", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "worst/best spread" in out
+        assert "optimal-VM histogram" in out
+
+
+class TestSearch:
+    def test_single_run_prints_steps(self, capsys):
+        assert main(["search", "kmeans/Spark 2.1/small", "--method", "random"]) == 0
+        out = capsys.readouterr().out
+        assert "stopped by exhausted after 18 measurements" in out
+        assert "best" in out
+
+    def test_unknown_workload_fails_cleanly(self, capsys):
+        assert main(["search", "nope/Spark 2.1/small"]) == 1
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_repeats_prints_summary(self, capsys):
+        assert main(
+            [
+                "search", "kmeans/Spark 2.1/small",
+                "--method", "random", "--repeats", "3",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "3 repeats" in out
+        assert "median" in out
+
+    def test_stopping_rule_applies(self, capsys):
+        assert main(
+            [
+                "search", "kmeans/Spark 2.1/small",
+                "--method", "augmented", "--stop", "delta",
+                "--stop-value", "1.1",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stopped by criterion" in out
+
+
+class TestProfile:
+    def test_profile_prints_chart_and_summary(self, capsys):
+        assert main(["profile", "scan/Hadoop 2.7/small", "c4.large"]) == 0
+        out = capsys.readouterr().out
+        assert "simulated" in out
+        assert "iowait" in out
+        assert "summary:" in out
+
+    def test_paging_flagged(self, capsys):
+        assert main(["profile", "lr/Spark 1.5/medium", "c4.large"]) == 0
+        assert "paging yes" in capsys.readouterr().out
+
+    def test_unknown_vm_fails_cleanly(self, capsys):
+        assert main(["profile", "scan/Hadoop 2.7/small", "c9.nano"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestFigure:
+    def test_missing_figure_fails_cleanly(self, tmp_path, capsys):
+        assert main(["figure", "fig1", "--dir", str(tmp_path)]) == 1
+        assert "build_cache" in capsys.readouterr().err
+
+    def test_renders_fig1_curve(self, tmp_path, capsys):
+        payload = {
+            "curve": [i / 18 for i in range(1, 19)],
+            "solved_at_6": 0.33,
+            "solved_at_12": 0.66,
+            "regions": {"Region I": 50, "Region II": 40, "Region III": 17},
+        }
+        (tmp_path / "fig1.json").write_text(json.dumps(payload))
+        assert main(["figure", "fig1", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fraction of workloads solved" in out
+        assert "regions" in out
+
+    def test_renders_fig9_multiseries(self, tmp_path, capsys):
+        payload = {
+            "curves": {"naive": [0.1, 0.5, 1.0], "augmented": [0.2, 0.7, 1.0]},
+            "solved_at": {},
+        }
+        (tmp_path / "fig9a.json").write_text(json.dumps(payload))
+        assert main(["figure", "fig9a", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "* naive" in out
+        assert "o augmented" in out
+
+    def test_unknown_figure_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["figure", "fig99"])
+        assert excinfo.value.code == 2
+
+    def test_generic_figure_dumps_json(self, tmp_path, capsys):
+        (tmp_path / "fig12.json").write_text(json.dumps({"counts": {"win": 40}}))
+        assert main(["figure", "fig12", "--dir", str(tmp_path)]) == 0
+        assert '"win": 40' in capsys.readouterr().out
+
+
+class TestExperiments:
+    def test_lists_all_16_experiments(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 16
+        assert "fig13" in out

@@ -1,0 +1,95 @@
+"""Unit tests for the Section V-A instance-space encoding."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.encoding import FEATURE_NAMES, InstanceEncoder
+from repro.cloud.vmtypes import get_vm_type
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    return InstanceEncoder()
+
+
+class TestEncoding:
+    def test_four_features(self, encoder):
+        assert encoder.n_features == 4
+        assert len(FEATURE_NAMES) == 4
+
+    def test_design_matrix_shape(self, encoder):
+        assert encoder.encode_all().shape == (18, 4)
+
+    def test_cpu_type_codes_follow_family_order(self, encoder):
+        codes = {
+            family: encoder.encode(get_vm_type(f"{family}.large"))[0]
+            for family in ("c3", "c4", "m3", "m4", "r3", "r4")
+        }
+        assert codes == {"c3": 1, "c4": 2, "m3": 3, "m4": 4, "r3": 5, "r4": 6}
+
+    def test_core_count_is_actual_vcpus(self, encoder):
+        assert encoder.encode(get_vm_type("m4.large"))[1] == 2
+        assert encoder.encode(get_vm_type("m4.2xlarge"))[1] == 8
+
+    def test_ram_per_core_uses_coarse_classes(self, encoder):
+        assert encoder.encode(get_vm_type("c4.xlarge"))[2] == 2
+        assert encoder.encode(get_vm_type("m4.xlarge"))[2] == 4
+        assert encoder.encode(get_vm_type("r4.xlarge"))[2] == 8
+
+    def test_ebs_class_follows_size(self, encoder):
+        assert encoder.encode(get_vm_type("c3.large"))[3] == 1
+        assert encoder.encode(get_vm_type("c3.xlarge"))[3] == 2
+        assert encoder.encode(get_vm_type("c3.2xlarge"))[3] == 3
+
+    def test_all_rows_distinct(self, encoder):
+        matrix = encoder.encode_all()
+        assert len({tuple(row) for row in matrix}) == 18
+
+    def test_encode_all_returns_a_copy(self, encoder):
+        matrix = encoder.encode_all()
+        matrix[0, 0] = 99.0
+        assert encoder.encode_all()[0, 0] != 99.0
+
+
+class TestIndexing:
+    def test_index_roundtrip(self, encoder):
+        for index in range(18):
+            vm = encoder.vm_at(index)
+            assert encoder.index_of(vm) == index
+            assert encoder.index_of(vm.name) == index
+
+    def test_rows_align_with_catalog(self, encoder):
+        matrix = encoder.encode_all()
+        for index, vm in enumerate(encoder.catalog):
+            assert np.array_equal(matrix[index], encoder.encode(vm))
+
+    def test_unknown_vm_raises(self, encoder):
+        with pytest.raises(KeyError, match="not in this encoder"):
+            encoder.index_of("c9.mega")
+
+    def test_custom_catalog_subset(self):
+        sub = InstanceEncoder(
+            (get_vm_type("c4.large"), get_vm_type("r4.2xlarge"))
+        )
+        assert sub.encode_all().shape == (2, 4)
+        assert sub.index_of("r4.2xlarge") == 1
+
+
+class TestEncodingIsDeliberatelyLossy:
+    def test_adjacent_cpu_codes_hide_large_ram_differences(self, encoder):
+        """c4 (code 2) and m3 (code 3) are neighbours on the cpu_type axis,
+        yet their actual per-core RAM differs 2x — the non-smoothness the
+        paper blames for GP fragility."""
+        c4 = get_vm_type("c4.large")
+        m3 = get_vm_type("m3.large")
+        assert abs(encoder.encode(c4)[0] - encoder.encode(m3)[0]) == 1
+        assert m3.ram_per_core_gb / c4.ram_per_core_gb >= 2.0
+
+    def test_encoding_drops_clock_and_disk_detail(self, encoder):
+        """The published features carry neither clock factors nor local-SSD
+        presence; two VMs can share 3 of 4 features yet differ in both."""
+        c3 = get_vm_type("c3.xlarge")
+        c4 = get_vm_type("c4.xlarge")
+        assert np.array_equal(encoder.encode(c3)[1:], encoder.encode(c4)[1:])
+        assert c3.clock_factor != c4.clock_factor
+        assert c3.local_ssd != c4.local_ssd

@@ -1,0 +1,100 @@
+"""Unit tests for the VM catalog."""
+
+import pytest
+
+from repro.cloud.vmtypes import (
+    VM_FAMILIES,
+    VM_SIZES,
+    VMType,
+    default_catalog,
+    get_vm_type,
+)
+
+
+class TestCatalogStructure:
+    def test_has_exactly_18_types(self, catalog):
+        assert len(catalog) == 18
+
+    def test_covers_every_family_size_combination(self, catalog):
+        names = {vm.name for vm in catalog}
+        expected = {f"{family}.{size}" for family in VM_FAMILIES for size in VM_SIZES}
+        assert names == expected
+
+    def test_canonical_order_is_family_major(self, catalog):
+        names = [vm.name for vm in catalog]
+        assert names[:3] == ["c3.large", "c3.xlarge", "c3.2xlarge"]
+        assert names[-1] == "r4.2xlarge"
+
+    def test_catalog_is_immutable_tuple(self, catalog):
+        assert isinstance(catalog, tuple)
+
+    def test_repeated_calls_return_same_objects(self):
+        assert default_catalog() is default_catalog()
+
+
+class TestVMAttributes:
+    def test_vcpus_double_with_size(self):
+        assert get_vm_type("c4.large").vcpus == 2
+        assert get_vm_type("c4.xlarge").vcpus == 4
+        assert get_vm_type("c4.2xlarge").vcpus == 8
+
+    def test_ram_doubles_with_size(self):
+        large = get_vm_type("r4.large").ram_gb
+        assert get_vm_type("r4.xlarge").ram_gb == pytest.approx(2 * large)
+        assert get_vm_type("r4.2xlarge").ram_gb == pytest.approx(4 * large)
+
+    def test_memory_family_has_most_ram_per_core(self):
+        c, m, r = (get_vm_type(f"{f}4.large") for f in "cmr")
+        assert c.ram_per_core_gb < m.ram_per_core_gb < r.ram_per_core_gb
+
+    def test_ram_per_core_class_follows_family_letter(self, catalog):
+        for vm in catalog:
+            assert vm.ram_per_core_class == {"c": 2, "m": 4, "r": 8}[vm.family[0]]
+
+    def test_ebs_class_follows_size(self, catalog):
+        for vm in catalog:
+            assert vm.ebs_class == {"large": 1, "xlarge": 2, "2xlarge": 3}[vm.size]
+
+    def test_gen3_has_local_ssd_gen4_does_not(self, catalog):
+        for vm in catalog:
+            assert vm.local_ssd == (vm.generation == 3)
+
+    def test_local_ssd_outruns_ebs_where_present(self, catalog):
+        for vm in catalog:
+            if vm.local_ssd:
+                assert vm.local_ssd_mbps > vm.ebs_mbps
+                assert vm.disk_mbps == vm.local_ssd_mbps
+            else:
+                assert vm.local_ssd_mbps == 0.0
+                assert vm.disk_mbps == vm.ebs_mbps
+
+    def test_compute_gen4_has_fastest_clock(self, catalog):
+        c4 = get_vm_type("c4.large")
+        assert all(vm.clock_factor <= c4.clock_factor for vm in catalog)
+
+    def test_str_is_the_aws_name(self):
+        assert str(get_vm_type("m3.xlarge")) == "m3.xlarge"
+
+    def test_vm_types_are_hashable_and_frozen(self):
+        vm = get_vm_type("c3.large")
+        assert vm in {vm}
+        with pytest.raises(AttributeError):
+            vm.vcpus = 4  # type: ignore[misc]
+
+
+class TestLookup:
+    def test_lookup_roundtrip_for_all(self, catalog):
+        for vm in catalog:
+            assert get_vm_type(vm.name) is vm
+
+    def test_unknown_name_raises_keyerror_with_candidates(self):
+        with pytest.raises(KeyError, match="c5.large"):
+            get_vm_type("c5.large")
+
+    def test_vmtype_equality_is_structural(self):
+        a = get_vm_type("c3.large")
+        b = VMType(**{f: getattr(a, f) for f in (
+            "name", "family", "generation", "size", "vcpus", "ram_gb",
+            "clock_factor", "ebs_mbps", "local_ssd", "local_ssd_mbps",
+        )})
+        assert a == b

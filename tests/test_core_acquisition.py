@@ -1,0 +1,104 @@
+"""Unit and property tests for acquisition functions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.acquisition import (
+    expected_improvement,
+    lower_confidence_bound,
+    prediction_delta,
+    probability_of_improvement,
+)
+
+
+class TestExpectedImprovement:
+    def test_prefers_lower_mean_at_equal_std(self):
+        mean = np.array([10.0, 5.0, 8.0])
+        std = np.ones(3)
+        ei = expected_improvement(mean, std, best_observed=9.0)
+        assert np.argmax(ei) == 1
+
+    def test_prefers_higher_std_at_equal_mean(self):
+        mean = np.full(2, 10.0)
+        std = np.array([0.5, 3.0])
+        ei = expected_improvement(mean, std, best_observed=9.0)
+        assert ei[1] > ei[0]
+
+    def test_zero_std_gives_deterministic_improvement(self):
+        mean = np.array([5.0, 12.0])
+        std = np.zeros(2)
+        ei = expected_improvement(mean, std, best_observed=10.0)
+        assert ei[0] == pytest.approx(5.0)
+        assert ei[1] == 0.0
+
+    def test_known_analytic_value(self):
+        # improvement = 1, std = 1 -> EI = Phi(1) + phi(1).
+        from scipy import stats
+
+        ei = expected_improvement(np.array([0.0]), np.array([1.0]), best_observed=1.0)
+        assert ei[0] == pytest.approx(stats.norm.cdf(1) + stats.norm.pdf(1))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        mean=st.lists(st.floats(-100, 100), min_size=1, max_size=10),
+        std_scale=st.floats(0, 10),
+        best=st.floats(-100, 100),
+    )
+    def test_ei_is_never_negative(self, mean, std_scale, best):
+        mean_arr = np.array(mean)
+        std = np.full(len(mean), std_scale)
+        ei = expected_improvement(mean_arr, std, best)
+        assert np.all(ei >= 0)
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ValueError, match="shape"):
+            expected_improvement(np.zeros(3), np.zeros(2), 0.0)
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            expected_improvement(np.zeros(2), np.array([1.0, -1.0]), 0.0)
+
+
+class TestProbabilityOfImprovement:
+    def test_half_probability_at_incumbent(self):
+        pi = probability_of_improvement(np.array([10.0]), np.array([2.0]), 10.0)
+        assert pi[0] == pytest.approx(0.5)
+
+    def test_bounded_in_unit_interval(self):
+        rng = np.random.default_rng(0)
+        pi = probability_of_improvement(rng.normal(size=50), np.abs(rng.normal(size=50)), 0.0)
+        assert np.all((pi >= 0) & (pi <= 1))
+
+    def test_zero_std_is_indicator(self):
+        pi = probability_of_improvement(np.array([5.0, 15.0]), np.zeros(2), 10.0)
+        assert pi.tolist() == [1.0, 0.0]
+
+
+class TestLowerConfidenceBound:
+    def test_kappa_zero_reduces_to_prediction_delta(self):
+        mean = np.array([3.0, 1.0, 2.0])
+        lcb = lower_confidence_bound(mean, np.ones(3), kappa=0.0)
+        assert np.allclose(lcb, prediction_delta(mean))
+
+    def test_higher_kappa_rewards_uncertainty(self):
+        mean = np.full(2, 5.0)
+        std = np.array([0.1, 2.0])
+        assert np.argmax(lower_confidence_bound(mean, std, kappa=3.0)) == 1
+
+    def test_negative_kappa_rejected(self):
+        with pytest.raises(ValueError, match="kappa"):
+            lower_confidence_bound(np.zeros(1), np.ones(1), kappa=-1.0)
+
+
+class TestPredictionDelta:
+    def test_argmax_is_argmin_of_mean(self):
+        mean = np.array([4.0, 9.0, 1.0, 6.0])
+        assert np.argmax(prediction_delta(mean)) == np.argmin(mean)
+
+    @settings(max_examples=50, deadline=None)
+    @given(mean=st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=20))
+    def test_scores_are_elementwise_negation(self, mean):
+        mean_arr = np.array(mean)
+        assert np.array_equal(prediction_delta(mean_arr), -mean_arr)

@@ -1,0 +1,86 @@
+"""Unit tests for max-value entropy search."""
+
+import numpy as np
+import pytest
+
+from repro.core.acquisition import _sample_min_values, max_value_entropy_search
+
+
+class TestMinValueSampling:
+    def test_samples_concentrate_near_best_mean(self):
+        mean = np.array([5.0, 7.0, 9.0])
+        std = np.array([1.0, 1.0, 1.0])
+        rng = np.random.default_rng(0)
+        minima = _sample_min_values(mean, std, rng, 200)
+        # Sampled minima concentrate around/below the best posterior mean
+        # (the Gumbel quartile fit is approximate, hence the slack).
+        assert np.median(minima) < 5.5
+        assert np.percentile(minima, 25) < 5.0
+        assert minima.min() > 5.0 - 6.5  # bounded by the search window
+
+    def test_tighter_posteriors_give_tighter_minima(self):
+        rng = np.random.default_rng(1)
+        wide = _sample_min_values(np.array([5.0]), np.array([3.0]), rng, 300)
+        rng = np.random.default_rng(1)
+        narrow = _sample_min_values(np.array([5.0]), np.array([0.3]), rng, 300)
+        assert np.std(narrow) < np.std(wide)
+
+
+class TestMES:
+    def test_uninformative_candidate_scores_zero(self):
+        mean = np.array([10.0, 3.0])
+        std = np.array([1e-15, 1.0])
+        scores = max_value_entropy_search(mean, std, rng=0)
+        assert scores[0] == pytest.approx(0.0, abs=1e-6)
+        assert scores[1] > 0
+
+    def test_prefers_plausible_optimisers(self):
+        # A candidate whose distribution straddles the optimum's value is
+        # more informative than one far above it.
+        mean = np.array([10.0, 3.2])
+        std = np.array([0.5, 0.5])
+        scores = max_value_entropy_search(mean, std, rng=0)
+        assert scores[1] > scores[0]
+
+    def test_scores_nonnegative(self):
+        rng = np.random.default_rng(2)
+        mean = rng.uniform(0, 10, size=30)
+        std = rng.uniform(0.1, 2.0, size=30)
+        scores = max_value_entropy_search(mean, std, rng=3)
+        assert np.all(scores >= -1e-9)
+
+    def test_deterministic_given_rng_seed(self):
+        mean = np.array([4.0, 5.0, 6.0])
+        std = np.array([1.0, 1.0, 1.0])
+        a = max_value_entropy_search(mean, std, rng=7)
+        b = max_value_entropy_search(mean, std, rng=7)
+        assert np.array_equal(a, b)
+
+    def test_all_deterministic_falls_back_to_exploitation(self):
+        mean = np.array([4.0, 2.0, 6.0])
+        std = np.zeros(3)
+        scores = max_value_entropy_search(mean, std, rng=0)
+        assert np.argmax(scores) == 1
+
+    def test_invalid_n_samples_rejected(self):
+        with pytest.raises(ValueError, match="n_samples"):
+            max_value_entropy_search(np.ones(2), np.ones(2), rng=0, n_samples=0)
+
+    def test_drives_naive_bo_to_the_optimum(self, trace):
+        from repro.core.naive_bo import NaiveBO
+
+        workload_id = "kmeans/Spark 2.1/small"
+        optimum = trace.objective_values(workload_id, "time").min()
+        costs = []
+        for seed in range(4):
+            result = NaiveBO(
+                trace.environment(workload_id), seed=seed, acquisition="mes"
+            ).run()
+            costs.append(result.first_step_reaching(optimum) or 19)
+        assert np.median(costs) <= 12
+
+    def test_unknown_acquisition_rejected(self, trace):
+        from repro.core.naive_bo import NaiveBO
+
+        with pytest.raises(ValueError, match="unknown acquisition"):
+            NaiveBO(trace.environment("kmeans/Spark 2.1/small"), acquisition="ts")

@@ -1,0 +1,61 @@
+"""Unit tests for baseline strategies."""
+
+import pytest
+
+from repro.core.baselines import ExhaustiveSearch, RandomSearch, SingleVMRule
+
+
+@pytest.fixture()
+def environment(trace):
+    return trace.environment("kmeans/Spark 2.1/small")
+
+
+class TestRandomSearch:
+    def test_measures_everything_eventually(self, environment):
+        result = RandomSearch(environment, seed=0).run()
+        assert result.search_cost == 18
+        assert len(set(result.measured_vm_names)) == 18
+
+    def test_order_varies_with_seed(self, trace):
+        orders = {
+            RandomSearch(trace.environment("kmeans/Spark 2.1/small"), seed=s).run().measured_vm_names
+            for s in range(5)
+        }
+        assert len(orders) > 1
+
+    def test_always_finds_the_optimum_at_full_budget(self, trace):
+        optimum = trace.objective_values("kmeans/Spark 2.1/small", "time").min()
+        result = RandomSearch(trace.environment("kmeans/Spark 2.1/small"), seed=1).run()
+        assert result.best_value == pytest.approx(optimum)
+
+
+class TestExhaustiveSearch:
+    def test_measures_in_catalog_order(self, environment):
+        result = ExhaustiveSearch(environment, seed=0).run()
+        expected = tuple(vm.name for vm in environment.catalog)
+        assert result.measured_vm_names == expected
+
+    def test_cost_is_always_the_full_catalog(self, environment):
+        assert ExhaustiveSearch(environment, seed=0).run().search_cost == 18
+
+
+class TestSingleVMRule:
+    def test_measures_exactly_the_prescribed_vm(self, environment):
+        result = SingleVMRule(environment, "c4.2xlarge", seed=0).run()
+        assert result.search_cost == 1
+        assert result.measured_vm_names == ("c4.2xlarge",)
+        assert result.stopped_by == "criterion"
+
+    def test_unknown_vm_rejected(self, environment):
+        with pytest.raises(KeyError):
+            SingleVMRule(environment, "c9.titan", seed=0)
+
+    def test_rule_of_thumb_is_suboptimal_for_some_workload(self, trace):
+        """Section II-C: no fixed VM rule is optimal everywhere."""
+        suboptimal = 0
+        for workload in list(trace.registry)[::10]:
+            result = SingleVMRule(trace.environment(workload), "c4.2xlarge").run()
+            optimum = trace.objective_values(workload, "time").min()
+            if result.best_value > optimum * 1.01:
+                suboptimal += 1
+        assert suboptimal > 0

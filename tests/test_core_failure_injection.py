@@ -1,0 +1,107 @@
+"""Failure-injection tests: the search must survive flaky measurements."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import RandomSearch
+from repro.core.naive_bo import NaiveBO
+from repro.core.smbo import MeasurementError
+
+
+class FlakyEnvironment:
+    """Wraps an environment; every ``period``-th measure call raises."""
+
+    def __init__(self, inner, period=3, permanent_vm=None):
+        self._inner = inner
+        self._period = period
+        self._calls = 0
+        self._permanent_vm = permanent_vm
+
+    @property
+    def catalog(self):
+        return self._inner.catalog
+
+    @property
+    def workload(self):
+        return self._inner.workload
+
+    @property
+    def measurement_count(self):
+        return self._inner.measurement_count
+
+    def measure(self, vm):
+        if self._permanent_vm is not None and vm.name == self._permanent_vm:
+            raise ConnectionError(f"{vm.name} permanently unavailable")
+        self._calls += 1
+        if self._calls % self._period == 0:
+            raise TimeoutError("spot instance interrupted")
+        return self._inner.measure(vm)
+
+    def reset(self):
+        self._inner.reset()
+
+
+@pytest.fixture()
+def flaky(trace):
+    return FlakyEnvironment(trace.environment("kmeans/Spark 2.1/small"), period=3)
+
+
+class TestTransientFailures:
+    def test_without_retries_the_failure_propagates(self, flaky):
+        with pytest.raises(MeasurementError, match="failed after 1 attempts"):
+            RandomSearch(flaky, seed=0).run()
+
+    def test_one_retry_survives_every_third_failure(self, flaky):
+        result = RandomSearch(flaky, seed=0, measure_retries=1).run()
+        assert result.search_cost == 18
+
+    def test_retried_search_matches_reliable_search_outcome(self, trace):
+        reliable = RandomSearch(
+            trace.environment("kmeans/Spark 2.1/small"), seed=4
+        ).run()
+        flaky_env = FlakyEnvironment(
+            trace.environment("kmeans/Spark 2.1/small"), period=4
+        )
+        retried = RandomSearch(flaky_env, seed=4, measure_retries=2).run()
+        # Trace replay is deterministic, so retries change nothing but cost.
+        assert retried.measured_vm_names == reliable.measured_vm_names
+        assert retried.best_value == pytest.approx(reliable.best_value)
+
+    def test_model_based_search_survives_too(self, trace):
+        flaky_env = FlakyEnvironment(
+            trace.environment("kmeans/Spark 2.1/small"), period=5
+        )
+        result = NaiveBO(flaky_env, seed=0, measure_retries=1).run()
+        assert result.search_cost == 18
+
+
+class TestPermanentFailures:
+    def test_permanently_dead_vm_aborts_with_clear_error(self, trace):
+        env = FlakyEnvironment(
+            trace.environment("kmeans/Spark 2.1/small"),
+            period=10**9,
+            permanent_vm="c3.large",
+        )
+        with pytest.raises(MeasurementError, match="c3.large"):
+            # Exhaustive search will hit c3.large first.
+            from repro.core.baselines import ExhaustiveSearch
+
+            ExhaustiveSearch(env, seed=0, measure_retries=2).run()
+
+    def test_error_chains_the_original_cause(self, trace):
+        env = FlakyEnvironment(
+            trace.environment("kmeans/Spark 2.1/small"),
+            period=10**9,
+            permanent_vm="c3.large",
+        )
+        from repro.core.baselines import ExhaustiveSearch
+
+        with pytest.raises(MeasurementError) as excinfo:
+            ExhaustiveSearch(env, seed=0, measure_retries=1).run()
+        assert isinstance(excinfo.value.__cause__, ConnectionError)
+
+    def test_negative_retries_rejected(self, trace):
+        with pytest.raises(ValueError, match="measure_retries"):
+            RandomSearch(
+                trace.environment("kmeans/Spark 2.1/small"), measure_retries=-1
+            )

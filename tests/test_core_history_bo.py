@@ -1,0 +1,108 @@
+"""Unit tests for history-augmented BO (the future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.history_bo import (
+    HistoryAugmentedBO,
+    HistoryModel,
+    build_history_pairs,
+)
+
+WORKLOAD = "kmeans/Spark 2.1/small"
+
+
+@pytest.fixture(scope="module")
+def history(trace):
+    rows, targets = build_history_pairs(
+        trace, WORKLOAD, "time", pairs_per_workload=8, seed=0
+    )
+    return HistoryModel(rows, targets, seed=0)
+
+
+class TestBuildHistoryPairs:
+    def test_excludes_target_workload(self, trace):
+        rows, targets = build_history_pairs(
+            trace, WORKLOAD, "time", pairs_per_workload=2, seed=0
+        )
+        assert rows.shape == (2 * 106, 14)
+        assert targets.shape == (2 * 106,)
+
+    def test_unknown_workload_rejected(self, trace):
+        with pytest.raises(KeyError):
+            build_history_pairs(trace, "none/Spark 9/tiny", "time")
+
+    def test_targets_are_log_ratios(self, trace):
+        _, targets = build_history_pairs(
+            trace, WORKLOAD, "time", pairs_per_workload=50, seed=1
+        )
+        # Log ratios are signed and centred near zero over random pairs.
+        assert targets.min() < 0 < targets.max()
+        assert abs(np.mean(targets)) < 1.0
+
+    def test_deterministic_given_seed(self, trace):
+        a = build_history_pairs(trace, WORKLOAD, "time", pairs_per_workload=3, seed=7)
+        b = build_history_pairs(trace, WORKLOAD, "time", pairs_per_workload=3, seed=7)
+        assert np.array_equal(a[0], b[0])
+        assert np.array_equal(a[1], b[1])
+
+
+class TestHistoryModel:
+    def test_predicts_transferable_structure(self, trace, history):
+        """The prior must know that moving from a paging source to a
+        big-memory destination speeds things up (negative log ratio)."""
+        from repro.cloud.encoding import InstanceEncoder
+
+        encoder = InstanceEncoder(trace.catalog)
+        design = encoder.encode_all()
+        paging_metrics = np.array([25.0, 65.0, 4.0, 140.0, 95.0, 60.0])
+        src = encoder.index_of("c4.large")
+        dst = encoder.index_of("r4.2xlarge")
+        row = np.concatenate([design[dst], design[src], paging_metrics])
+        predicted_ratio = history.predict(row.reshape(1, -1))[0]
+        assert predicted_ratio < 0
+
+    def test_empty_history_rejected(self):
+        with pytest.raises(ValueError, match="at least one pair"):
+            HistoryModel(np.zeros((0, 14)), np.zeros(0))
+
+
+class TestHistoryAugmentedBO:
+    def test_runs_end_to_end(self, trace, history):
+        result = HistoryAugmentedBO(
+            trace.environment(WORKLOAD), history=history, seed=0
+        ).run()
+        assert result.search_cost == 18
+        assert result.optimizer == "history-augmented-bo"
+
+    def test_without_history_matches_augmented(self, trace):
+        from repro.core.augmented_bo import AugmentedBO
+
+        plain = AugmentedBO(trace.environment(WORKLOAD), seed=3).run()
+        no_prior = HistoryAugmentedBO(trace.environment(WORKLOAD), history=None, seed=3).run()
+        assert plain.measured_vm_names == no_prior.measured_vm_names
+
+    def test_prior_changes_the_search(self, trace, history):
+        from repro.core.augmented_bo import AugmentedBO
+
+        differs = False
+        for seed in range(4):
+            plain = AugmentedBO(trace.environment(WORKLOAD), seed=seed).run()
+            primed = HistoryAugmentedBO(
+                trace.environment(WORKLOAD), history=history, seed=seed
+            ).run()
+            if plain.measured_vm_names != primed.measured_vm_names:
+                differs = True
+                break
+        assert differs
+
+    def test_negative_prior_strength_rejected(self, trace, history):
+        with pytest.raises(ValueError, match="prior_strength"):
+            HistoryAugmentedBO(
+                trace.environment(WORKLOAD), history=history, prior_strength=-1.0
+            )
+
+    def test_deterministic_given_seed(self, trace, history):
+        a = HistoryAugmentedBO(trace.environment(WORKLOAD), history=history, seed=9).run()
+        b = HistoryAugmentedBO(trace.environment(WORKLOAD), history=history, seed=9).run()
+        assert a.measured_vm_names == b.measured_vm_names

@@ -1,0 +1,56 @@
+"""Unit tests for Hybrid BO."""
+
+import pytest
+
+from repro.core.hybrid_bo import HybridBO
+from repro.core.naive_bo import NaiveBO
+
+
+@pytest.fixture()
+def environment(trace):
+    return trace.environment("kmeans/Spark 2.1/small")
+
+
+class TestHybridBO:
+    def test_exhaustive_run_measures_everything(self, environment):
+        result = HybridBO(environment, seed=0).run()
+        assert result.search_cost == 18
+
+    def test_matches_naive_before_switch(self, trace):
+        """With the same seed, Hybrid's measurements up to switch_at must
+        be exactly Naive BO's — it literally runs the GP scorer early."""
+        for seed in range(3):
+            naive = NaiveBO(trace.environment("kmeans/Spark 2.1/small"), seed=seed).run()
+            hybrid = HybridBO(
+                trace.environment("kmeans/Spark 2.1/small"), seed=seed, switch_at=5
+            ).run()
+            assert naive.measured_vm_names[:5] == hybrid.measured_vm_names[:5]
+
+    def test_diverges_from_naive_after_switch(self, trace):
+        """Across seeds, the augmented phase must eventually propose
+        differently from the GP."""
+        diverged = False
+        for seed in range(6):
+            naive = NaiveBO(trace.environment("kmeans/Spark 2.1/small"), seed=seed).run()
+            hybrid = HybridBO(
+                trace.environment("kmeans/Spark 2.1/small"), seed=seed, switch_at=5
+            ).run()
+            if naive.measured_vm_names[5:] != hybrid.measured_vm_names[5:]:
+                diverged = True
+                break
+        assert diverged
+
+    def test_switch_at_one_is_augmented_from_the_start(self, trace):
+        result = HybridBO(
+            trace.environment("kmeans/Spark 2.1/small"), seed=0, switch_at=1
+        ).run()
+        assert result.search_cost == 18
+
+    def test_invalid_switch_at_rejected(self, environment):
+        with pytest.raises(ValueError, match="switch_at"):
+            HybridBO(environment, switch_at=0)
+
+    def test_deterministic_given_seed(self, trace):
+        a = HybridBO(trace.environment("kmeans/Spark 2.1/small"), seed=11).run()
+        b = HybridBO(trace.environment("kmeans/Spark 2.1/small"), seed=11).run()
+        assert a.measured_vm_names == b.measured_vm_names

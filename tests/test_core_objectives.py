@@ -1,0 +1,63 @@
+"""Unit tests for optimisation objectives."""
+
+import pytest
+
+from repro.cloud.vmtypes import get_vm_type
+from repro.core.objectives import Objective
+from repro.simulator.cluster import Measurement
+from repro.simulator.lowlevel import LowLevelMetrics
+
+
+@pytest.fixture()
+def measurement():
+    return Measurement(
+        vm=get_vm_type("c4.large"),
+        execution_time_s=100.0,
+        cost_usd=0.5,
+        metrics=LowLevelMetrics(50, 10, 6, 70, 30, 5),
+    )
+
+
+class TestValueOf:
+    def test_time_objective(self, measurement):
+        assert Objective.TIME.value_of(measurement) == 100.0
+
+    def test_cost_objective(self, measurement):
+        assert Objective.COST.value_of(measurement) == 0.5
+
+    def test_product_objective(self, measurement):
+        assert Objective.TIME_COST_PRODUCT.value_of(measurement) == pytest.approx(50.0)
+
+    def test_product_weighs_time_and_cost_equally(self, measurement):
+        """10% better time with 10% worse cost leaves the product ~unchanged
+        — the paper's equal-importance design (Section VI-B)."""
+        traded = Measurement(
+            vm=measurement.vm,
+            execution_time_s=90.0,
+            cost_usd=0.5 / 0.9,
+            metrics=measurement.metrics,
+        )
+        before = Objective.TIME_COST_PRODUCT.value_of(measurement)
+        after = Objective.TIME_COST_PRODUCT.value_of(traded)
+        assert after == pytest.approx(before)
+
+
+class TestNames:
+    def test_trace_keys(self):
+        assert Objective.TIME.trace_key == "time"
+        assert Objective.COST.trace_key == "cost"
+        assert Objective.TIME_COST_PRODUCT.trace_key == "product"
+
+    @pytest.mark.parametrize("name", ["time", "COST", "Product"])
+    def test_from_name_case_insensitive(self, name):
+        assert Objective.from_name(name).value == name.lower()
+
+    def test_from_name_unknown_raises(self):
+        with pytest.raises(ValueError, match="unknown objective"):
+            Objective.from_name("latency")
+
+    def test_trace_keys_align_with_trace(self, trace):
+        workload = trace.registry.workloads[0]
+        for objective in Objective:
+            values = trace.objective_values(workload, objective.trace_key)
+            assert values.shape == (18,)

@@ -1,0 +1,77 @@
+"""Unit tests for search results."""
+
+import pytest
+
+from repro.core.objectives import Objective
+from repro.core.result import SearchResult, SearchStep
+
+
+def make_result(values, optimizer="naive-bo", stopped_by="exhausted"):
+    steps = []
+    best = float("inf")
+    for index, value in enumerate(values, start=1):
+        best = min(best, value)
+        steps.append(
+            SearchStep(step=index, vm_name=f"vm{index}", objective_value=value, best_value=best)
+        )
+    return SearchResult(
+        optimizer=optimizer,
+        objective=Objective.TIME,
+        workload_id="w/Spark 2.1/small",
+        steps=tuple(steps),
+        stopped_by=stopped_by,
+    )
+
+
+class TestSearchResult:
+    def test_search_cost_counts_all_measurements(self):
+        assert make_result([5, 3, 4, 2]).search_cost == 4
+
+    def test_best_value_is_minimum(self):
+        assert make_result([5, 3, 4, 2]).best_value == 2
+
+    def test_best_vm_name_attains_minimum(self):
+        assert make_result([5, 3, 4, 2]).best_vm_name == "vm4"
+
+    def test_measured_vm_names_in_order(self):
+        assert make_result([5, 3]).measured_vm_names == ("vm1", "vm2")
+
+    def test_best_value_at_steps(self):
+        result = make_result([5, 3, 4, 2])
+        assert result.best_value_at(1) == 5
+        assert result.best_value_at(2) == 3
+        assert result.best_value_at(3) == 3
+        assert result.best_value_at(4) == 2
+
+    def test_best_value_at_beyond_end_is_final(self):
+        assert make_result([5, 3]).best_value_at(10) == 3
+
+    def test_best_value_at_zero_rejected(self):
+        with pytest.raises(ValueError, match="step"):
+            make_result([5]).best_value_at(0)
+
+    def test_first_step_reaching(self):
+        result = make_result([5, 3, 4, 2])
+        assert result.first_step_reaching(5) == 1
+        assert result.first_step_reaching(3) == 2
+        assert result.first_step_reaching(2) == 4
+        assert result.first_step_reaching(1) is None
+
+    def test_first_step_reaching_with_tolerance(self):
+        result = make_result([5.0, 3.0])
+        assert result.first_step_reaching(2.9999, tolerance=1e-3) == 2
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(ValueError, match="at least one step"):
+            SearchResult(
+                optimizer="x",
+                objective=Objective.TIME,
+                workload_id=None,
+                steps=(),
+                stopped_by="budget",
+            )
+
+    def test_result_is_frozen(self):
+        result = make_result([1.0])
+        with pytest.raises(AttributeError):
+            result.stopped_by = "other"  # type: ignore[misc]

@@ -1,0 +1,149 @@
+"""Unit tests for the generic SMBO loop (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import Objective
+from repro.core.smbo import AcquisitionScores, SequentialOptimizer
+from repro.core.stopping import MaxMeasurements, PredictionDeltaThreshold
+
+
+class OracleOptimizer(SequentialOptimizer):
+    """Test double: scores candidates by (negated) true objective values.
+
+    Knows the trace, so after the initial design it always proposes the
+    true best unmeasured VM; used to test the loop, not the science.
+    """
+
+    name = "oracle"
+
+    def __init__(self, environment, truth, **kwargs):
+        super().__init__(environment, **kwargs)
+        self._truth = truth
+
+    def _score_candidates(self, unmeasured):
+        predicted = self._truth[unmeasured]
+        return AcquisitionScores(scores=-predicted, predicted=predicted)
+
+
+@pytest.fixture()
+def environment(trace):
+    return trace.environment("kmeans/Spark 2.1/small")
+
+
+@pytest.fixture()
+def truth(trace):
+    return trace.times_for("kmeans/Spark 2.1/small")
+
+
+class TestLoopMechanics:
+    def test_runs_to_exhaustion_without_stopping(self, environment, truth):
+        result = OracleOptimizer(environment, truth, seed=0).run()
+        assert result.search_cost == 18
+        assert result.stopped_by == "exhausted"
+        assert len(set(result.measured_vm_names)) == 18
+
+    def test_oracle_finds_optimum_right_after_init(self, environment, truth):
+        result = OracleOptimizer(environment, truth, seed=0, n_initial=3).run()
+        best_name = environment.catalog[int(np.argmin(truth))].name
+        # Either the initial design hit it, or it is the 4th measurement.
+        assert best_name in result.measured_vm_names[:4]
+
+    def test_initial_design_size_respected(self, environment, truth):
+        result = OracleOptimizer(environment, truth, seed=1, n_initial=5).run()
+        assert len(result.steps) >= 5
+
+    def test_initial_design_is_distinct(self, environment, truth):
+        optimizer = OracleOptimizer(environment, truth, seed=2, n_initial=6)
+        initial = optimizer._initial_indices()
+        assert len(set(initial)) == 6
+
+    def test_explicit_initial_design(self, environment, truth):
+        optimizer = OracleOptimizer(environment, truth, seed=0, initial_design=[4, 9, 13])
+        result = optimizer.run()
+        names = [environment.catalog[i].name for i in (4, 9, 13)]
+        assert list(result.measured_vm_names[:3]) == names
+
+    def test_run_initial_vms_argument_overrides(self, environment, truth):
+        result = OracleOptimizer(environment, truth, seed=0).run(initial_vms=[0, 1])
+        assert result.measured_vm_names[:2] == (
+            environment.catalog[0].name,
+            environment.catalog[1].name,
+        )
+
+    def test_duplicate_initial_design_rejected(self, environment, truth):
+        with pytest.raises(ValueError, match="repeat"):
+            OracleOptimizer(environment, truth, seed=0).run(initial_vms=[3, 3])
+
+    def test_empty_initial_design_rejected(self, environment, truth):
+        with pytest.raises(ValueError, match="at least one"):
+            OracleOptimizer(environment, truth, seed=0).run(initial_vms=[])
+
+    def test_never_remeasures(self, environment, truth):
+        result = OracleOptimizer(environment, truth, seed=3).run()
+        assert len(set(result.measured_vm_names)) == result.search_cost
+
+    def test_measurement_accounting_matches_environment(self, environment, truth):
+        optimizer = OracleOptimizer(environment, truth, seed=0)
+        result = optimizer.run()
+        assert environment.measurement_count == result.search_cost
+
+
+class TestBudgetAndStopping:
+    def test_budget_stops_search(self, environment, truth):
+        result = OracleOptimizer(environment, truth, seed=0, max_measurements=7).run()
+        assert result.search_cost == 7
+        assert result.stopped_by == "budget"
+
+    def test_budget_smaller_than_initial_rejected(self, environment, truth):
+        with pytest.raises(ValueError, match="max_measurements"):
+            OracleOptimizer(environment, truth, seed=0, n_initial=5, max_measurements=3)
+
+    def test_stopping_criterion_fires(self, environment, truth):
+        stopping = PredictionDeltaThreshold(threshold=1.0, min_measurements=4)
+        result = OracleOptimizer(environment, truth, seed=0, stopping=stopping).run()
+        assert result.stopped_by == "criterion"
+        assert result.search_cost < 18
+
+    def test_oracle_with_delta_stopping_keeps_optimum(self, trace):
+        """With perfect predictions, stopping at threshold 1.0 must never
+        sacrifice the optimum."""
+        for workload in list(trace.registry)[::25]:
+            env = trace.environment(workload)
+            truth = trace.times_for(workload)
+            stopping = PredictionDeltaThreshold(threshold=1.0, min_measurements=4)
+            result = OracleOptimizer(env, truth, seed=0, stopping=stopping).run()
+            assert result.best_value == pytest.approx(truth.min())
+
+    def test_max_measurements_with_stopping(self, environment, truth):
+        result = OracleOptimizer(
+            environment, truth, seed=0,
+            stopping=MaxMeasurements(5), max_measurements=10,
+        ).run()
+        assert result.search_cost == 5
+        assert result.stopped_by == "criterion"
+
+
+class TestStateAccessors:
+    def test_best_observed_tracks_minimum(self, environment, truth):
+        optimizer = OracleOptimizer(environment, truth, seed=0)
+        with pytest.raises(RuntimeError):
+            optimizer.best_observed
+        optimizer.run()
+        assert optimizer.best_observed == pytest.approx(min(optimizer.measured_values))
+
+    def test_invalid_n_initial_rejected(self, environment, truth):
+        with pytest.raises(ValueError, match="n_initial"):
+            OracleOptimizer(environment, truth, n_initial=0)
+
+    def test_result_carries_workload_id(self, environment, truth):
+        result = OracleOptimizer(environment, truth, seed=0).run()
+        assert result.workload_id == "kmeans/Spark 2.1/small"
+
+    def test_score_shape_mismatch_detected(self, environment, truth):
+        class Broken(OracleOptimizer):
+            def _score_candidates(self, unmeasured):
+                return AcquisitionScores(scores=np.zeros(1))
+
+        with pytest.raises(RuntimeError, match="expected .* scores"):
+            Broken(environment, truth, seed=0).run()

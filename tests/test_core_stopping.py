@@ -1,0 +1,87 @@
+"""Unit tests for stopping criteria."""
+
+import numpy as np
+import pytest
+
+from repro.core.stopping import (
+    EIThreshold,
+    MaxMeasurements,
+    PredictionDeltaThreshold,
+    SearchState,
+)
+
+
+def state(count=8, best=100.0, predicted=None, ei=None):
+    return SearchState(
+        measurement_count=count,
+        best_observed=best,
+        predicted=None if predicted is None else np.asarray(predicted, dtype=float),
+        expected_improvements=None if ei is None else np.asarray(ei, dtype=float),
+    )
+
+
+class TestMaxMeasurements:
+    def test_stops_at_budget(self):
+        criterion = MaxMeasurements(5)
+        assert not criterion.should_stop(state(count=4))
+        assert criterion.should_stop(state(count=5))
+        assert criterion.should_stop(state(count=6))
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(ValueError):
+            MaxMeasurements(0)
+
+
+class TestEIThreshold:
+    def test_stops_when_max_ei_below_fraction_of_incumbent(self):
+        criterion = EIThreshold(fraction=0.1, min_measurements=3)
+        assert criterion.should_stop(state(best=100.0, ei=[9.0, 5.0]))
+        assert not criterion.should_stop(state(best=100.0, ei=[11.0, 5.0]))
+
+    def test_respects_min_measurements(self):
+        criterion = EIThreshold(fraction=0.1, min_measurements=6)
+        assert criterion.min_measurements == 6
+        assert not criterion.should_stop(state(count=5, best=100.0, ei=[0.0]))
+        assert criterion.should_stop(state(count=6, best=100.0, ei=[0.0]))
+
+    def test_never_stops_without_ei_information(self):
+        criterion = EIThreshold(fraction=0.1, min_measurements=0)
+        assert not criterion.should_stop(state(ei=None))
+        assert not criterion.should_stop(state(ei=[]))
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            EIThreshold(fraction=0.0)
+
+
+class TestPredictionDeltaThreshold:
+    def test_stops_when_no_predicted_improvement_beyond_threshold(self):
+        criterion = PredictionDeltaThreshold(threshold=1.1, min_measurements=0)
+        # min predicted 115 >= 1.1 * 100 -> stop.
+        assert criterion.should_stop(state(best=100.0, predicted=[115.0, 140.0]))
+        # min predicted 105 < 110 -> keep searching.
+        assert not criterion.should_stop(state(best=100.0, predicted=[105.0, 140.0]))
+
+    def test_low_threshold_stops_earlier_than_high(self):
+        """A 0.9 threshold stops while a 10% predicted improvement remains;
+        a 1.3 threshold keeps searching in the same state — the search-cost
+        vs quality trade-off of Figure 11."""
+        aggressive = PredictionDeltaThreshold(threshold=0.9, min_measurements=0)
+        patient = PredictionDeltaThreshold(threshold=1.3, min_measurements=0)
+        s = state(best=100.0, predicted=[95.0, 130.0])
+        assert aggressive.should_stop(s)
+        assert not patient.should_stop(s)
+
+    def test_respects_min_measurements(self):
+        criterion = PredictionDeltaThreshold(threshold=1.1, min_measurements=4)
+        s = state(count=3, best=100.0, predicted=[200.0])
+        assert not criterion.should_stop(s)
+
+    def test_never_stops_without_predictions(self):
+        criterion = PredictionDeltaThreshold(min_measurements=0)
+        assert not criterion.should_stop(state(predicted=None))
+        assert not criterion.should_stop(state(predicted=[]))
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            PredictionDeltaThreshold(threshold=0.0)

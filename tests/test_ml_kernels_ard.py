@@ -1,0 +1,79 @@
+"""Unit tests for ARD (per-dimension lengthscale) kernels."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gp import GaussianProcessRegressor
+from repro.ml.kernels import RBF, Matern52
+
+
+class TestARDKernelMechanics:
+    def test_vector_lengthscale_accepted(self):
+        kernel = Matern52(lengthscale=np.array([1.0, 2.0, 4.0]))
+        assert kernel.is_ard
+        assert kernel.theta.size == 4  # variance + 3 lengthscales
+
+    def test_scalar_kernel_is_not_ard(self):
+        assert not Matern52(lengthscale=2.0).is_ard
+
+    def test_theta_roundtrip_preserves_ard(self):
+        kernel = RBF(lengthscale=np.array([1.0, 3.0]))
+        other = RBF(lengthscale=np.array([9.0, 9.0]))
+        other.theta = kernel.theta
+        assert other.is_ard
+        assert np.allclose(other.lengthscale, [1.0, 3.0])
+
+    def test_bounds_match_theta_size(self):
+        kernel = Matern52(lengthscale=np.ones(4))
+        assert kernel.bounds.shape == (5, 2)
+
+    def test_clone_copies_the_vector(self):
+        kernel = Matern52(lengthscale=np.array([1.0, 2.0]))
+        copy = kernel.clone()
+        copy.theta = np.log([1.0, 5.0, 5.0])
+        assert np.allclose(kernel.lengthscale, [1.0, 2.0])
+
+    def test_negative_lengthscale_rejected(self):
+        with pytest.raises(ValueError):
+            Matern52(lengthscale=np.array([1.0, -1.0]))
+
+    def test_matrix_lengthscale_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            Matern52(lengthscale=np.ones((2, 2)))
+
+    def test_anisotropy_changes_covariance(self):
+        iso = RBF(lengthscale=1.0)
+        ard = RBF(lengthscale=np.array([1.0, 100.0]))
+        x0 = np.zeros((1, 2))
+        x1 = np.array([[0.0, 3.0]])  # separated only along the long axis
+        assert ard(x0, x1)[0, 0] > iso(x0, x1)[0, 0]
+
+    def test_uniform_ard_equals_isotropic(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(6, 3))
+        iso = Matern52(lengthscale=1.7)
+        ard = Matern52(lengthscale=np.full(3, 1.7))
+        assert np.allclose(iso(X), ard(X))
+
+
+class TestARDInGP:
+    def test_gp_learns_to_ignore_irrelevant_dimension(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-2, 2, size=(50, 2))
+        y = np.sin(3 * X[:, 0])  # dim 1 carries no signal
+        gp = GaussianProcessRegressor(
+            Matern52(lengthscale=np.ones(2)), seed=0, n_restarts=2
+        ).fit(X, y)
+        ls = gp.kernel.lengthscale
+        assert ls[1] > 3 * ls[0]
+
+    def test_ard_gp_predicts_through_noise_dimension(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(-2, 2, size=(60, 2))
+        y = np.sin(3 * X[:, 0])
+        gp = GaussianProcessRegressor(
+            Matern52(lengthscale=np.ones(2)), seed=0, n_restarts=2
+        ).fit(X, y)
+        X_test = rng.uniform(-2, 2, size=(100, 2))
+        rmse = np.sqrt(np.mean((gp.predict(X_test) - np.sin(3 * X_test[:, 0])) ** 2))
+        assert rmse < 0.25

@@ -1,0 +1,132 @@
+"""Unit and property tests for quasi-random sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.sampling import (
+    MAX_SOBOL_DIM,
+    SobolSequence,
+    latin_hypercube,
+    quasi_random_distinct,
+)
+
+
+class TestSobol:
+    def test_first_dimension_is_van_der_corput(self):
+        points = SobolSequence(1).generate(8).ravel()
+        assert points.tolist() == [0.0, 0.5, 0.75, 0.25, 0.375, 0.875, 0.625, 0.125]
+
+    def test_points_in_unit_cube(self):
+        points = SobolSequence(4).generate(256)
+        assert points.min() >= 0.0
+        assert points.max() < 1.0
+
+    def test_dimensions_are_distinct_sequences(self):
+        points = SobolSequence(3).generate(64)
+        assert not np.array_equal(points[:, 0], points[:, 1])
+        assert not np.array_equal(points[:, 1], points[:, 2])
+
+    def test_balance_in_every_dimension(self):
+        """A power-of-two prefix of a Sobol sequence puts exactly half the
+        points in each half of every axis."""
+        points = SobolSequence(5).generate(64)
+        for dim in range(5):
+            assert (points[:, dim] < 0.5).sum() == 32
+
+    def test_low_discrepancy_beats_iid_grid_coverage(self):
+        n = 256
+        sobol = SobolSequence(2).generate(n)
+        rng = np.random.default_rng(0)
+        iid = rng.uniform(size=(n, 2))
+
+        def worst_cell_deviation(pts):
+            counts, _, _ = np.histogram2d(pts[:, 0], pts[:, 1], bins=4, range=[[0, 1], [0, 1]])
+            return np.abs(counts - n / 16).max()
+
+        assert worst_cell_deviation(sobol) <= worst_cell_deviation(iid)
+
+    def test_generate_is_stateful_continuation(self):
+        seq = SobolSequence(2)
+        first = seq.generate(8)
+        second = seq.generate(8)
+        fresh = SobolSequence(2).generate(16)
+        assert np.allclose(np.vstack([first, second]), fresh)
+
+    def test_dim_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            SobolSequence(0)
+        with pytest.raises(ValueError):
+            SobolSequence(MAX_SOBOL_DIM + 1)
+        SobolSequence(MAX_SOBOL_DIM).generate(4)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            SobolSequence(1).generate(-1)
+
+    def test_no_duplicate_points_in_prefix(self):
+        points = SobolSequence(3).generate(128)
+        assert len({tuple(p) for p in points}) == 128
+
+
+class TestLatinHypercube:
+    def test_one_point_per_stratum(self):
+        n = 20
+        points = latin_hypercube(n, 3, rng=0)
+        for dim in range(3):
+            strata = np.floor(points[:, dim] * n).astype(int)
+            assert sorted(strata.tolist()) == list(range(n))
+
+    def test_deterministic_given_seed(self):
+        assert np.array_equal(latin_hypercube(10, 2, rng=5), latin_hypercube(10, 2, rng=5))
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            latin_hypercube(0, 2)
+        with pytest.raises(ValueError):
+            latin_hypercube(2, 0)
+
+
+class TestQuasiRandomDistinct:
+    def test_picks_are_unique_indices(self):
+        rng = np.random.default_rng(0)
+        candidates = rng.normal(size=(18, 4))
+        picks = quasi_random_distinct(candidates, 5, rng=1)
+        assert len(set(picks)) == 5
+        assert all(0 <= p < 18 for p in picks)
+
+    def test_maximin_spreads_over_clusters(self):
+        """Two clusters far apart: 2 picks must take one from each."""
+        cluster_a = np.zeros((5, 2))
+        cluster_b = np.full((5, 2), 100.0)
+        candidates = np.vstack([cluster_a, cluster_b])
+        for seed in range(10):
+            picks = quasi_random_distinct(candidates, 2, rng=seed)
+            sides = {p // 5 for p in picks}
+            assert sides == {0, 1}
+
+    def test_full_selection_is_permutation(self):
+        candidates = np.random.default_rng(2).normal(size=(7, 3))
+        picks = quasi_random_distinct(candidates, 7, rng=0)
+        assert sorted(picks) == list(range(7))
+
+    def test_n_out_of_range_rejected(self):
+        candidates = np.zeros((4, 2))
+        with pytest.raises(ValueError):
+            quasi_random_distinct(candidates, 0)
+        with pytest.raises(ValueError):
+            quasi_random_distinct(candidates, 5)
+
+    def test_first_pick_varies_with_seed(self):
+        candidates = np.random.default_rng(3).normal(size=(18, 4))
+        firsts = {quasi_random_distinct(candidates, 1, rng=s)[0] for s in range(40)}
+        assert len(firsts) > 5
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(1, 10))
+    def test_property_unique_and_in_range(self, seed, n):
+        candidates = np.random.default_rng(0).normal(size=(10, 3))
+        picks = quasi_random_distinct(candidates, n, rng=seed)
+        assert len(picks) == n
+        assert len(set(picks)) == n

@@ -1,0 +1,88 @@
+"""Unit and property tests for feature scalers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.ml.scaling import MinMaxScaler, StandardScaler
+
+
+def matrices():
+    return hnp.arrays(
+        dtype=float,
+        shape=st.tuples(st.integers(1, 30), st.integers(1, 5)),
+        elements=st.floats(-1e6, 1e6, allow_nan=False),
+    )
+
+
+class TestStandardScaler:
+    def test_transform_centres_and_scales(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(200, 3))
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_centred_not_scaled(self):
+        X = np.column_stack([np.full(10, 4.0), np.arange(10.0)])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled[:, 0], 0.0)
+        assert np.isfinite(scaled).all()
+
+    def test_transform_uses_fit_statistics(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [10.0]]))
+        assert scaler.transform(np.array([[5.0]]))[0, 0] == pytest.approx(0.0)
+        assert scaler.transform(np.array([[10.0]]))[0, 0] == pytest.approx(1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            StandardScaler().transform(np.zeros((1, 1)))
+        with pytest.raises(RuntimeError, match="fitted"):
+            StandardScaler().inverse_transform(np.zeros((1, 1)))
+
+    def test_empty_fit_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            StandardScaler().fit(np.zeros((0, 2)))
+
+    def test_1d_input_treated_as_single_feature(self):
+        scaled = StandardScaler().fit_transform(np.array([1.0, 2.0, 3.0]))
+        assert scaled.shape == (3, 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(X=matrices())
+    def test_inverse_transform_roundtrip(self, X):
+        scaler = StandardScaler().fit(X)
+        recovered = scaler.inverse_transform(scaler.transform(X))
+        assert np.allclose(recovered, X, rtol=1e-9, atol=1e-6)
+
+
+class TestMinMaxScaler:
+    def test_maps_to_unit_interval(self):
+        rng = np.random.default_rng(1)
+        X = rng.uniform(-50, 50, size=(100, 4))
+        scaled = MinMaxScaler().fit_transform(X)
+        assert np.allclose(scaled.min(axis=0), 0.0)
+        assert np.allclose(scaled.max(axis=0), 1.0)
+
+    def test_constant_feature_maps_to_zero(self):
+        X = np.column_stack([np.full(5, 2.0), np.arange(5.0)])
+        scaled = MinMaxScaler().fit_transform(X)
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_out_of_range_inputs_extrapolate(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        assert scaler.transform(np.array([[20.0]]))[0, 0] == pytest.approx(2.0)
+        assert scaler.transform(np.array([[-10.0]]))[0, 0] == pytest.approx(-1.0)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            MinMaxScaler().transform(np.zeros((1, 1)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(X=matrices())
+    def test_inverse_transform_roundtrip(self, X):
+        scaler = MinMaxScaler().fit(X)
+        recovered = scaler.inverse_transform(scaler.transform(X))
+        assert np.allclose(recovered, X, rtol=1e-9, atol=1e-6)

@@ -1,0 +1,95 @@
+"""Tests of the public API surface."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelPackage:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_version_is_semver_like(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.cloud",
+            "repro.workloads",
+            "repro.simulator",
+            "repro.trace",
+            "repro.ml",
+            "repro.core",
+            "repro.analysis",
+            "repro.analysis.experiments",
+            "repro.cli",
+        ],
+    )
+    def test_subpackages_import_cleanly(self, module):
+        importlib.import_module(module)
+
+    @pytest.mark.parametrize(
+        "module",
+        ["repro.cloud", "repro.simulator", "repro.ml", "repro.core", "repro.analysis"],
+    )
+    def test_subpackage_all_names_resolve(self, module):
+        mod = importlib.import_module(module)
+        for name in mod.__all__:
+            assert getattr(mod, name) is not None
+
+    def test_every_public_symbol_has_a_docstring(self):
+        import inspect
+
+        missing = [
+            name
+            for name in repro.__all__
+            if not name.startswith("__")
+            and (inspect.isclass(getattr(repro, name)) or inspect.isfunction(getattr(repro, name)))
+            and not (getattr(repro, name).__doc__ or "").strip()
+        ]
+        assert not missing, f"symbols without docstrings: {missing}"
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_snippet_runs(self):
+        """The README's quickstart, executed as written."""
+        from repro import AugmentedBO, Objective, PredictionDeltaThreshold, default_trace
+
+        trace = default_trace()
+        env = trace.environment("als/Spark 2.1/medium")
+        result = AugmentedBO(
+            env,
+            objective=Objective.COST,
+            stopping=PredictionDeltaThreshold(threshold=1.1),
+            seed=42,
+        ).run()
+        assert result.best_vm_name
+        assert result.search_cost >= 4
+
+
+class TestExamplesImport:
+    @pytest.mark.parametrize(
+        "example",
+        [
+            "quickstart",
+            "find_cost_effective_vm",
+            "kernel_fragility",
+            "timecost_tradeoff",
+            "history_prior",
+        ],
+    )
+    def test_examples_are_importable(self, example):
+        """Examples must at least parse and import (mains not executed)."""
+        import importlib.util
+        from pathlib import Path
+
+        path = Path(__file__).parent.parent / "examples" / f"{example}.py"
+        spec = importlib.util.spec_from_file_location(f"example_{example}", path)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert callable(module.main)

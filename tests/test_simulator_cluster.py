@@ -1,0 +1,69 @@
+"""Unit tests for the simulated cloud environment."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.pricing import default_price_list
+from repro.cloud.vmtypes import get_vm_type
+from repro.simulator.cluster import MeasurementEnvironment, SimulatedCloud
+
+
+@pytest.fixture()
+def workload(registry):
+    return registry.get("kmeans/Spark 2.1/small")
+
+
+class TestMeasurement:
+    def test_measure_returns_consistent_cost(self, workload):
+        cloud = SimulatedCloud(workload, seed=0)
+        vm = get_vm_type("c4.xlarge")
+        m = cloud.measure(vm)
+        expected = m.execution_time_s * default_price_list().price_per_second(vm)
+        assert m.cost_usd == pytest.approx(expected)
+        assert m.vm is vm
+
+    def test_measurements_are_charged(self, workload):
+        cloud = SimulatedCloud(workload, seed=0)
+        assert cloud.measurement_count == 0
+        cloud.measure(get_vm_type("c4.large"))
+        cloud.measure(get_vm_type("c4.large"))
+        assert cloud.measurement_count == 2
+
+    def test_reset_clears_counter_only(self, workload):
+        cloud = SimulatedCloud(workload, seed=0)
+        cloud.measure(get_vm_type("c4.large"))
+        cloud.reset()
+        assert cloud.measurement_count == 0
+
+    def test_repeated_measurements_differ_by_noise(self, workload):
+        cloud = SimulatedCloud(workload, seed=0)
+        vm = get_vm_type("m4.large")
+        a = cloud.measure(vm).execution_time_s
+        b = cloud.measure(vm).execution_time_s
+        assert a != b
+        assert abs(a - b) / a < 0.3  # a few percent sigma
+
+    def test_same_seed_reproduces_sequence(self, workload):
+        values_a = [SimulatedCloud(workload, seed=9).measure(get_vm_type("c3.large")).execution_time_s]
+        values_b = [SimulatedCloud(workload, seed=9).measure(get_vm_type("c3.large")).execution_time_s]
+        assert values_a == values_b
+
+    def test_measure_all_covers_catalog(self, workload, catalog):
+        cloud = SimulatedCloud(workload, seed=0)
+        measurements = cloud.measure_all()
+        assert [m.vm for m in measurements] == list(catalog)
+        assert cloud.measurement_count == 18
+
+    def test_noise_free_times_close_to_measurements(self, workload, catalog):
+        cloud = SimulatedCloud(workload, seed=0)
+        truth = cloud.noise_free_times()
+        measured = np.array([m.execution_time_s for m in cloud.measure_all()])
+        assert np.all(np.abs(np.log(measured / truth)) < 0.25)
+
+    def test_conforms_to_environment_protocol(self, workload):
+        assert isinstance(SimulatedCloud(workload, seed=0), MeasurementEnvironment)
+
+    def test_metrics_included_in_measurement(self, workload):
+        cloud = SimulatedCloud(workload, seed=0)
+        m = cloud.measure(get_vm_type("r3.large"))
+        assert m.metrics.to_vector().shape == (6,)

@@ -1,0 +1,102 @@
+"""Unit tests for low-level metric derivation."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.vmtypes import get_vm_type
+from repro.simulator.lowlevel import METRIC_NAMES, LowLevelMetrics, derive_metrics
+from repro.simulator.perfmodel import PerformanceModel
+from repro.workloads.spec import ResourceProfile
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PerformanceModel()
+
+
+def profile(**overrides):
+    base = dict(
+        cpu_seconds=300.0,
+        parallel_fraction=0.9,
+        working_set_gb=2.0,
+        io_gb=10.0,
+        shuffle_gb=5.0,
+        cpu_gen_sensitivity=0.8,
+    )
+    base.update(overrides)
+    return ResourceProfile(**base)
+
+
+def metrics_for(model, vm_name, p):
+    vm = get_vm_type(vm_name)
+    return derive_metrics(vm, p, model.breakdown(vm, p))
+
+
+class TestVectorRoundtrip:
+    def test_to_vector_order_matches_metric_names(self):
+        metrics = LowLevelMetrics(1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+        assert metrics.to_vector().tolist() == [1, 2, 3, 4, 5, 6]
+        assert len(METRIC_NAMES) == 6
+
+    def test_from_vector_roundtrip(self):
+        metrics = LowLevelMetrics(10.5, 20.5, 16.0, 80.0, 33.0, 4.5)
+        assert LowLevelMetrics.from_vector(metrics.to_vector()) == metrics
+
+    def test_from_vector_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="6 metric values"):
+            LowLevelMetrics.from_vector(np.arange(5.0))
+
+
+class TestSignalContent:
+    def test_memory_bottleneck_shows_in_commit(self, model):
+        p = profile(working_set_gb=12.0)
+        small = metrics_for(model, "c4.large", p)   # 3.75 GB RAM
+        big = metrics_for(model, "r4.2xlarge", p)   # 61 GB RAM
+        assert small.mem_commit_pct > 100.0
+        assert big.mem_commit_pct < 40.0
+
+    def test_mem_commit_saturates(self, model):
+        p = profile(working_set_gb=100.0)
+        metrics = metrics_for(model, "c4.large", p)
+        assert metrics.mem_commit_pct == pytest.approx(140.0)
+
+    def test_io_bound_workload_shows_iowait(self, model):
+        io_heavy = metrics_for(model, "c4.large", profile(io_gb=100.0, cpu_seconds=20.0))
+        cpu_heavy = metrics_for(
+            model, "c4.large", profile(io_gb=1.0, shuffle_gb=0.0, cpu_seconds=600.0)
+        )
+        assert io_heavy.cpu_iowait_pct > cpu_heavy.cpu_iowait_pct
+        assert io_heavy.disk_util_pct > cpu_heavy.disk_util_pct
+
+    def test_paging_spikes_disk_wait(self, model):
+        fits = metrics_for(model, "c4.large", profile(working_set_gb=1.0))
+        pages = metrics_for(model, "c4.large", profile(working_set_gb=12.0))
+        assert pages.disk_wait_ms > 3 * fits.disk_wait_ms
+
+    def test_task_count_scales_with_cores(self, model):
+        p = profile()
+        small = metrics_for(model, "c4.large", p)
+        big = metrics_for(model, "c4.2xlarge", p)
+        assert big.task_count == pytest.approx(4 * small.task_count)
+
+    def test_poorly_parallel_workload_underuses_cpu(self, model):
+        parallel = metrics_for(
+            model, "c4.2xlarge", profile(parallel_fraction=0.98, io_gb=0.0, shuffle_gb=0.0)
+        )
+        serial = metrics_for(
+            model, "c4.2xlarge", profile(parallel_fraction=0.2, io_gb=0.0, shuffle_gb=0.0)
+        )
+        assert serial.cpu_user_pct < parallel.cpu_user_pct
+
+
+class TestRanges:
+    def test_metrics_within_plausible_ranges(self, model, catalog, registry):
+        for workload in list(registry)[::10]:
+            for vm in catalog:
+                m = derive_metrics(vm, workload.profile, model.breakdown(vm, workload.profile))
+                assert 0 <= m.cpu_user_pct <= 100
+                assert 0 <= m.cpu_iowait_pct <= 100
+                assert 0 <= m.mem_commit_pct <= 140
+                assert 0 <= m.disk_util_pct <= 100
+                assert m.disk_wait_ms >= 0
+                assert m.task_count > 0

@@ -1,0 +1,74 @@
+"""Unit tests for the interference-noise model."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.lowlevel import LowLevelMetrics
+from repro.simulator.noise import InterferenceModel
+
+
+class TestTimeNoise:
+    def test_same_seed_same_sequence(self):
+        a = InterferenceModel(seed=42)
+        b = InterferenceModel(seed=42)
+        assert [a.perturb_time(100.0) for _ in range(5)] == [
+            b.perturb_time(100.0) for _ in range(5)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = InterferenceModel(seed=1)
+        b = InterferenceModel(seed=2)
+        assert a.perturb_time(100.0) != b.perturb_time(100.0)
+
+    def test_zero_sigma_is_identity(self):
+        model = InterferenceModel(time_sigma=0.0, seed=0)
+        assert model.perturb_time(123.4) == 123.4
+
+    def test_noise_is_multiplicative_and_positive(self):
+        model = InterferenceModel(time_sigma=0.5, seed=3)
+        values = [model.perturb_time(100.0) for _ in range(200)]
+        assert all(v > 0 for v in values)
+
+    def test_noise_magnitude_tracks_sigma(self):
+        small = InterferenceModel(time_sigma=0.01, seed=4)
+        large = InterferenceModel(time_sigma=0.3, seed=4)
+        spread_small = np.std([small.perturb_time(100.0) for _ in range(300)])
+        spread_large = np.std([large.perturb_time(100.0) for _ in range(300)])
+        assert spread_large > 5 * spread_small
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            InterferenceModel(time_sigma=-0.1)
+
+    def test_unbiased_in_log_space(self):
+        model = InterferenceModel(time_sigma=0.05, seed=5)
+        values = np.array([model.perturb_time(100.0) for _ in range(3000)])
+        assert np.mean(np.log(values)) == pytest.approx(np.log(100.0), abs=0.01)
+
+
+class TestMetricNoise:
+    def test_zero_sigma_is_identity(self):
+        metrics = LowLevelMetrics(50, 10, 8, 70, 30, 5)
+        model = InterferenceModel(metric_sigma=0.0, seed=0)
+        assert model.perturb_metrics(metrics) == metrics
+
+    def test_each_component_perturbed_independently(self):
+        metrics = LowLevelMetrics(50, 10, 8, 70, 30, 5)
+        model = InterferenceModel(metric_sigma=0.2, seed=6)
+        noisy = model.perturb_metrics(metrics).to_vector()
+        ratios = noisy / metrics.to_vector()
+        assert len(set(np.round(ratios, 6))) == 6
+
+    def test_metrics_stay_positive(self):
+        metrics = LowLevelMetrics(50, 10, 8, 70, 30, 5)
+        model = InterferenceModel(metric_sigma=0.5, seed=7)
+        for _ in range(100):
+            assert np.all(model.perturb_metrics(metrics).to_vector() > 0)
+
+    def test_seed_and_noise_model_mutually_exclusive_in_cloud(self):
+        from repro.simulator.cluster import SimulatedCloud
+        from repro.workloads.registry import default_registry
+
+        workload = next(iter(default_registry()))
+        with pytest.raises(ValueError, match="not both"):
+            SimulatedCloud(workload, noise=InterferenceModel(), seed=1)

@@ -1,0 +1,148 @@
+"""Unit tests for the performance model."""
+
+import pytest
+
+from repro.cloud.vmtypes import get_vm_type
+from repro.simulator.perfmodel import (
+    MEM_SAFE_FRACTION,
+    PerformanceModel,
+    PhaseBreakdown,
+)
+from repro.workloads.spec import ResourceProfile
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PerformanceModel()
+
+
+def profile(**overrides):
+    base = dict(
+        cpu_seconds=300.0,
+        parallel_fraction=0.9,
+        working_set_gb=2.0,
+        io_gb=10.0,
+        shuffle_gb=5.0,
+        cpu_gen_sensitivity=0.8,
+    )
+    base.update(overrides)
+    return ResourceProfile(**base)
+
+
+class TestComputePhase:
+    def test_more_cores_reduce_compute_time(self, model):
+        p = profile()
+        t_large = model.breakdown(get_vm_type("c4.large"), p).compute_time_s
+        t_2xl = model.breakdown(get_vm_type("c4.2xlarge"), p).compute_time_s
+        assert t_2xl < t_large
+
+    def test_amdahl_limits_speedup(self, model):
+        p = profile(parallel_fraction=0.5)
+        t_large = model.breakdown(get_vm_type("c4.large"), p).compute_time_s
+        t_2xl = model.breakdown(get_vm_type("c4.2xlarge"), p).compute_time_s
+        # With 50% serial work, 4x the cores must speed up less than 1.6x.
+        assert t_large / t_2xl < 1.6
+
+    def test_serial_workload_gains_nothing_from_cores(self, model):
+        p = profile(parallel_fraction=0.0)
+        b_large = model.breakdown(get_vm_type("c4.large"), p)
+        b_2xl = model.breakdown(get_vm_type("c4.2xlarge"), p)
+        assert b_large.compute_time_s == pytest.approx(b_2xl.compute_time_s)
+
+    def test_clock_sensitive_workload_prefers_fast_family(self, model):
+        p = profile(cpu_gen_sensitivity=1.0, io_gb=0.0, shuffle_gb=0.0, working_set_gb=0.5)
+        t_c4 = model.execution_time(get_vm_type("c4.large"), p)
+        t_m3 = model.execution_time(get_vm_type("m3.large"), p)
+        assert t_c4 < t_m3
+
+    def test_clock_insensitive_workload_barely_notices_family(self, model):
+        p = profile(cpu_gen_sensitivity=0.0, io_gb=0.0, shuffle_gb=0.0, working_set_gb=0.5)
+        t_c4 = model.breakdown(get_vm_type("c4.large"), p).compute_time_s
+        t_m3 = model.breakdown(get_vm_type("m3.large"), p).compute_time_s
+        assert t_c4 == pytest.approx(t_m3)
+
+
+class TestDiskPhase:
+    def test_io_volume_increases_disk_time(self, model):
+        vm = get_vm_type("c4.large")
+        t_small = model.breakdown(vm, profile(io_gb=5.0)).disk_time_s
+        t_big = model.breakdown(vm, profile(io_gb=50.0)).disk_time_s
+        assert t_big > t_small
+
+    def test_local_ssd_beats_ebs_for_io(self, model):
+        p = profile(io_gb=60.0, shuffle_gb=40.0, cpu_seconds=50.0)
+        t_c3 = model.breakdown(get_vm_type("c3.large"), p).disk_time_s
+        t_c4 = model.breakdown(get_vm_type("c4.large"), p).disk_time_s
+        assert t_c3 < t_c4
+
+    def test_phases_overlap_partially(self, model):
+        b = model.breakdown(get_vm_type("c4.large"), profile())
+        longer = max(b.compute_time_s, b.disk_time_s)
+        total_sum = b.compute_time_s + b.disk_time_s
+        assert longer < b.total_time_s < total_sum
+
+
+class TestPagingCliff:
+    def test_no_paging_when_working_set_fits(self, model):
+        vm = get_vm_type("r4.2xlarge")  # 61 GB
+        b = model.breakdown(vm, profile(working_set_gb=10.0))
+        assert not b.paging
+        assert b.paging_gb == 0.0
+
+    def test_paging_triggers_above_safe_fraction(self, model):
+        vm = get_vm_type("c4.large")  # 3.75 GB
+        just_below = model.breakdown(
+            vm, profile(working_set_gb=vm.ram_gb * MEM_SAFE_FRACTION * 0.99)
+        )
+        just_above = model.breakdown(
+            vm, profile(working_set_gb=vm.ram_gb * MEM_SAFE_FRACTION * 1.05)
+        )
+        assert not just_below.paging
+        assert just_above.paging
+
+    def test_paging_is_catastrophic(self, model):
+        """A working set 3x RAM must slow the VM by an order of magnitude —
+        the paper's 14.8x lr-on-c3.large observation (Figure 8)."""
+        vm = get_vm_type("c3.large")
+        fits = model.execution_time(vm, profile(working_set_gb=1.0))
+        thrashes = model.execution_time(vm, profile(working_set_gb=3.0 * vm.ram_gb))
+        assert thrashes / fits > 8
+
+    def test_paging_creates_non_smoothness_in_encoding(self, model):
+        """c4.large and m4.large are neighbours in the encoded space (CPU
+        codes 2 and 4, same cores) but a 6 GB working set pages on one and
+        not the other — the fragility mechanism."""
+        p = profile(working_set_gb=6.0)
+        b_c4 = model.breakdown(get_vm_type("c4.large"), p)
+        b_m4 = model.breakdown(get_vm_type("m4.large"), p)
+        assert b_c4.paging and not b_m4.paging
+        assert model.execution_time(get_vm_type("c4.large"), p) > 2 * model.execution_time(
+            get_vm_type("m4.large"), p
+        )
+
+    def test_memory_ratio_reported(self, model):
+        vm = get_vm_type("m4.large")  # 8 GB
+        b = model.breakdown(vm, profile(working_set_gb=4.0))
+        assert b.memory_ratio == pytest.approx(0.5)
+
+
+class TestDeterminism:
+    def test_breakdown_is_pure(self, model):
+        vm = get_vm_type("r3.xlarge")
+        p = profile()
+        assert model.breakdown(vm, p) == model.breakdown(vm, p)
+
+    def test_execution_time_matches_breakdown(self, model):
+        vm = get_vm_type("r3.xlarge")
+        p = profile()
+        assert model.execution_time(vm, p) == model.breakdown(vm, p).total_time_s
+
+    def test_breakdown_fields_positive(self, model, catalog, registry):
+        for workload in list(registry)[:10]:
+            for vm in catalog:
+                b = model.breakdown(vm, workload.profile)
+                assert isinstance(b, PhaseBreakdown)
+                assert b.total_time_s > 0
+                assert b.compute_time_s > 0
+                assert b.disk_time_s >= 0
+                assert b.parallel_speedup >= 1.0

@@ -1,0 +1,107 @@
+"""Unit tests for the sysstat-style time-series recorder."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.vmtypes import get_vm_type
+from repro.simulator.lowlevel import derive_metrics
+from repro.simulator.perfmodel import PerformanceModel
+from repro.simulator.sar import SarTrace, record_sar_trace
+from repro.workloads.spec import ResourceProfile
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PerformanceModel()
+
+
+def profile(**overrides):
+    base = dict(
+        cpu_seconds=300.0,
+        parallel_fraction=0.9,
+        working_set_gb=2.0,
+        io_gb=10.0,
+        shuffle_gb=5.0,
+        cpu_gen_sensitivity=0.8,
+    )
+    base.update(overrides)
+    return ResourceProfile(**base)
+
+
+def record(model, vm_name, p, **kwargs):
+    vm = get_vm_type(vm_name)
+    return record_sar_trace(vm, p, model.breakdown(vm, p), **kwargs), vm
+
+
+class TestRecording:
+    def test_sample_count_tracks_duration(self, model):
+        p = profile()
+        trace, vm = record(model, "c4.large", p, interval_s=1.0, seed=0)
+        expected = model.breakdown(vm, p).total_time_s
+        assert len(trace) == pytest.approx(expected, abs=1.0)
+        assert trace.duration_s == pytest.approx(len(trace))
+
+    def test_short_runs_still_have_samples(self, model):
+        p = profile(cpu_seconds=1.0, io_gb=0.1, shuffle_gb=0.0)
+        trace, _ = record(model, "c4.2xlarge", p, seed=0)
+        assert len(trace) >= 4
+
+    def test_interval_changes_sample_count(self, model):
+        p = profile()
+        one, _ = record(model, "m4.large", p, interval_s=1.0, seed=0)
+        five, _ = record(model, "m4.large", p, interval_s=5.0, seed=0)
+        assert len(one) > len(five)
+
+    def test_invalid_interval_rejected(self, model):
+        p = profile()
+        vm = get_vm_type("c4.large")
+        with pytest.raises(ValueError, match="interval_s"):
+            record_sar_trace(vm, p, model.breakdown(vm, p), interval_s=0.0)
+
+    def test_deterministic_given_seed(self, model):
+        p = profile()
+        a, _ = record(model, "r3.large", p, seed=5)
+        b, _ = record(model, "r3.large", p, seed=5)
+        assert np.array_equal(a.to_matrix(), b.to_matrix())
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            SarTrace([])
+
+
+class TestAggregationConsistency:
+    def test_aggregate_matches_summary_metrics(self, model, catalog):
+        """The whole point: the sample stream's time-average reproduces
+        the summary metrics the optimisers consume."""
+        p = profile()
+        for vm in catalog[::5]:
+            trace = record_sar_trace(vm, p, model.breakdown(vm, p), seed=1)
+            summary = derive_metrics(vm, p, model.breakdown(vm, p))
+            ratios = trace.aggregate().to_vector() / summary.to_vector()
+            assert np.all(np.abs(ratios - 1.0) < 0.05)
+
+    def test_paging_run_pins_the_disk(self, model):
+        p = profile(working_set_gb=12.0)
+        trace, vm = record(model, "c4.large", p, seed=0)
+        matrix = trace.to_matrix()
+        disk_util = matrix[:, 4]
+        # Under paging, disk utilisation is persistently high.
+        assert np.median(disk_util) > 60.0
+
+    def test_memory_commit_ramps_up(self, model):
+        trace, _ = record(model, "m4.xlarge", profile(), seed=0)
+        mem = trace.to_matrix()[:, 3]
+        first_tenth = mem[: max(len(mem) // 10, 1)].mean()
+        last_half = mem[len(mem) // 2 :].mean()
+        assert last_half > first_tenth
+
+    def test_utilisation_metrics_within_physical_range(self, model):
+        trace, _ = record(model, "c3.xlarge", profile(io_gb=80.0), seed=2)
+        matrix = trace.to_matrix()
+        for column, name in ((0, "cpu"), (1, "iowait"), (4, "disk")):
+            assert matrix[:, column].min() >= 0.0
+            assert matrix[:, column].max() <= 100.0 + 1e-9
+
+    def test_matrix_shape(self, model):
+        trace, _ = record(model, "c4.large", profile(), seed=0)
+        assert trace.to_matrix().shape == (len(trace), 6)

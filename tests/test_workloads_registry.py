@@ -1,0 +1,97 @@
+"""Unit tests for the 107-workload registry."""
+
+import pytest
+
+from repro.workloads.registry import EXCLUDED, EXPECTED_WORKLOAD_COUNT, default_registry
+from repro.workloads.spec import Category, Framework, InputSize
+
+
+class TestPopulation:
+    def test_exactly_107_workloads(self, registry):
+        assert len(registry) == EXPECTED_WORKLOAD_COUNT == 107
+
+    def test_exactly_30_applications(self, registry):
+        assert len(registry.applications()) == 30
+
+    def test_three_frameworks_present(self, registry):
+        assert {w.framework for w in registry} == set(Framework)
+
+    def test_hadoop_runs_micro_and_olap_only(self, registry):
+        hadoop = registry.filter(framework=Framework.HADOOP_27)
+        assert {w.category for w in hadoop} == {Category.MICRO, Category.OLAP}
+        assert len({w.application for w in hadoop}) == 7
+
+    def test_spark21_runs_stats_and_ml(self, registry):
+        spark21 = registry.filter(framework=Framework.SPARK_21)
+        assert {w.category for w in spark21} == {
+            Category.STATISTICS,
+            Category.MACHINE_LEARNING,
+        }
+        assert len({w.application for w in spark21}) == 23
+
+    def test_spark15_subset_has_8_applications(self, registry):
+        spark15 = registry.filter(framework=Framework.SPARK_15)
+        assert len({w.application for w in spark15}) == 8
+
+    def test_excluded_workloads_absent(self, registry):
+        for app, framework, size in EXCLUDED:
+            assert not registry.filter(
+                application=app, framework=framework, input_size=size
+            )
+
+    def test_exclusions_are_all_large_inputs(self):
+        """The paper's exclusions are OOM failures, which only the large
+        inputs trigger."""
+        assert all(size is InputSize.LARGE for _, _, size in EXCLUDED)
+
+    def test_non_excluded_apps_have_all_three_sizes(self, registry):
+        excluded_pairs = {(app, fw) for app, fw, _ in EXCLUDED}
+        pairs = {(w.application, w.framework) for w in registry}
+        for app, framework in pairs - excluded_pairs:
+            sizes = {w.input_size for w in registry.filter(application=app, framework=framework)}
+            assert sizes == set(InputSize)
+
+
+class TestAccess:
+    def test_get_by_id(self, registry):
+        workload = registry.get("als/Spark 2.1/medium")
+        assert workload.application == "als"
+        assert workload.framework is Framework.SPARK_21
+        assert workload.input_size is InputSize.MEDIUM
+
+    def test_get_unknown_raises(self, registry):
+        with pytest.raises(KeyError, match="unknown workload"):
+            registry.get("als/Spark 3.0/medium")
+
+    def test_contains(self, registry):
+        assert "sort/Hadoop 2.7/small" in registry
+        assert "sort/Spark 2.1/small" not in registry
+
+    def test_ids_are_unique(self, registry):
+        ids = [w.workload_id for w in registry]
+        assert len(set(ids)) == len(ids)
+
+    def test_filter_combination(self, registry):
+        result = registry.filter(
+            application="bayes", framework=Framework.SPARK_15, input_size=InputSize.SMALL
+        )
+        assert len(result) == 1
+
+    def test_filter_by_category(self, registry):
+        olap = registry.filter(category=Category.OLAP)
+        assert {w.application for w in olap} == {"aggregation", "join", "scan"}
+        assert len(olap) == 9  # 3 apps x 3 sizes, none excluded
+
+    def test_iteration_matches_workloads_tuple(self, registry):
+        assert tuple(registry) == registry.workloads
+
+    def test_registry_cached(self):
+        assert default_registry() is default_registry()
+
+    def test_profiles_are_deterministic(self, registry):
+        """Rebuilding the registry yields identical latent profiles."""
+        from repro.workloads.registry import _build_default
+
+        rebuilt = _build_default()
+        for a, b in zip(registry, rebuilt):
+            assert a == b

@@ -1,0 +1,98 @@
+"""Unit tests for workload specs and resource profiles."""
+
+import pytest
+
+from repro.workloads.spec import (
+    Category,
+    Framework,
+    InputSize,
+    ResourceProfile,
+    Workload,
+)
+
+
+def make_profile(**overrides):
+    base = dict(
+        cpu_seconds=100.0,
+        parallel_fraction=0.8,
+        working_set_gb=4.0,
+        io_gb=10.0,
+        shuffle_gb=5.0,
+        cpu_gen_sensitivity=0.5,
+    )
+    base.update(overrides)
+    return ResourceProfile(**base)
+
+
+class TestResourceProfileValidation:
+    def test_valid_profile_constructs(self):
+        profile = make_profile()
+        assert profile.cpu_seconds == 100.0
+
+    @pytest.mark.parametrize("cpu", [0.0, -5.0])
+    def test_rejects_non_positive_cpu(self, cpu):
+        with pytest.raises(ValueError, match="cpu_seconds"):
+            make_profile(cpu_seconds=cpu)
+
+    @pytest.mark.parametrize("fraction", [-0.1, 1.1])
+    def test_rejects_out_of_range_parallel_fraction(self, fraction):
+        with pytest.raises(ValueError, match="parallel_fraction"):
+            make_profile(parallel_fraction=fraction)
+
+    @pytest.mark.parametrize("field", ["working_set_gb", "io_gb", "shuffle_gb"])
+    def test_rejects_negative_volumes(self, field):
+        with pytest.raises(ValueError, match=field):
+            make_profile(**{field: -1.0})
+
+    @pytest.mark.parametrize("sens", [-0.01, 1.01])
+    def test_rejects_out_of_range_gen_sensitivity(self, sens):
+        with pytest.raises(ValueError, match="cpu_gen_sensitivity"):
+            make_profile(cpu_gen_sensitivity=sens)
+
+    def test_boundary_values_accepted(self):
+        make_profile(parallel_fraction=0.0, cpu_gen_sensitivity=1.0)
+        make_profile(parallel_fraction=1.0, working_set_gb=0.0, io_gb=0.0, shuffle_gb=0.0)
+
+
+class TestProfileScaling:
+    def test_scaled_multiplies_named_axes(self):
+        scaled = make_profile().scaled(cpu=2.0, working_set=3.0, io=0.5, shuffle=4.0)
+        assert scaled.cpu_seconds == pytest.approx(200.0)
+        assert scaled.working_set_gb == pytest.approx(12.0)
+        assert scaled.io_gb == pytest.approx(5.0)
+        assert scaled.shuffle_gb == pytest.approx(20.0)
+
+    def test_scaled_preserves_fractions(self):
+        scaled = make_profile().scaled(cpu=5.0)
+        assert scaled.parallel_fraction == 0.8
+        assert scaled.cpu_gen_sensitivity == 0.5
+
+    def test_scaled_returns_new_object(self):
+        profile = make_profile()
+        assert profile.scaled() is not profile
+        assert profile.scaled() == profile
+
+
+class TestWorkload:
+    def test_workload_id_format(self):
+        workload = Workload(
+            application="als",
+            framework=Framework.SPARK_21,
+            input_size=InputSize.MEDIUM,
+            category=Category.MACHINE_LEARNING,
+            profile=make_profile(),
+        )
+        assert workload.workload_id == "als/Spark 2.1/medium"
+        assert str(workload) == workload.workload_id
+
+    def test_enums_stringify_to_paper_names(self):
+        assert str(Framework.HADOOP_27) == "Hadoop 2.7"
+        assert str(InputSize.LARGE) == "large"
+        assert str(Category.OLAP) == "OLAP"
+
+    def test_workloads_are_frozen(self):
+        workload = Workload(
+            "sort", Framework.HADOOP_27, InputSize.SMALL, Category.MICRO, make_profile()
+        )
+        with pytest.raises(AttributeError):
+            workload.application = "terasort"  # type: ignore[misc]
