@@ -1,0 +1,73 @@
+"""Robustness benchmark: search cost under rising measurement-failure rates.
+
+Not a figure from the paper — a fault matrix for the fault-tolerant
+measurement layer: Naive BO vs Augmented BO on one workload, with the
+transient-failure rate swept from 0 to 40%.  The searches must complete
+at every rate (degrading, not dying), and the *charged* cost — failed
+attempts included — is the honest price of searching a flaky cloud.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import show
+from repro.core.augmented_bo import AugmentedBO
+from repro.core.naive_bo import NaiveBO
+from repro.core.stopping import PredictionDeltaThreshold
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy, TransientTimeouts
+
+WORKLOAD = "kmeans/Spark 2.1/small"
+RATES = (0.0, 0.2, 0.4)
+METHODS = (("naive-bo", NaiveBO), ("augmented-bo", AugmentedBO))
+
+
+def run_search(trace, cls, rate: float, seed: int):
+    environment = trace.environment(WORKLOAD)
+    if rate > 0:
+        plan = FaultPlan((TransientTimeouts(rate=rate),), seed=17 + seed)
+        environment = FaultInjector(environment, plan)
+    return cls(
+        environment,
+        stopping=PredictionDeltaThreshold(threshold=1.1),
+        retry_policy=RetryPolicy(max_attempts=4, backoff_base_s=1.0),
+        seed=seed,
+    ).run()
+
+
+@pytest.mark.parametrize("method_name,cls", METHODS, ids=[m for m, _ in METHODS])
+def test_search_degrades_gracefully_under_faults(trace, method_name, cls):
+    optimum = trace.times_for(WORKLOAD).min()
+    rows = []
+    charged_by_rate = {}
+    for rate in RATES:
+        results = [run_search(trace, cls, rate, seed) for seed in range(3)]
+        charged = [r.charged_cost for r in results]
+        charged_by_rate[rate] = sum(charged) / len(charged)
+        ratios = [r.best_value / optimum for r in results]
+        rows.append(
+            (
+                f"{method_name} @ {rate:.0%} failure rate",
+                "completes",
+                f"charged {charged_by_rate[rate]:.1f}, "
+                f"best {max(ratios):.2f}x opt",
+            )
+        )
+        for result in results:
+            # Degrade, never die: every search ends with a usable result.
+            assert result.search_cost >= 1
+            assert result.charged_cost >= result.search_cost
+            assert result.best_value / optimum < 2.0
+        if rate == 0.0:
+            assert all(r.failure_count == 0 for r in results)
+        else:
+            assert any(r.failure_count > 0 for r in results)
+    show(f"fault matrix — {method_name}", rows)
+    # Failures make search strictly more expensive in charged attempts.
+    assert charged_by_rate[RATES[-1]] > charged_by_rate[0.0]
+
+
+def test_fault_matrix_is_deterministic(trace):
+    a = run_search(trace, NaiveBO, 0.4, seed=1)
+    b = run_search(trace, NaiveBO, 0.4, seed=1)
+    assert a == b

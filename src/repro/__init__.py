@@ -18,6 +18,7 @@ Package layout:
 * :mod:`repro.trace` — the recorded measurement matrix and replay,
 * :mod:`repro.ml` — from-scratch GP, Extra-Trees, kernels, samplers,
 * :mod:`repro.core` — Naive/Augmented/Hybrid BO and baselines,
+* :mod:`repro.faults` — failure models, retry policies, VM quarantine,
 * :mod:`repro.analysis` — the paper's experiment harness and metrics.
 """
 
@@ -37,6 +38,13 @@ from repro.core import (
     SearchResult,
     SingleVMRule,
     build_history_pairs,
+)
+from repro.faults import (
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    parse_fault_plan,
 )
 from repro.simulator import SimulatedCloud
 from repro.trace import BenchmarkTrace, default_trace, generate_trace, load_trace, save_trace
@@ -73,5 +81,10 @@ __all__ = [
     "MaxMeasurements",
     "EIThreshold",
     "PredictionDeltaThreshold",
+    "FaultInjector",
+    "FaultPlan",
+    "parse_fault_plan",
+    "RetryPolicy",
+    "CircuitBreaker",
     "__version__",
 ]

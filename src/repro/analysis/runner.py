@@ -8,22 +8,36 @@ share one underlying grid of runs.
 
 Seeds are derived per (workload, repeat) so repeats are decorrelated
 across workloads while remaining reproducible across processes.
+
+The cache is crash-safe: writes are atomic (tmp + rename), files carry a
+schema version, and a truncated or otherwise corrupt cache file — the
+footprint of a killed process — is quarantined aside (``*.corrupt``) and
+recomputed rather than crashing the runner.  Every run is deterministic
+given its seed, so recomputation yields identical results.
 """
 
 from __future__ import annotations
 
 import json
+import logging
+import numbers
 import zlib
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.objectives import Objective
-from repro.core.result import SearchResult, SearchStep
+from repro.core.result import FailureEvent, SearchResult, SearchStep
 from repro.core.smbo import SequentialOptimizer
 from repro.simulator.cluster import MeasurementEnvironment
 from repro.trace.dataset import BenchmarkTrace
 from repro.trace.generate import default_trace
+
+logger = logging.getLogger(__name__)
+
+#: Bump whenever the cached payload shape changes; mismatching files are
+#: quarantined and recomputed (cheap, because runs are deterministic).
+CACHE_SCHEMA_VERSION = 2
 
 #: Builds a fresh optimiser for one run: (environment, objective, seed).
 OptimizerFactory = Callable[[MeasurementEnvironment, Objective, int], SequentialOptimizer]
@@ -63,11 +77,87 @@ class RunGrid:
 
 
 def _result_to_json(result: SearchResult) -> dict:
-    return {
+    payload = {
         "optimizer": result.optimizer,
         "stopped_by": result.stopped_by,
-        "steps": [[s.vm_name, s.objective_value] for s in result.steps],
+        "steps": [[s.vm_name, s.objective_value, s.attempts] for s in result.steps],
     }
+    # Fault observability is recorded only when present, keeping the
+    # common fault-free cache compact.
+    if result.quarantined_vms:
+        payload["quarantined"] = list(result.quarantined_vms)
+    if result.failure_events:
+        payload["failures"] = [
+            [e.step, e.vm_name, e.attempt, e.error] for e in result.failure_events
+        ]
+    if result.retry_wait_s:
+        payload["retry_wait_s"] = result.retry_wait_s
+    return payload
+
+
+def _valid_payload(payload: object) -> bool:
+    """Whether one cached run entry has the trusted v2 shape."""
+    if not isinstance(payload, Mapping):
+        return False
+    if not isinstance(payload.get("optimizer"), str):
+        return False
+    if not isinstance(payload.get("stopped_by"), str):
+        return False
+    steps = payload.get("steps")
+    if not isinstance(steps, list) or not steps:
+        return False
+    for step in steps:
+        if not (isinstance(step, list) and len(step) == 3):
+            return False
+        vm_name, value, attempts = step
+        if not isinstance(vm_name, str):
+            return False
+        if not isinstance(value, numbers.Real) or isinstance(value, bool):
+            return False
+        if not isinstance(attempts, int) or attempts < 1:
+            return False
+    quarantined = payload.get("quarantined", [])
+    if not (isinstance(quarantined, list) and all(isinstance(q, str) for q in quarantined)):
+        return False
+    failures = payload.get("failures", [])
+    if not isinstance(failures, list):
+        return False
+    for failure in failures:
+        if not (isinstance(failure, list) and len(failure) == 4):
+            return False
+        step, vm_name, attempt, error = failure
+        if not (isinstance(step, int) and isinstance(attempt, int)):
+            return False
+        if not (isinstance(vm_name, str) and isinstance(error, str)):
+            return False
+    retry_wait = payload.get("retry_wait_s", 0.0)
+    return isinstance(retry_wait, numbers.Real) and not isinstance(retry_wait, bool)
+
+
+def _migrate_legacy(payload: dict) -> dict[str, dict[str, dict]] | None:
+    """Upgrade a pre-schema (v1) cache body, or None if it isn't one.
+
+    v1 stored the result map at top level with ``[vm, value]`` step
+    pairs; v2 wraps it in ``{"schema", "results"}`` and adds the
+    per-step attempt count (1 for every legacy run: v1 predates retry
+    accounting).  Entries that still fail validation afterwards are
+    dropped and recomputed individually.
+    """
+    migrated: dict[str, dict[str, dict]] = {}
+    for workload_id, per_workload in payload.items():
+        if not isinstance(per_workload, dict):
+            return None
+        out: dict[str, dict] = {}
+        for seed_key, entry in per_workload.items():
+            if isinstance(entry, Mapping) and isinstance(entry.get("steps"), list):
+                entry = dict(entry)
+                entry["steps"] = [
+                    [*step, 1] if isinstance(step, list) and len(step) == 2 else step
+                    for step in entry["steps"]
+                ]
+            out[seed_key] = entry
+        migrated[workload_id] = out
+    return migrated
 
 
 def _result_from_json(
@@ -75,10 +165,16 @@ def _result_from_json(
 ) -> SearchResult:
     steps = []
     best = float("inf")
-    for index, (vm_name, value) in enumerate(payload["steps"], start=1):
+    for index, (vm_name, value, attempts) in enumerate(payload["steps"], start=1):
         best = min(best, float(value))
         steps.append(
-            SearchStep(step=index, vm_name=vm_name, objective_value=float(value), best_value=best)
+            SearchStep(
+                step=index,
+                vm_name=vm_name,
+                objective_value=float(value),
+                best_value=best,
+                attempts=attempts,
+            )
         )
     return SearchResult(
         optimizer=payload["optimizer"],
@@ -86,6 +182,12 @@ def _result_from_json(
         workload_id=workload_id,
         steps=tuple(steps),
         stopped_by=payload["stopped_by"],
+        quarantined_vms=tuple(payload.get("quarantined", [])),
+        failure_events=tuple(
+            FailureEvent(step=step, vm_name=vm, attempt=attempt, error=error)
+            for step, vm, attempt, error in payload.get("failures", [])
+        ),
+        retry_wait_s=float(payload.get("retry_wait_s", 0.0)),
     )
 
 
@@ -114,6 +216,52 @@ class ExperimentRunner:
             return None
         return self.cache_dir / f"{grid.key}__{grid.objective.value}.json"
 
+    @staticmethod
+    def _quarantine(cache_path: Path, reason: str) -> None:
+        """Move a broken cache file aside instead of crashing on it."""
+        target = cache_path.with_suffix(".corrupt")
+        suffix = 0
+        while target.exists():
+            suffix += 1
+            target = cache_path.with_suffix(f".corrupt-{suffix}")
+        cache_path.replace(target)
+        logger.warning(
+            "quarantined cache file %s -> %s (%s); recomputing",
+            cache_path, target.name, reason,
+        )
+
+    def _load_cache(self, cache_path: Path | None) -> dict[str, dict[str, dict]]:
+        """The cached result map, or empty after quarantining a bad file.
+
+        A truncated file (killed process), non-JSON bytes, or a schema
+        mismatch all lead to quarantine-and-recompute: runs are
+        deterministic, so recomputation restores identical semantics.
+        """
+        if cache_path is None or not cache_path.exists():
+            return {}
+        try:
+            payload = json.loads(cache_path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
+            self._quarantine(cache_path, f"unreadable: {error}")
+            return {}
+        if isinstance(payload, dict) and "schema" not in payload:
+            migrated = _migrate_legacy(payload)
+            if migrated is not None:
+                logger.info("migrating legacy (v1) cache file %s", cache_path)
+                return migrated
+        if (
+            not isinstance(payload, dict)
+            or payload.get("schema") != CACHE_SCHEMA_VERSION
+            or not isinstance(payload.get("results"), dict)
+        ):
+            found = payload.get("schema") if isinstance(payload, dict) else None
+            self._quarantine(
+                cache_path,
+                f"schema {found!r} != {CACHE_SCHEMA_VERSION}",
+            )
+            return {}
+        return payload["results"]
+
     def run(self, grid: RunGrid) -> dict[str, list[SearchResult]]:
         """All results of ``grid``, computed or loaded from cache.
 
@@ -122,9 +270,7 @@ class ExperimentRunner:
             order preserved).
         """
         cache_path = self._cache_path(grid)
-        cache: dict[str, dict[str, dict]] = {}
-        if cache_path is not None and cache_path.exists():
-            cache = json.loads(cache_path.read_text())
+        cache = self._load_cache(cache_path)
 
         results: dict[str, list[SearchResult]] = {}
         dirty = 0
@@ -132,7 +278,9 @@ class ExperimentRunner:
         def flush() -> None:
             if cache_path is not None:
                 tmp_path = cache_path.with_suffix(".tmp")
-                tmp_path.write_text(json.dumps(cache))
+                tmp_path.write_text(
+                    json.dumps({"schema": CACHE_SCHEMA_VERSION, "results": cache})
+                )
                 tmp_path.replace(cache_path)
 
         for workload_id in grid.workload_ids:
@@ -141,10 +289,19 @@ class ExperimentRunner:
             for repeat in range(grid.repeats):
                 seed_key = str(repeat)
                 if seed_key in per_workload:
-                    runs.append(
-                        _result_from_json(per_workload[seed_key], grid.objective, workload_id)
+                    if _valid_payload(per_workload[seed_key]):
+                        runs.append(
+                            _result_from_json(
+                                per_workload[seed_key], grid.objective, workload_id
+                            )
+                        )
+                        continue
+                    # A malformed entry is dropped and recomputed below.
+                    logger.warning(
+                        "dropping malformed cache entry %s/%s in %s",
+                        workload_id, seed_key, cache_path,
                     )
-                    continue
+                    del per_workload[seed_key]
                 environment = self.trace.environment(workload_id)
                 optimizer = grid.factory(
                     environment, grid.objective, run_seed(workload_id, repeat)

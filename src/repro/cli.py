@@ -31,7 +31,9 @@ from repro.core.baselines import ExhaustiveSearch, RandomSearch
 from repro.core.hybrid_bo import HybridBO
 from repro.core.naive_bo import NaiveBO
 from repro.core.objectives import Objective
+from repro.core.smbo import MeasurementError
 from repro.core.stopping import EIThreshold, PredictionDeltaThreshold
+from repro.faults import FaultInjector, RetryPolicy, parse_fault_plan
 from repro.simulator.perfmodel import PerformanceModel
 from repro.simulator.sar import record_sar_trace
 from repro.trace.generate import default_trace, generate_trace
@@ -129,8 +131,43 @@ def _build_optimizer(args: argparse.Namespace, environment):
         stopping = EIThreshold(fraction=args.stop_value or 0.1)
     elif args.stop == "delta":
         stopping = PredictionDeltaThreshold(threshold=args.stop_value or 1.1)
+    retry_policy = RetryPolicy(
+        max_attempts=args.measure_retries + 1,
+        backoff_base_s=args.retry_backoff,
+    )
     cls = _METHODS[args.method]
-    return cls(environment, objective=objective, stopping=stopping, seed=args.seed)
+    return cls(
+        environment,
+        objective=objective,
+        stopping=stopping,
+        seed=args.seed,
+        retry_policy=retry_policy,
+        quarantine_after=args.quarantine_after,
+    )
+
+
+def _search_environment(args: argparse.Namespace, trace):
+    """The workload's replay environment, fault-injected when asked."""
+    environment = trace.environment(args.workload)
+    if args.fault_plan:
+        plan = parse_fault_plan(args.fault_plan, seed=args.fault_seed)
+        environment = FaultInjector(environment, plan)
+    return environment
+
+
+def _fault_summary(result) -> str | None:
+    """One line describing a run's failures, or None when fault-free."""
+    if not result.failure_count and not result.quarantined_vms:
+        return None
+    parts = [
+        f"failed attempts: {result.failure_count} "
+        f"(charged cost {result.charged_cost})"
+    ]
+    if result.retry_wait_s:
+        parts.append(f"retry wait {result.retry_wait_s:.1f}s")
+    if result.quarantined_vms:
+        parts.append(f"quarantined: {', '.join(result.quarantined_vms)}")
+    return "; ".join(parts)
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -140,28 +177,36 @@ def _cmd_search(args: argparse.Namespace) -> int:
         return 1
     objective = Objective.from_name(args.objective)
     optimum = trace.objective_values(args.workload, objective.trace_key).min()
-
-    if args.repeats == 1:
-        result = _build_optimizer(args, trace.environment(args.workload)).run()
-        print(f"{'step':>4}  {'VM type':<12} {'value':>12} {'best':>12}")
-        for step in result.steps:
+    try:
+        if args.repeats == 1:
+            result = _build_optimizer(args, _search_environment(args, trace)).run()
+            print(f"{'step':>4}  {'VM type':<12} {'value':>12} {'best':>12}")
+            for step in result.steps:
+                retried = f"  ({step.attempts} attempts)" if step.attempts > 1 else ""
+                print(
+                    f"{step.step:>4}  {step.vm_name:<12} "
+                    f"{step.objective_value:>12.4f} {step.best_value:>12.4f}{retried}"
+                )
             print(
-                f"{step.step:>4}  {step.vm_name:<12} "
-                f"{step.objective_value:>12.4f} {step.best_value:>12.4f}"
+                f"\nstopped by {result.stopped_by} after {result.search_cost} "
+                f"measurements; best {result.best_vm_name} "
+                f"({result.best_value / optimum:.2f}x optimum)"
             )
-        print(
-            f"\nstopped by {result.stopped_by} after {result.search_cost} "
-            f"measurements; best {result.best_vm_name} "
-            f"({result.best_value / optimum:.2f}x optimum)"
-        )
-        return 0
+            summary = _fault_summary(result)
+            if summary:
+                print(summary)
+            return 0
 
-    costs, ratios = [], []
-    for seed in range(args.repeats):
-        args.seed = seed
-        result = _build_optimizer(args, trace.environment(args.workload)).run()
-        costs.append(result.search_cost)
-        ratios.append(result.best_value / optimum)
+        costs, charged, ratios = [], [], []
+        for seed in range(args.repeats):
+            args.seed = seed
+            result = _build_optimizer(args, _search_environment(args, trace)).run()
+            costs.append(result.search_cost)
+            charged.append(result.charged_cost)
+            ratios.append(result.best_value / optimum)
+    except (ValueError, MeasurementError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     print(
         f"{args.method} on {args.workload} ({objective.value}), "
         f"{args.repeats} repeats:"
@@ -170,6 +215,11 @@ def _cmd_search(args: argparse.Namespace) -> int:
         f"  search cost: median {float(np.median(costs)):.1f} "
         f"(min {min(costs)}, max {max(costs)})"
     )
+    if charged != costs:
+        print(
+            f"  charged cost (failures included): median "
+            f"{float(np.median(charged)):.1f} (max {max(charged)})"
+        )
     print(f"  best-vs-optimum: median {float(np.median(ratios)):.3f}x")
     return 0
 
@@ -357,6 +407,26 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--stop", choices=["none", "ei", "delta"], default="none")
     search.add_argument("--stop-value", type=float, default=None)
     search.add_argument("--trace", help="trace JSON (default: canonical)")
+    search.add_argument(
+        "--measure-retries", type=int, default=0,
+        help="retries per failed measurement (each attempt is charged)",
+    )
+    search.add_argument(
+        "--retry-backoff", type=float, default=0.0,
+        help="base exponential-backoff delay in seconds between retries",
+    )
+    search.add_argument(
+        "--quarantine-after", type=int, default=3,
+        help="consecutive failures before a VM is quarantined",
+    )
+    search.add_argument(
+        "--fault-plan",
+        help='inject faults, e.g. "transient:rate=0.3+outage:vm=c3.large"',
+    )
+    search.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the fault plan's randomness",
+    )
     search.set_defaults(func=_cmd_search)
 
     profile = sub.add_parser("profile", help="simulate a run's sysstat time series")

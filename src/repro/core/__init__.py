@@ -13,7 +13,7 @@
 """
 
 from repro.core.objectives import Objective
-from repro.core.result import SearchResult, SearchStep
+from repro.core.result import FailureEvent, SearchResult, SearchStep
 from repro.core.acquisition import (
     expected_improvement,
     lower_confidence_bound,
@@ -38,6 +38,7 @@ __all__ = [
     "Objective",
     "SearchResult",
     "SearchStep",
+    "FailureEvent",
     "expected_improvement",
     "probability_of_improvement",
     "lower_confidence_bound",

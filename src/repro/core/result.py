@@ -15,20 +15,42 @@ from repro.core.objectives import Objective
 
 
 @dataclass(frozen=True, slots=True)
+class FailureEvent:
+    """One failed (but still charged) measurement attempt.
+
+    Attributes:
+        step: the 1-based step the search was working towards when the
+            attempt failed (= successful observations so far + 1).
+        vm_name: the VM whose measurement failed.
+        attempt: 1-based attempt number within that observation round.
+        error: ``"ErrorType: message"`` of the underlying failure.
+    """
+
+    step: int
+    vm_name: str
+    attempt: int
+    error: str
+
+
+@dataclass(frozen=True, slots=True)
 class SearchStep:
-    """One charged measurement during a search.
+    """One successful charged measurement during a search.
 
     Attributes:
         step: 1-based measurement index (initial samples included).
         vm_name: the VM type measured at this step.
         objective_value: the objective of this measurement.
         best_value: the best (lowest) objective observed up to this step.
+        attempts: measure calls this observation took (1 = first try;
+            the ``attempts - 1`` failures are also in
+            :attr:`SearchResult.failure_events`).
     """
 
     step: int
     vm_name: str
     objective_value: float
     best_value: float
+    attempts: int = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,10 +61,16 @@ class SearchResult:
         optimizer: the optimiser's display name.
         objective: what was minimised.
         workload_id: the workload searched, when known.
-        steps: one entry per charged measurement, in order.
-        stopped_by: ``"exhausted"`` (all VMs measured),
+        steps: one entry per successful measurement, in order.
+        stopped_by: ``"exhausted"`` (all reachable VMs measured),
             ``"criterion"`` (stopping rule fired) or ``"budget"``
-            (``max_measurements`` reached).
+            (``max_measurements`` charged attempts reached).
+        quarantined_vms: VM types the circuit breaker quarantined after
+            repeated failures (sorted); empty for a fault-free search.
+        failure_events: every failed-but-charged measurement attempt, in
+            order of occurrence.
+        retry_wait_s: total simulated (or real) backoff time spent
+            between retry attempts.
     """
 
     optimizer: str
@@ -50,6 +78,9 @@ class SearchResult:
     workload_id: str | None
     steps: tuple[SearchStep, ...]
     stopped_by: str
+    quarantined_vms: tuple[str, ...] = ()
+    failure_events: tuple[FailureEvent, ...] = ()
+    retry_wait_s: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.steps:
@@ -57,8 +88,22 @@ class SearchResult:
 
     @property
     def search_cost(self) -> int:
-        """Total number of charged measurements."""
+        """Number of successful charged measurements (one per step)."""
         return len(self.steps)
+
+    @property
+    def failure_count(self) -> int:
+        """Number of failed (but charged) measurement attempts."""
+        return len(self.failure_events)
+
+    @property
+    def charged_cost(self) -> int:
+        """Every attempt the cloud billed: successes plus failures.
+
+        This is the honest search cost under faults; it equals
+        :attr:`search_cost` for a fault-free run.
+        """
+        return self.search_cost + self.failure_count
 
     @property
     def best_value(self) -> float:

@@ -9,9 +9,20 @@ The loop is shared by every optimiser in this package:
    highest-scoring VM and repeat.
 
 The instance space is finite (18 VMs), so optimisers never re-measure a
-VM and a search that exhausts the catalog ends with ``"exhausted"``.
-Search cost is the number of charged measurements, initial samples
-included — the paper's accounting.
+VM and a search that measures every reachable VM ends with
+``"exhausted"``.  Search cost is the number of charged measurements,
+initial samples and *failed attempts* included — the cloud bills a run
+that a spot reclamation killed — which is the paper's accounting
+extended honestly to faulty clouds.
+
+Fault tolerance: measurements may raise (spot interruptions,
+provisioning errors) or return corrupted values (NaN / non-positive
+time).  Each observation is retried under a
+:class:`~repro.faults.retry.RetryPolicy` (exponential backoff, seeded
+jitter), and a per-VM :class:`~repro.faults.retry.CircuitBreaker`
+quarantines a VM after repeated failures so the search continues over
+the remaining catalog instead of aborting.  :class:`MeasurementError`
+is raised only when *nothing* could be measured at all.
 """
 
 from __future__ import annotations
@@ -23,8 +34,10 @@ import numpy as np
 
 from repro.cloud.encoding import InstanceEncoder
 from repro.core.objectives import Objective
-from repro.core.result import SearchResult, SearchStep
+from repro.core.result import FailureEvent, SearchResult, SearchStep
 from repro.core.stopping import SearchState, StoppingCriterion
+from repro.faults.models import CorruptedMeasurementError
+from repro.faults.retry import CircuitBreaker, RetryPolicy
 from repro.ml.sampling import quasi_random_distinct
 from repro.simulator.cluster import Measurement, MeasurementEnvironment
 
@@ -33,7 +46,7 @@ DEFAULT_N_INITIAL = 3
 
 
 class MeasurementError(RuntimeError):
-    """A measurement failed even after the configured retries."""
+    """No measurement could be obtained at all (every VM failed)."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,17 +75,20 @@ class SequentialOptimizer(abc.ABC):
         objective: what to minimise.
         n_initial: size of the quasi-random initial design.
         stopping: optional early-stopping criterion.
-        max_measurements: optional hard measurement budget.
-        seed: seed for the initial design and any surrogate randomness.
+        max_measurements: optional hard budget on *charged attempts*
+            (failed ones included).
+        seed: seed for the initial design, retry jitter, and any
+            surrogate randomness.
         initial_design: explicit catalog indices to measure first instead
             of the quasi-random design (the Section III-C sensitivity
             experiments fix these).
-        measure_retries: how many times a failed (raising) measurement is
-            retried before the search aborts with
-            :class:`MeasurementError`.  Cloud measurements do fail —
-            spot interruptions, provisioning errors — and a search tool
-            must survive transient ones.  Each retry is charged like any
-            other measurement (the cloud billed it).
+        measure_retries: legacy retry counter; shorthand for
+            ``retry_policy=RetryPolicy(max_attempts=measure_retries + 1)``.
+        retry_policy: full retry behaviour (attempts, backoff, jitter);
+            overrides ``measure_retries`` when given.  Each attempt is
+            charged like any other measurement (the cloud billed it).
+        quarantine_after: consecutive failures after which a VM is
+            quarantined for the rest of the search.
     """
 
     #: Display name; subclasses override.
@@ -88,6 +104,8 @@ class SequentialOptimizer(abc.ABC):
         seed: int | None = None,
         initial_design: list[int] | None = None,
         measure_retries: int = 0,
+        retry_policy: RetryPolicy | None = None,
+        quarantine_after: int = 3,
     ) -> None:
         if n_initial < 1:
             raise ValueError(f"n_initial must be at least 1, got {n_initial}")
@@ -96,6 +114,12 @@ class SequentialOptimizer(abc.ABC):
         if measure_retries < 0:
             raise ValueError(f"measure_retries must be >= 0, got {measure_retries}")
         self.measure_retries = measure_retries
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy.from_retries(measure_retries)
+        )
+        self.quarantine_after = quarantine_after  # CircuitBreaker validates
         self.initial_design = list(initial_design) if initial_design is not None else None
         self._env = environment
         self.objective = objective
@@ -107,10 +131,19 @@ class SequentialOptimizer(abc.ABC):
         # subclass draws: optimisers with the same seed then share the
         # same initial design regardless of how many surrogate seeds they
         # consume (Hybrid BO's early phase must match Naive BO's exactly).
-        self._init_rng = np.random.default_rng(self._rng.integers(2**31))
+        # The retry-jitter stream derives from the same draw (not a second
+        # one) so adding it did not shift any pre-existing seeded stream.
+        stream_seed = int(self._rng.integers(2**31))
+        self._init_rng = np.random.default_rng(stream_seed)
+        self._stream_seed = stream_seed
         self._encoder = InstanceEncoder(tuple(environment.catalog))
         self._design = self._encoder.encode_all()
-        self._observations: list[tuple[int, Measurement, float]] = []
+        self._observations: list[tuple[int, Measurement, float, int]] = []
+        self._failure_events: list[FailureEvent] = []
+        self._failed_charges = 0
+        self._retry_wait_s = 0.0
+        self._breaker = CircuitBreaker(self.quarantine_after)
+        self._retry_rng = np.random.default_rng([self._stream_seed, 1])
 
     # -- state exposed to subclasses ----------------------------------------
 
@@ -122,17 +155,22 @@ class SequentialOptimizer(abc.ABC):
     @property
     def measured_indices(self) -> list[int]:
         """Catalog indices measured so far, in measurement order."""
-        return [index for index, _, _ in self._observations]
+        return [index for index, _, _, _ in self._observations]
 
     @property
     def measured_values(self) -> np.ndarray:
         """Objective values measured so far, aligned with indices."""
-        return np.array([value for _, _, value in self._observations])
+        return np.array([value for _, _, value, _ in self._observations])
 
     @property
     def measured_measurements(self) -> list[Measurement]:
         """Full measurements so far (low-level metrics included)."""
-        return [measurement for _, measurement, _ in self._observations]
+        return [measurement for _, measurement, _, _ in self._observations]
+
+    @property
+    def quarantined_vm_names(self) -> frozenset[str]:
+        """VM types quarantined by the circuit breaker so far."""
+        return self._breaker.quarantined
 
     @property
     def best_observed(self) -> float:
@@ -143,7 +181,7 @@ class SequentialOptimizer(abc.ABC):
         """
         if not self._observations:
             raise RuntimeError("no measurements yet")
-        return float(min(value for _, _, value in self._observations))
+        return float(min(value for _, _, value, _ in self._observations))
 
     # -- subclass hooks ------------------------------------------------------
 
@@ -160,21 +198,63 @@ class SequentialOptimizer(abc.ABC):
 
     # -- the loop ------------------------------------------------------------
 
-    def _observe(self, index: int) -> None:
+    def _charged(self) -> int:
+        """Charged attempts so far: successful observations + failures."""
+        return len(self._observations) + self._failed_charges
+
+    def _budget_exhausted(self) -> bool:
+        return (
+            self.max_measurements is not None
+            and self._charged() >= self.max_measurements
+        )
+
+    def _observe(self, index: int) -> bool:
+        """Try to measure one VM under the retry policy.
+
+        Every attempt — failed or not — is charged.  Returns True on a
+        successful observation; False when the attempts were exhausted,
+        the VM got quarantined, or the budget ran out mid-retry.
+        """
         vm = self._env.catalog[index]
-        last_error: Exception | None = None
-        for _ in range(self.measure_retries + 1):
+        policy = self.retry_policy
+        step = len(self._observations) + 1
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                self._retry_wait_s += policy.wait(attempt - 1, self._retry_rng)
             try:
                 measurement = self._env.measure(vm)
+                value = self.objective.value_of(measurement)
+                if not np.isfinite(value) or value <= 0.0:
+                    raise CorruptedMeasurementError(
+                        f"{vm.name} returned unusable {self.objective.value} "
+                        f"value {value!r}"
+                    )
             except Exception as error:  # noqa: BLE001 - cloud errors are diverse
-                last_error = error
+                self._failed_charges += 1
+                self._failure_events.append(
+                    FailureEvent(
+                        step=step,
+                        vm_name=vm.name,
+                        attempt=attempt,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                )
+                if self._breaker.record_failure(vm.name) or self._budget_exhausted():
+                    return False
                 continue
-            value = self.objective.value_of(measurement)
-            self._observations.append((index, measurement, value))
-            return
-        raise MeasurementError(
-            f"measuring {vm.name} failed after {self.measure_retries + 1} attempts"
-        ) from last_error
+            self._breaker.record_success(vm.name)
+            self._observations.append((index, measurement, value, attempt))
+            return True
+        return False
+
+    def _reachable_unmeasured(self) -> list[int]:
+        """Unmeasured catalog indices whose VM is not quarantined."""
+        measured = set(self.measured_indices)
+        return [
+            i
+            for i, vm in enumerate(self._env.catalog)
+            if i not in measured and not self._breaker.is_quarantined(vm.name)
+        ]
 
     def run(self, initial_vms: list[int] | None = None) -> SearchResult:
         """Execute the search and return its full trace.
@@ -183,31 +263,57 @@ class SequentialOptimizer(abc.ABC):
             initial_vms: override the initial design with explicit
                 catalog indices (used by the initial-point sensitivity
                 experiments of Section III-C).
+
+        Raises:
+            MeasurementError: if not even one VM could be measured.
         """
         self._env.reset()
         self._observations = []
-        n_vms = len(self._env.catalog)
+        self._failure_events = []
+        self._failed_charges = 0
+        self._retry_wait_s = 0.0
+        self._breaker = CircuitBreaker(self.quarantine_after)
+        self._retry_rng = np.random.default_rng([self._stream_seed, 1])
 
         initial = initial_vms if initial_vms is not None else self._initial_indices()
         if not initial:
             raise ValueError("initial design must contain at least one VM")
         if len(set(initial)) != len(initial):
             raise ValueError("initial design must not repeat VMs")
-        budget = self.max_measurements if self.max_measurements is not None else n_vms
-        for index in initial[:budget]:
+        if self.max_measurements is not None:
+            initial = initial[: self.max_measurements]
+        for index in initial:
+            if self._budget_exhausted():
+                break
             self._observe(index)
+        # If every initial VM failed, fall back to the remaining reachable
+        # catalog (in order) so one bad initial design cannot kill the
+        # search while measurable VMs exist.
+        while not self._observations and not self._budget_exhausted():
+            candidates = self._reachable_unmeasured()
+            if not candidates:
+                break
+            self._observe(candidates[0])
+        if not self._observations:
+            raise MeasurementError(
+                "no initial measurement succeeded "
+                f"({self._failed_charges} charged attempts; "
+                f"quarantined: {sorted(self._breaker.quarantined)})"
+            )
 
         stopped_by = "exhausted"
-        while len(self._observations) < n_vms:
-            if len(self._observations) >= budget:
+        while True:
+            candidates = self._reachable_unmeasured()
+            if not candidates:
+                stopped_by = "exhausted"
+                break
+            if self._budget_exhausted():
                 stopped_by = "budget"
                 break
-            measured = set(self.measured_indices)
-            unmeasured = [i for i in range(n_vms) if i not in measured]
-            acquisition = self._score_candidates(unmeasured)
-            if acquisition.scores.shape != (len(unmeasured),):
+            acquisition = self._score_candidates(candidates)
+            if acquisition.scores.shape != (len(candidates),):
                 raise RuntimeError(
-                    f"{self.name}: expected {len(unmeasured)} scores, "
+                    f"{self.name}: expected {len(candidates)} scores, "
                     f"got shape {acquisition.scores.shape}"
                 )
             if self.stopping is not None and self.stopping.should_stop(
@@ -220,14 +326,14 @@ class SequentialOptimizer(abc.ABC):
             ):
                 stopped_by = "criterion"
                 break
-            self._observe(unmeasured[int(np.argmax(acquisition.scores))])
+            self._observe(candidates[int(np.argmax(acquisition.scores))])
 
         return self._build_result(stopped_by)
 
     def _build_result(self, stopped_by: str) -> SearchResult:
         steps = []
         best = np.inf
-        for step, (index, _, value) in enumerate(self._observations, start=1):
+        for step, (index, _, value, attempts) in enumerate(self._observations, start=1):
             best = min(best, value)
             steps.append(
                 SearchStep(
@@ -235,6 +341,7 @@ class SequentialOptimizer(abc.ABC):
                     vm_name=self._env.catalog[index].name,
                     objective_value=value,
                     best_value=best,
+                    attempts=attempts,
                 )
             )
         workload = getattr(self._env, "workload", None)
@@ -244,4 +351,7 @@ class SequentialOptimizer(abc.ABC):
             workload_id=workload.workload_id if workload is not None else None,
             steps=tuple(steps),
             stopped_by=stopped_by,
+            quarantined_vms=tuple(sorted(self._breaker.quarantined)),
+            failure_events=tuple(self._failure_events),
+            retry_wait_s=self._retry_wait_s,
         )

@@ -1,0 +1,49 @@
+"""Fault tolerance for the measurement path.
+
+Real-cloud measurements fail; this package makes Arrow's search loop
+degrade gracefully instead of aborting:
+
+* :mod:`repro.faults.models` — seeded, composable failure models
+  (:class:`FaultInjector`, :class:`FaultPlan`, rule classes) that turn
+  any measurement environment into a reproducible fault scenario,
+* :mod:`repro.faults.retry` — :class:`RetryPolicy` (exponential backoff
+  with seeded jitter) and the per-VM :class:`CircuitBreaker` the SMBO
+  loop uses to quarantine persistently failing VMs.
+"""
+
+from repro.faults.models import (
+    CorruptedMeasurementError,
+    CorruptedMeasurements,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    PermanentOutage,
+    SpotInterruptionError,
+    SpotInterruptions,
+    Stragglers,
+    TransientTimeoutError,
+    TransientTimeouts,
+    VMUnavailableError,
+    parse_fault_plan,
+)
+from repro.faults.retry import CircuitBreaker, RetryPolicy
+
+__all__ = [
+    "FaultError",
+    "TransientTimeoutError",
+    "SpotInterruptionError",
+    "VMUnavailableError",
+    "CorruptedMeasurementError",
+    "FaultRule",
+    "TransientTimeouts",
+    "SpotInterruptions",
+    "PermanentOutage",
+    "CorruptedMeasurements",
+    "Stragglers",
+    "FaultPlan",
+    "FaultInjector",
+    "parse_fault_plan",
+    "RetryPolicy",
+    "CircuitBreaker",
+]

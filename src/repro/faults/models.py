@@ -1,0 +1,313 @@
+"""Failure models: seeded, composable fault injection for environments.
+
+Real-cloud measurements fail — spot instances get reclaimed, provisioning
+times out, a noisy neighbour turns a run into a straggler, a collector
+writes garbage.  :class:`FaultInjector` wraps any
+:class:`~repro.simulator.cluster.MeasurementEnvironment` and applies a
+:class:`FaultPlan` — an ordered list of :class:`FaultRule`\\ s with one
+seed — so every fault scenario is reproducible: the same plan against the
+same environment produces the identical sequence of failures, and
+:meth:`FaultInjector.reset` rewinds the plan along with the environment.
+
+Rules either *raise* before the inner measurement runs (timeouts, spot
+interruptions, dead VMs) or *transform* the returned measurement
+(corruption, stragglers).  Every ``measure()`` call is charged whether or
+not it raises — a reclaimed spot instance still billed its partial hour —
+which is what makes honest search-cost accounting under faults possible.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.cloud.vmtypes import VMType
+from repro.simulator.cluster import Measurement, MeasurementEnvironment
+
+
+class FaultError(RuntimeError):
+    """Base class for injected measurement failures."""
+
+
+class TransientTimeoutError(FaultError):
+    """The run timed out; a retry may well succeed."""
+
+
+class SpotInterruptionError(FaultError):
+    """The spot instance was reclaimed mid-run."""
+
+
+class VMUnavailableError(FaultError):
+    """The VM type cannot be provisioned at all (permanent failure)."""
+
+
+class CorruptedMeasurementError(FaultError):
+    """A measurement came back with an unusable objective value.
+
+    Raised by the optimiser's validation (not by the environment): a
+    NaN or non-positive time/cost means the collector broke, and the
+    observation must be rejected rather than fitted.
+    """
+
+
+class FaultRule(abc.ABC):
+    """One composable failure mode inside a :class:`FaultPlan`.
+
+    Rules are stateful (call counters, their own RNG stream) and are
+    (re)armed via :meth:`reset` with a generator derived from the plan
+    seed, so each rule's randomness is independent of the others and of
+    rule order.
+    """
+
+    def reset(self, rng: np.random.Generator) -> None:
+        """Rewind the rule to its initial state with a fresh stream."""
+        self._rng = rng
+        self._calls = 0
+
+    def before_measure(self, vm: VMType) -> None:
+        """Called before the inner measurement; may raise a fault."""
+
+    def after_measure(self, vm: VMType, measurement: Measurement) -> Measurement:
+        """Called on the inner result; may return a transformed one."""
+        return measurement
+
+    def _fires(self, rate: float, every: int | None) -> bool:
+        """Shared trigger logic: every N-th call, or seeded Bernoulli."""
+        self._calls += 1
+        if every is not None:
+            return self._calls % every == 0
+        return bool(self._rng.random() < rate)
+
+
+def _validate_trigger(rate: float, every: int | None, name: str) -> None:
+    if every is not None:
+        if every < 1:
+            raise ValueError(f"{name}: every must be >= 1, got {every}")
+        if rate:
+            raise ValueError(f"{name}: pass either rate or every, not both")
+    elif not 0.0 <= rate <= 1.0:
+        raise ValueError(f"{name}: rate must be in [0, 1], got {rate}")
+
+
+class TransientTimeouts(FaultRule):
+    """Transient timeouts: each call fails with probability ``rate``,
+    or deterministically on every ``every``-th call."""
+
+    def __init__(self, rate: float = 0.0, every: int | None = None) -> None:
+        _validate_trigger(rate, every, "TransientTimeouts")
+        self.rate, self.every = rate, every
+
+    def before_measure(self, vm: VMType) -> None:
+        if self._fires(self.rate, self.every):
+            raise TransientTimeoutError(f"measurement of {vm.name} timed out")
+
+
+class SpotInterruptions(FaultRule):
+    """Spot reclamation: each call is interrupted with probability ``rate``."""
+
+    def __init__(self, rate: float = 0.0, every: int | None = None) -> None:
+        _validate_trigger(rate, every, "SpotInterruptions")
+        self.rate, self.every = rate, every
+
+    def before_measure(self, vm: VMType) -> None:
+        if self._fires(self.rate, self.every):
+            raise SpotInterruptionError(f"spot instance {vm.name} reclaimed mid-run")
+
+
+class PermanentOutage(FaultRule):
+    """Named VM types can never be provisioned: every call raises."""
+
+    def __init__(self, *vm_names: str) -> None:
+        if not vm_names:
+            raise ValueError("PermanentOutage needs at least one VM name")
+        self.vm_names = frozenset(vm_names)
+
+    def before_measure(self, vm: VMType) -> None:
+        if vm.name in self.vm_names:
+            raise VMUnavailableError(f"{vm.name} permanently unavailable")
+
+
+class CorruptedMeasurements(FaultRule):
+    """The collector breaks: time and cost come back NaN or negative.
+
+    The environment does *not* raise — the corruption is only visible to
+    a consumer that validates the values, which the SMBO loop does.
+    """
+
+    def __init__(self, rate: float = 0.0, every: int | None = None, mode: str = "nan") -> None:
+        _validate_trigger(rate, every, "CorruptedMeasurements")
+        if mode not in ("nan", "negative"):
+            raise ValueError(f"mode must be 'nan' or 'negative', got {mode!r}")
+        self.rate, self.every, self.mode = rate, every, mode
+
+    def after_measure(self, vm: VMType, measurement: Measurement) -> Measurement:
+        if not self._fires(self.rate, self.every):
+            return measurement
+        bad = float("nan") if self.mode == "nan" else -abs(measurement.execution_time_s)
+        bad_cost = float("nan") if self.mode == "nan" else -abs(measurement.cost_usd)
+        return replace(measurement, execution_time_s=bad, cost_usd=bad_cost)
+
+
+class Stragglers(FaultRule):
+    """Straggler runs: the measurement succeeds but takes ``slowdown`` x
+    longer (and bills accordingly) with probability ``rate``."""
+
+    def __init__(self, rate: float = 0.0, slowdown: float = 4.0, every: int | None = None) -> None:
+        _validate_trigger(rate, every, "Stragglers")
+        if slowdown <= 1.0:
+            raise ValueError(f"slowdown must be > 1, got {slowdown}")
+        self.rate, self.every, self.slowdown = rate, every, slowdown
+
+    def after_measure(self, vm: VMType, measurement: Measurement) -> Measurement:
+        if not self._fires(self.rate, self.every):
+            return measurement
+        return replace(
+            measurement,
+            execution_time_s=measurement.execution_time_s * self.slowdown,
+            cost_usd=measurement.cost_usd * self.slowdown,
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, seeded set of fault rules — one reproducible scenario.
+
+    Attributes:
+        rules: applied in order on every measure call; a raising rule
+            hides the call from the rules after it.
+        seed: root seed; each rule gets an independent stream derived
+            from ``(seed, rule index)``, so adding a rule never shifts
+            the randomness of the others.
+    """
+
+    rules: tuple[FaultRule, ...]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.rules:
+            raise ValueError("a fault plan needs at least one rule")
+
+    def injector(self, environment: MeasurementEnvironment) -> FaultInjector:
+        """Wrap ``environment`` with this plan."""
+        return FaultInjector(environment, self)
+
+
+class FaultInjector:
+    """A :class:`~repro.simulator.cluster.MeasurementEnvironment` wrapper
+    that applies a :class:`FaultPlan` to every measure call.
+
+    The injector's ``measurement_count`` counts every *attempt*, failed
+    ones included: the cloud bills a run that a spot reclamation killed.
+    ``reset()`` rewinds both the inner environment and the fault plan, so
+    a reset search replays the identical fault sequence.
+    """
+
+    def __init__(self, inner: MeasurementEnvironment, plan: FaultPlan) -> None:
+        self._inner = inner
+        self.plan = plan
+        self._count = 0
+        self._arm()
+
+    def _arm(self) -> None:
+        for index, rule in enumerate(self.plan.rules):
+            rule.reset(np.random.default_rng([self.plan.seed, index]))
+
+    @property
+    def catalog(self):
+        return self._inner.catalog
+
+    @property
+    def workload(self):
+        """The inner environment's workload, when it has one."""
+        return getattr(self._inner, "workload", None)
+
+    @property
+    def measurement_count(self) -> int:
+        return self._count
+
+    def measure(self, vm: VMType) -> Measurement:
+        self._count += 1  # charged whether or not a rule raises below
+        for rule in self.plan.rules:
+            rule.before_measure(vm)
+        measurement = self._inner.measure(vm)
+        for rule in self.plan.rules:
+            measurement = rule.after_measure(vm, measurement)
+        return measurement
+
+    def reset(self) -> None:
+        self._count = 0
+        self._inner.reset()
+        self._arm()
+
+
+#: ``parse_fault_plan`` rule names -> (constructor, parameter parsers).
+_SPEC_RULES = {
+    "transient": TransientTimeouts,
+    "spot": SpotInterruptions,
+    "outage": PermanentOutage,
+    "corrupt": CorruptedMeasurements,
+    "straggler": Stragglers,
+}
+
+
+def parse_fault_plan(spec: str, seed: int = 0) -> FaultPlan:
+    """Parse a CLI fault-plan spec into a :class:`FaultPlan`.
+
+    Grammar: rules joined by ``+``; each rule is ``name`` or
+    ``name:key=value,key=value``.  Examples::
+
+        transient:rate=0.3
+        transient:every=3+outage:vm=c3.large
+        spot:rate=0.1+straggler:rate=0.05,slowdown=3+corrupt:rate=0.02,mode=nan
+
+    ``outage`` takes ``vm=<name>`` (repeat names with ``|``:
+    ``vm=c3.large|m3.large``); the numeric rules take ``rate=`` or
+    ``every=``; ``corrupt`` also takes ``mode=nan|negative`` and
+    ``straggler`` takes ``slowdown=``.
+
+    Raises:
+        ValueError: on an unknown rule name or malformed parameters.
+    """
+    rules: list[FaultRule] = []
+    for part in spec.split("+"):
+        part = part.strip()
+        if not part:
+            raise ValueError(f"empty rule in fault plan {spec!r}")
+        name, _, params_text = part.partition(":")
+        if name not in _SPEC_RULES:
+            known = ", ".join(sorted(_SPEC_RULES))
+            raise ValueError(f"unknown fault rule {name!r}; known: {known}")
+        params: dict[str, str] = {}
+        if params_text:
+            for item in params_text.split(","):
+                key, sep, value = item.partition("=")
+                if not sep or not key or not value:
+                    raise ValueError(f"malformed parameter {item!r} in rule {part!r}")
+                params[key.strip()] = value.strip()
+        try:
+            rules.append(_build_rule(name, params))
+        except (TypeError, ValueError) as error:
+            raise ValueError(f"invalid fault rule {part!r}: {error}") from None
+    return FaultPlan(rules=tuple(rules), seed=seed)
+
+
+def _build_rule(name: str, params: dict[str, str]) -> FaultRule:
+    if name == "outage":
+        vms = params.pop("vm", "")
+        if params:
+            raise ValueError(f"unknown parameters {sorted(params)}")
+        names = [v for v in vms.split("|") if v]
+        return PermanentOutage(*names)
+    kwargs: dict[str, float | int | str] = {}
+    for key, value in params.items():
+        if key == "every":
+            kwargs[key] = int(value)
+        elif key in ("rate", "slowdown"):
+            kwargs[key] = float(value)
+        elif key == "mode" and name == "corrupt":
+            kwargs[key] = value
+        else:
+            raise ValueError(f"unknown parameter {key!r}")
+    return _SPEC_RULES[name](**kwargs)

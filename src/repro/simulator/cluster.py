@@ -47,11 +47,21 @@ class MeasurementEnvironment(Protocol):
 
     @property
     def measurement_count(self) -> int:
-        """How many measurements have been charged so far."""
+        """How many measurement *attempts* have been charged so far.
+
+        Failed attempts count too: the cloud bills a run that a spot
+        reclamation killed.  Implementations must charge before the
+        measurement can fail.
+        """
         ...
 
     def measure(self, vm: VMType) -> Measurement:
-        """Run the workload on ``vm`` and return the measured outcome."""
+        """Run the workload on ``vm`` and return the measured outcome.
+
+        May raise on real clouds (or under a
+        :class:`~repro.faults.models.FaultInjector`); the attempt is
+        charged regardless.
+        """
         ...
 
     def reset(self) -> None:
@@ -92,13 +102,17 @@ class SimulatedCloud:
         return self._count
 
     def measure(self, vm: VMType) -> Measurement:
-        """Simulate one full run of the workload on ``vm``."""
+        """Simulate one full run of the workload on ``vm``.
+
+        The attempt is charged up front, so a wrapper that makes this
+        call fail (fault injection, a live cloud) still bills it.
+        """
+        self._count += 1
         breakdown = self._model.breakdown(vm, self.workload.profile)
         time_s = self._noise.perturb_time(breakdown.total_time_s)
         metrics = self._noise.perturb_metrics(
             derive_metrics(vm, self.workload.profile, breakdown)
         )
-        self._count += 1
         return Measurement(
             vm=vm,
             execution_time_s=time_s,

@@ -1,10 +1,15 @@
-"""Unit tests for the experiment runner and its cache."""
+"""Unit tests for the experiment runner and its crash-safe cache."""
 
 import json
 
 import pytest
 
-from repro.analysis.runner import ExperimentRunner, RunGrid, run_seed
+from repro.analysis.runner import (
+    CACHE_SCHEMA_VERSION,
+    ExperimentRunner,
+    RunGrid,
+    run_seed,
+)
 from repro.core.baselines import RandomSearch
 from repro.core.objectives import Objective
 
@@ -78,7 +83,7 @@ class TestRunner:
         cache_file = tmp_path / "cache" / "random__time.json"
         assert cache_file.exists()
         payload = json.loads(cache_file.read_text())
-        assert set(payload) == set(WORKLOADS)
+        assert set(payload["results"]) == set(WORKLOADS)
 
     def test_incremental_repeats_extend_cache(self, runner):
         grid_small = RunGrid("random", random_factory, Objective.TIME, WORKLOADS, 2)
@@ -116,3 +121,106 @@ class TestRunner:
         runner = ExperimentRunner(trace=trace, cache_dir=None)
         grid = RunGrid("random", random_factory, Objective.TIME, WORKLOADS, 1)
         runner.run(grid)  # must simply not raise
+
+    def test_cache_file_carries_schema_version(self, runner, tmp_path):
+        grid = RunGrid("random", random_factory, Objective.TIME, WORKLOADS, 1)
+        runner.run(grid)
+        payload = json.loads((tmp_path / "cache" / "random__time.json").read_text())
+        assert payload["schema"] == CACHE_SCHEMA_VERSION
+        assert set(payload["results"]) == set(WORKLOADS)
+
+
+def _results_signature(results):
+    return {
+        workload: [
+            (r.measured_vm_names, r.best_value, r.stopped_by) for r in runs
+        ]
+        for workload, runs in results.items()
+    }
+
+
+class TestCacheRecovery:
+    """A killed process must never poison the cache for the next one."""
+
+    GRID = ("random", random_factory, Objective.TIME, WORKLOADS, 2)
+
+    def test_truncated_cache_file_is_quarantined_and_recomputed(
+        self, runner, tmp_path
+    ):
+        grid = RunGrid(*self.GRID)
+        fresh = runner.run(grid)
+        cache_file = tmp_path / "cache" / "random__time.json"
+        # Simulate a crash mid-write: keep only the first half of the file.
+        text = cache_file.read_text()
+        cache_file.write_text(text[: len(text) // 2])
+
+        recovered = runner.run(grid)
+        assert _results_signature(recovered) == _results_signature(fresh)
+        assert (tmp_path / "cache" / "random__time.corrupt").exists()
+        # The rebuilt cache is valid again.
+        assert json.loads(cache_file.read_text())["schema"] == CACHE_SCHEMA_VERSION
+
+    def test_non_json_garbage_is_quarantined(self, runner, tmp_path):
+        grid = RunGrid(*self.GRID)
+        fresh = runner.run(grid)
+        cache_file = tmp_path / "cache" / "random__time.json"
+        cache_file.write_bytes(b"\x00\xff garbage \x80")
+        assert _results_signature(runner.run(grid)) == _results_signature(fresh)
+
+    def test_repeated_corruption_keeps_all_quarantine_files(self, runner, tmp_path):
+        grid = RunGrid(*self.GRID)
+        cache_file = tmp_path / "cache" / "random__time.json"
+        for _ in range(2):
+            runner.run(grid)
+            cache_file.write_text("{broken")
+        runner.run(grid)
+        corrupts = sorted(p.name for p in (tmp_path / "cache").glob("random__time.corrupt*"))
+        assert corrupts == ["random__time.corrupt", "random__time.corrupt-1"]
+
+    def test_unknown_schema_version_is_quarantined(self, runner, tmp_path):
+        grid = RunGrid(*self.GRID)
+        fresh = runner.run(grid)
+        cache_file = tmp_path / "cache" / "random__time.json"
+        payload = json.loads(cache_file.read_text())
+        payload["schema"] = 999
+        cache_file.write_text(json.dumps(payload))
+        assert _results_signature(runner.run(grid)) == _results_signature(fresh)
+        assert (tmp_path / "cache" / "random__time.corrupt").exists()
+
+    def test_legacy_v1_cache_is_migrated_not_recomputed(self, runner, trace, tmp_path):
+        grid = RunGrid(*self.GRID)
+        fresh = runner.run(grid)
+        cache_file = tmp_path / "cache" / "random__time.json"
+        payload = json.loads(cache_file.read_text())
+        # Rewrite the file in the legacy (pre-schema) layout.
+        legacy = {
+            workload: {
+                seed: {
+                    "optimizer": entry["optimizer"],
+                    "stopped_by": entry["stopped_by"],
+                    "steps": [[vm, value] for vm, value, _ in entry["steps"]],
+                }
+                for seed, entry in per_workload.items()
+            }
+            for workload, per_workload in payload["results"].items()
+        }
+        cache_file.write_text(json.dumps(legacy))
+        migrated = runner.run(grid)
+        assert _results_signature(migrated) == _results_signature(fresh)
+        # Migration, not quarantine: no .corrupt file appears.
+        assert not list((tmp_path / "cache").glob("*.corrupt*"))
+
+    def test_malformed_entry_is_recomputed_in_place(self, runner, tmp_path):
+        grid = RunGrid(*self.GRID)
+        fresh = runner.run(grid)
+        cache_file = tmp_path / "cache" / "random__time.json"
+        payload = json.loads(cache_file.read_text())
+        workload = WORKLOADS[0]
+        payload["results"][workload]["0"]["steps"] = [["vm", "not-a-number", 1]]
+        payload["results"][workload]["1"] = "nonsense"
+        cache_file.write_text(json.dumps(payload))
+        recovered = runner.run(grid)
+        assert _results_signature(recovered) == _results_signature(fresh)
+        # The intact workload's entries were trusted; the bad ones rewritten.
+        rebuilt = json.loads(cache_file.read_text())
+        assert rebuilt["results"][workload]["0"]["steps"][0][0] != "vm"

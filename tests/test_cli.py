@@ -87,6 +87,78 @@ class TestSearch:
         assert "stopped by criterion" in out
 
 
+class TestSearchFaults:
+    def test_fault_plan_with_outage_reports_quarantine(self, capsys):
+        assert main(
+            [
+                "search", "kmeans/Spark 2.1/small",
+                "--method", "exhaustive",
+                "--fault-plan", "outage:vm=c3.large",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stopped by exhausted after 17 measurements" in out
+        assert "quarantined: c3.large" in out
+        assert "failed attempts: 3" in out
+
+    def test_transient_faults_with_retries_complete(self, capsys):
+        assert main(
+            [
+                "search", "kmeans/Spark 2.1/small",
+                "--method", "random",
+                "--fault-plan", "transient:every=3",
+                "--measure-retries", "2",
+                "--retry-backoff", "1.0",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stopped by exhausted after 18 measurements" in out
+        assert "retry wait" in out
+
+    def test_fault_runs_are_reproducible(self, capsys):
+        argv = [
+            "search", "kmeans/Spark 2.1/small",
+            "--method", "random",
+            "--fault-plan", "transient:rate=0.3+straggler:rate=0.1,slowdown=3",
+            "--fault-seed", "9",
+            "--measure-retries", "3",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_repeats_report_charged_cost_under_faults(self, capsys):
+        assert main(
+            [
+                "search", "kmeans/Spark 2.1/small",
+                "--method", "random", "--repeats", "3",
+                "--fault-plan", "transient:every=4",
+                "--measure-retries", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "charged cost (failures included)" in out
+
+    def test_bad_fault_plan_fails_cleanly(self, capsys):
+        assert main(
+            [
+                "search", "kmeans/Spark 2.1/small",
+                "--fault-plan", "meteor:rate=1.0",
+            ]
+        ) == 1
+        assert "unknown fault rule" in capsys.readouterr().err
+
+    def test_negative_retries_fail_cleanly(self, capsys):
+        assert main(
+            [
+                "search", "kmeans/Spark 2.1/small",
+                "--measure-retries", "-2",
+            ]
+        ) == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestProfile:
     def test_profile_prints_chart_and_summary(self, capsys):
         assert main(["profile", "scan/Hadoop 2.7/small", "c4.large"]) == 0

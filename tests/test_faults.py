@@ -1,0 +1,267 @@
+"""Unit tests for the fault-injection subsystem (repro.faults)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    CircuitBreaker,
+    CorruptedMeasurements,
+    FaultInjector,
+    FaultPlan,
+    PermanentOutage,
+    RetryPolicy,
+    SpotInterruptionError,
+    SpotInterruptions,
+    Stragglers,
+    TransientTimeoutError,
+    TransientTimeouts,
+    VMUnavailableError,
+    parse_fault_plan,
+)
+
+WORKLOAD = "kmeans/Spark 2.1/small"
+
+
+@pytest.fixture()
+def env(trace):
+    return trace.environment(WORKLOAD)
+
+
+def injector(env, *rules, seed=0):
+    return FaultInjector(env, FaultPlan(tuple(rules), seed=seed))
+
+
+class TestFaultInjector:
+    def test_periodic_timeouts_fire_on_schedule(self, env):
+        faulty = injector(env, TransientTimeouts(every=3))
+        vm = env.catalog[0]
+        outcomes = []
+        for _ in range(9):
+            try:
+                faulty.measure(vm)
+                outcomes.append("ok")
+            except TransientTimeoutError:
+                outcomes.append("fail")
+        assert outcomes == ["ok", "ok", "fail"] * 3
+
+    def test_failed_attempts_are_charged(self, env):
+        faulty = injector(env, TransientTimeouts(every=2))
+        vm = env.catalog[0]
+        for _ in range(4):
+            try:
+                faulty.measure(vm)
+            except TransientTimeoutError:
+                pass
+        assert faulty.measurement_count == 4  # 2 successes + 2 failures
+
+    def test_random_faults_deterministic_under_seed(self, env, trace):
+        def pattern(seed):
+            faulty = injector(trace.environment(WORKLOAD), TransientTimeouts(rate=0.4), seed=seed)
+            vm = faulty.catalog[0]
+            out = []
+            for _ in range(40):
+                try:
+                    faulty.measure(vm)
+                    out.append(True)
+                except TransientTimeoutError:
+                    out.append(False)
+            return out
+
+        assert pattern(7) == pattern(7)
+        assert pattern(7) != pattern(8)
+
+    def test_reset_rewinds_the_fault_plan(self, env):
+        faulty = injector(env, TransientTimeouts(rate=0.5), seed=3)
+        vm = env.catalog[0]
+
+        def sweep():
+            out = []
+            for _ in range(20):
+                try:
+                    faulty.measure(vm)
+                    out.append(True)
+                except TransientTimeoutError:
+                    out.append(False)
+            return out
+
+        first = sweep()
+        faulty.reset()
+        assert sweep() == first
+        assert faulty.measurement_count == 20
+
+    def test_permanent_outage_only_hits_named_vms(self, env):
+        faulty = injector(env, PermanentOutage("c3.large"))
+        with pytest.raises(VMUnavailableError, match="c3.large"):
+            faulty.measure(env.catalog[0])
+        assert faulty.measure(env.catalog[1]).execution_time_s > 0
+
+    def test_spot_interruption_error_type(self, env):
+        faulty = injector(env, SpotInterruptions(every=1))
+        with pytest.raises(SpotInterruptionError, match="reclaimed"):
+            faulty.measure(env.catalog[0])
+
+    def test_corruption_nan_mode(self, env):
+        faulty = injector(env, CorruptedMeasurements(every=1, mode="nan"))
+        m = faulty.measure(env.catalog[0])
+        assert np.isnan(m.execution_time_s) and np.isnan(m.cost_usd)
+
+    def test_corruption_negative_mode(self, env):
+        faulty = injector(env, CorruptedMeasurements(every=1, mode="negative"))
+        m = faulty.measure(env.catalog[0])
+        assert m.execution_time_s < 0 and m.cost_usd < 0
+
+    def test_stragglers_inflate_time_and_cost(self, env):
+        clean = env.measure(env.catalog[0])
+        faulty = injector(env, Stragglers(every=1, slowdown=4.0))
+        slow = faulty.measure(env.catalog[0])
+        assert slow.execution_time_s == pytest.approx(4.0 * clean.execution_time_s)
+        assert slow.cost_usd == pytest.approx(4.0 * clean.cost_usd)
+
+    def test_rules_compose_in_order(self, env):
+        faulty = injector(
+            env, TransientTimeouts(every=2), Stragglers(every=1, slowdown=2.0)
+        )
+        vm = env.catalog[0]
+        first = faulty.measure(vm)  # straggler applies
+        with pytest.raises(TransientTimeoutError):
+            faulty.measure(vm)  # timeout hides the call from the straggler
+        assert first.execution_time_s > 0
+
+    def test_exposes_workload_and_catalog(self, env):
+        faulty = injector(env, TransientTimeouts(every=2))
+        assert faulty.catalog == env.catalog
+        assert faulty.workload is env.workload
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ValueError, match="at least one rule"):
+            FaultPlan(())
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError, match="rate"):
+            TransientTimeouts(rate=1.5)
+        with pytest.raises(ValueError, match="every"):
+            TransientTimeouts(every=0)
+        with pytest.raises(ValueError, match="not both"):
+            TransientTimeouts(rate=0.5, every=3)
+        with pytest.raises(ValueError, match="mode"):
+            CorruptedMeasurements(rate=0.1, mode="garbage")
+        with pytest.raises(ValueError, match="slowdown"):
+            Stragglers(rate=0.1, slowdown=0.5)
+        with pytest.raises(ValueError, match="at least one VM"):
+            PermanentOutage()
+
+
+class TestParseFaultPlan:
+    def test_single_rule(self):
+        plan = parse_fault_plan("transient:rate=0.3", seed=5)
+        assert plan.seed == 5
+        (rule,) = plan.rules
+        assert isinstance(rule, TransientTimeouts)
+        assert rule.rate == pytest.approx(0.3)
+
+    def test_composite_plan(self):
+        plan = parse_fault_plan(
+            "transient:every=3+outage:vm=c3.large|m3.large"
+            "+straggler:rate=0.1,slowdown=3+corrupt:rate=0.05,mode=negative"
+        )
+        kinds = [type(rule).__name__ for rule in plan.rules]
+        assert kinds == [
+            "TransientTimeouts", "PermanentOutage", "Stragglers", "CorruptedMeasurements",
+        ]
+        assert plan.rules[1].vm_names == frozenset({"c3.large", "m3.large"})
+        assert plan.rules[2].slowdown == pytest.approx(3.0)
+        assert plan.rules[3].mode == "negative"
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "nope:rate=0.1",
+            "transient:rate",
+            "transient:speed=3",
+            "outage",
+            "straggler:rate=0.1,slowdown=0.2",
+            "",
+            "transient:rate=0.3++spot:rate=0.1",
+        ],
+    )
+    def test_bad_specs_raise_value_error(self, spec):
+        with pytest.raises(ValueError):
+            parse_fault_plan(spec)
+
+
+class TestRetryPolicy:
+    def test_exponential_delays_with_cap(self):
+        policy = RetryPolicy(
+            max_attempts=6, backoff_base_s=1.0, backoff_factor=2.0,
+            backoff_max_s=5.0, jitter=0.0,
+        )
+        rng = np.random.default_rng(0)
+        delays = [policy.delay_for(k, rng) for k in range(1, 6)]
+        assert delays == pytest.approx([1.0, 2.0, 4.0, 5.0, 5.0])
+
+    def test_jitter_is_deterministic_given_rng(self):
+        policy = RetryPolicy(max_attempts=3, backoff_base_s=1.0, jitter=0.5)
+        a = [policy.delay_for(k, np.random.default_rng(1)) for k in (1, 2)]
+        b = [policy.delay_for(k, np.random.default_rng(1)) for k in (1, 2)]
+        assert a == b
+        # jitter shrinks the delay by at most 50%
+        assert 0.5 <= a[0] <= 1.0
+
+    def test_sleep_hook_receives_delays(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=2, backoff_base_s=1.0, jitter=0.0, sleep=slept.append
+        )
+        policy.wait(1, np.random.default_rng(0))
+        assert slept == [pytest.approx(1.0)]
+
+    def test_from_retries_maps_counter_to_attempts(self):
+        assert RetryPolicy.from_retries(0).max_attempts == 1
+        assert RetryPolicy.from_retries(2).max_attempts == 3
+        with pytest.raises(ValueError, match="measure_retries"):
+            RetryPolicy.from_retries(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="backoff_base_s"):
+            RetryPolicy(backoff_base_s=-1)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=2.0)
+        with pytest.raises(ValueError, match="retry"):
+            RetryPolicy().delay_for(0, np.random.default_rng(0))
+
+
+class TestCircuitBreaker:
+    def test_trips_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        assert not breaker.record_failure("a")
+        assert not breaker.record_failure("a")
+        assert breaker.record_failure("a")
+        assert breaker.is_quarantined("a")
+        assert breaker.quarantined == frozenset({"a"})
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure("a")
+        breaker.record_success("a")
+        assert not breaker.record_failure("a")
+        assert not breaker.is_quarantined("a")
+
+    def test_vms_are_tracked_independently(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure("a")
+        assert breaker.is_quarantined("a")
+        assert not breaker.is_quarantined("b")
+
+    def test_reset_clears_everything(self):
+        breaker = CircuitBreaker(failure_threshold=1)
+        breaker.record_failure("a")
+        breaker.reset()
+        assert breaker.quarantined == frozenset()
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError, match="failure_threshold"):
+            CircuitBreaker(failure_threshold=0)
