@@ -137,6 +137,7 @@ def _full_grid(
     objective: Objective,
     repeats: int,
     workload_ids: tuple[str, ...] | None = None,
+    workers: int | None = None,
 ) -> dict:
     return runner.run(
         RunGrid(
@@ -145,7 +146,8 @@ def _full_grid(
             objective=objective,
             workload_ids=workload_ids if workload_ids is not None else all_workload_ids(),
             repeats=repeats,
-        )
+        ),
+        workers=workers,
     )
 
 
@@ -154,10 +156,11 @@ def naive_costs_to_optimum(
     objective: Objective,
     repeats: int = FULL_REPEATS,
     workload_ids: tuple[str, ...] | None = None,
+    workers: int | None = None,
 ) -> dict[str, list[int | None]]:
     """Per-workload Naive-BO search costs to the optimum (shared by figures)."""
     results = _full_grid(
-        runner, "naive-bo", naive_factory(), objective, repeats, workload_ids
+        runner, "naive-bo", naive_factory(), objective, repeats, workload_ids, workers
     )
     return runner.costs_to_optimum(results, objective)
 
@@ -188,9 +191,10 @@ def fig1_naive_cdf(
     runner: ExperimentRunner,
     repeats: int = FULL_REPEATS,
     workload_ids: tuple[str, ...] | None = None,
+    workers: int | None = None,
 ) -> dict:
     """Figure 1: CDF of Naive BO's search cost over the 107 workloads."""
-    costs = naive_costs_to_optimum(runner, Objective.TIME, repeats, workload_ids)
+    costs = naive_costs_to_optimum(runner, Objective.TIME, repeats, workload_ids, workers)
     curve = solved_fraction_curve(costs, MAX_STEPS)
     regions = region_counts(costs)
     return {
@@ -443,6 +447,7 @@ def fig9_cdf(
     repeats: int = FULL_REPEATS,
     include_hybrid: bool = True,
     workload_ids: tuple[str, ...] | None = None,
+    workers: int | None = None,
 ) -> dict:
     """Figure 9: search-cost CDFs of Naive vs Augmented (vs Hybrid) BO."""
     grids = {
@@ -454,7 +459,9 @@ def fig9_cdf(
 
     out: dict = {"objective": objective.value, "curves": {}, "solved_at": {}}
     for label, (key, factory) in grids.items():
-        results = _full_grid(runner, key, factory, objective, repeats, workload_ids)
+        results = _full_grid(
+            runner, key, factory, objective, repeats, workload_ids, workers
+        )
         costs = runner.costs_to_optimum(results, objective)
         curve = solved_fraction_curve(costs, MAX_STEPS)
         out["curves"][label] = curve.tolist()
@@ -572,10 +579,11 @@ def workload_regions(
     runner: ExperimentRunner,
     repeats: int = FULL_REPEATS,
     workload_ids: tuple[str, ...] | None = None,
+    workers: int | None = None,
 ) -> dict[str, Region]:
     """Region of each workload under the cost objective (for Figs 11-12)."""
     costs = naive_costs_to_optimum(
-        runner, Objective.COST, repeats=repeats, workload_ids=workload_ids
+        runner, Objective.COST, repeats=repeats, workload_ids=workload_ids, workers=workers
     )
     return {workload_id: classify_region(c) for workload_id, c in costs.items()}
 
@@ -589,6 +597,7 @@ def fig12_win_loss(
     objective: Objective = Objective.COST,
     delta_threshold: float = 1.1,
     workload_ids: tuple[str, ...] | None = None,
+    workers: int | None = None,
 ) -> dict:
     """Figure 12: per-workload win/draw/loss of Augmented vs Naive (cost)."""
     baseline = _full_grid(
@@ -598,6 +607,7 @@ def fig12_win_loss(
         objective,
         repeats,
         workload_ids,
+        workers,
     )
     challenger = _full_grid(
         runner,
@@ -606,6 +616,7 @@ def fig12_win_loss(
         objective,
         repeats,
         workload_ids,
+        workers,
     )
     comparisons = compare_methods(baseline, challenger)
     counts = outcome_counts(comparisons)

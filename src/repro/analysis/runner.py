@@ -26,6 +26,7 @@ from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core.events import EVENT_KINDS, SearchEvent
 from repro.core.objectives import Objective
 from repro.core.result import FailureEvent, SearchResult, SearchStep
 from repro.core.smbo import SequentialOptimizer
@@ -92,6 +93,10 @@ def _result_to_json(result: SearchResult) -> dict:
         ]
     if result.retry_wait_s:
         payload["retry_wait_s"] = result.retry_wait_s
+    if result.events:
+        payload["events"] = [
+            [e.kind, e.step, e.vm_name, e.detail] for e in result.events
+        ]
     return payload
 
 
@@ -131,7 +136,24 @@ def _valid_payload(payload: object) -> bool:
         if not (isinstance(vm_name, str) and isinstance(error, str)):
             return False
     retry_wait = payload.get("retry_wait_s", 0.0)
-    return isinstance(retry_wait, numbers.Real) and not isinstance(retry_wait, bool)
+    if not (isinstance(retry_wait, numbers.Real) and not isinstance(retry_wait, bool)):
+        return False
+    events = payload.get("events", [])
+    if not isinstance(events, list):
+        return False
+    for event in events:
+        if not (isinstance(event, list) and len(event) == 4):
+            return False
+        kind, step, vm_name, detail = event
+        if kind not in EVENT_KINDS:
+            return False
+        if not (isinstance(step, int) and step >= 1):
+            return False
+        if not (vm_name is None or isinstance(vm_name, str)):
+            return False
+        if not isinstance(detail, str):
+            return False
+    return True
 
 
 def _migrate_legacy(payload: dict) -> dict[str, dict[str, dict]] | None:
@@ -188,6 +210,10 @@ def _result_from_json(
             for step, vm, attempt, error in payload.get("failures", [])
         ),
         retry_wait_s=float(payload.get("retry_wait_s", 0.0)),
+        events=tuple(
+            SearchEvent(kind=kind, step=step, vm_name=vm_name, detail=detail)
+            for kind, step, vm_name, detail in payload.get("events", [])
+        ),
     )
 
 
@@ -199,15 +225,22 @@ class ExperimentRunner:
             canonical one).
         cache_dir: directory for JSON result caches; ``None`` disables
             caching.
+        workers: default worker-pool size for :meth:`run` (1 = serial).
+            Per-cell seeding makes results — cache files included —
+            byte-identical regardless of the worker count.
     """
 
     def __init__(
         self,
         trace: BenchmarkTrace | None = None,
         cache_dir: str | Path | None = None,
+        workers: int = 1,
     ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self.trace = trace if trace is not None else default_trace()
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.workers = workers
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
 
@@ -262,17 +295,72 @@ class ExperimentRunner:
             return {}
         return payload["results"]
 
-    def run(self, grid: RunGrid) -> dict[str, list[SearchResult]]:
+    def run(
+        self,
+        grid: RunGrid,
+        workers: int | None = None,
+        on_event: Callable[..., None] | None = None,
+    ) -> dict[str, list[SearchResult]]:
         """All results of ``grid``, computed or loaded from cache.
+
+        Cells missing from the cache are executed by the parallel engine
+        (:func:`repro.parallel.run_cells`) — serially in-process when
+        ``workers`` is 1 — and merged back in grid order, so the cache
+        file that lands on disk is byte-identical for any worker count.
+
+        Args:
+            grid: the experiment grid to run.
+            workers: worker-pool size for this call; defaults to the
+                runner's ``workers``.
+            on_event: optional sink for
+                :class:`~repro.parallel.events.CellEvent` progress
+                events (cache hits emit ``cell_cached``).
 
         Returns:
             Mapping from workload id to one result per repeat (repeat
             order preserved).
         """
+        # Imported lazily: the engine imports this module at top level.
+        from repro.parallel.engine import run_cells
+        from repro.parallel.events import CellEvent
+
+        n_workers = self.workers if workers is None else workers
         cache_path = self._cache_path(grid)
         cache = self._load_cache(cache_path)
 
-        results: dict[str, list[SearchResult]] = {}
+        results: dict[str, list[SearchResult | None]] = {}
+        missing: list[tuple[str, int]] = []
+        for workload_id in grid.workload_ids:
+            per_workload = cache.setdefault(workload_id, {})
+            slots: list[SearchResult | None] = []
+            for repeat in range(grid.repeats):
+                seed_key = str(repeat)
+                if seed_key in per_workload:
+                    if _valid_payload(per_workload[seed_key]):
+                        slots.append(
+                            _result_from_json(
+                                per_workload[seed_key], grid.objective, workload_id
+                            )
+                        )
+                        if on_event is not None:
+                            on_event(
+                                CellEvent(
+                                    kind="cell_cached",
+                                    workload_id=workload_id,
+                                    repeat=repeat,
+                                )
+                            )
+                        continue
+                    # A malformed entry is dropped and recomputed below.
+                    logger.warning(
+                        "dropping malformed cache entry %s/%s in %s",
+                        workload_id, seed_key, cache_path,
+                    )
+                    del per_workload[seed_key]
+                slots.append(None)
+                missing.append((workload_id, repeat))
+            results[workload_id] = slots
+
         dirty = 0
 
         def flush() -> None:
@@ -283,41 +371,26 @@ class ExperimentRunner:
                 )
                 tmp_path.replace(cache_path)
 
-        for workload_id in grid.workload_ids:
-            per_workload = cache.setdefault(workload_id, {})
-            runs = []
-            for repeat in range(grid.repeats):
-                seed_key = str(repeat)
-                if seed_key in per_workload:
-                    if _valid_payload(per_workload[seed_key]):
-                        runs.append(
-                            _result_from_json(
-                                per_workload[seed_key], grid.objective, workload_id
-                            )
-                        )
-                        continue
-                    # A malformed entry is dropped and recomputed below.
-                    logger.warning(
-                        "dropping malformed cache entry %s/%s in %s",
-                        workload_id, seed_key, cache_path,
-                    )
-                    del per_workload[seed_key]
-                environment = self.trace.environment(workload_id)
-                optimizer = grid.factory(
-                    environment, grid.objective, run_seed(workload_id, repeat)
-                )
-                result = optimizer.run()
-                per_workload[seed_key] = _result_to_json(result)
-                runs.append(result)
+        if missing:
+            for cell, result in run_cells(
+                trace=self.trace,
+                factory=grid.factory,
+                objective=grid.objective,
+                cells=missing,
+                workers=n_workers,
+                on_event=on_event,
+            ):
+                workload_id, repeat = cell
+                cache[workload_id][str(repeat)] = _result_to_json(result)
+                results[workload_id][repeat] = result
                 dirty += 1
-            results[workload_id] = runs
-            # Checkpoint periodically so a long grid survives interruption.
-            if dirty >= 100:
+                # Checkpoint periodically so a long grid survives
+                # interruption.
+                if dirty >= 100:
+                    flush()
+                    dirty = 0
+            if dirty:
                 flush()
-                dirty = 0
-
-        if dirty:
-            flush()
         return results
 
     def optimal_value(self, workload_id: str, objective: Objective) -> float:

@@ -124,7 +124,7 @@ def _cmd_trace_stats(args: argparse.Namespace) -> int:
 # -- search ----------------------------------------------------------------
 
 
-def _build_optimizer(args: argparse.Namespace, environment):
+def _build_optimizer(args: argparse.Namespace, environment, seed: int | None = None):
     objective = Objective.from_name(args.objective)
     stopping = None
     if args.stop == "ei":
@@ -135,24 +135,32 @@ def _build_optimizer(args: argparse.Namespace, environment):
         max_attempts=args.measure_retries + 1,
         backoff_base_s=args.retry_backoff,
     )
+    extra = {}
+    if args.method in ("augmented", "hybrid"):
+        extra["refit_fraction"] = args.refit_fraction
     cls = _METHODS[args.method]
     return cls(
         environment,
         objective=objective,
         stopping=stopping,
-        seed=args.seed,
+        seed=args.seed if seed is None else seed,
         retry_policy=retry_policy,
         quarantine_after=args.quarantine_after,
+        **extra,
     )
 
 
-def _search_environment(args: argparse.Namespace, trace):
-    """The workload's replay environment, fault-injected when asked."""
-    environment = trace.environment(args.workload)
+def _wrap_faults(args: argparse.Namespace, environment):
+    """Fault-inject an environment when a plan was given."""
     if args.fault_plan:
         plan = parse_fault_plan(args.fault_plan, seed=args.fault_seed)
         environment = FaultInjector(environment, plan)
     return environment
+
+
+def _search_environment(args: argparse.Namespace, trace):
+    """The workload's replay environment, fault-injected when asked."""
+    return _wrap_faults(args, trace.environment(args.workload))
 
 
 def _fault_summary(result) -> str | None:
@@ -197,10 +205,23 @@ def _cmd_search(args: argparse.Namespace) -> int:
                 print(summary)
             return 0
 
+        # Repeats are independent cells, so they parallelise across the
+        # engine's workers; per-cell seeding (seed = repeat index) keeps
+        # the summary identical for any --workers value.
+        from repro.parallel.engine import run_cells
+
+        def factory(environment, _objective, seed):
+            return _build_optimizer(args, _wrap_faults(args, environment), seed=seed)
+
         costs, charged, ratios = [], [], []
-        for seed in range(args.repeats):
-            args.seed = seed
-            result = _build_optimizer(args, _search_environment(args, trace)).run()
+        for _cell, result in run_cells(
+            trace=trace,
+            factory=factory,
+            objective=objective,
+            cells=[(args.workload, repeat) for repeat in range(args.repeats)],
+            workers=args.workers,
+            seed_fn=lambda _workload, repeat: repeat,
+        ):
             costs.append(result.search_cost)
             charged.append(result.charged_cost)
             ratios.append(result.best_value / optimum)
@@ -404,6 +425,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search.add_argument("--seed", type=int, default=0)
     search.add_argument("--repeats", type=int, default=1)
+    search.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for --repeats > 1 (results are identical "
+        "for any worker count)",
+    )
+    search.add_argument(
+        "--refit-fraction", type=float, default=1.0,
+        help="fraction of surrogate trees regrown per step for the "
+        "augmented/hybrid methods (1.0 = full refit, bit-identical "
+        "classic behaviour; smaller = faster warm-start refits)",
+    )
     search.add_argument("--stop", choices=["none", "ei", "delta"], default="none")
     search.add_argument("--stop-value", type=float, default=None)
     search.add_argument("--trace", help="trace JSON (default: canonical)")

@@ -32,9 +32,31 @@ speedup on a destination with more RAM, and that interaction is exactly
 what the trees learn.  ``relational=False`` keeps the literal absolute
 form for comparison (``benchmarks/test_ablation_surrogate.py``
 quantifies the difference).
+
+**Hot-path design.**  The scorer runs once per search step, so its inner
+loop is the dominant cost of every grid the evaluation runs.  Three
+optimisations keep it fast without changing seeded results:
+
+* the pair-feature matrix lives in a preallocated ``(n, n, d)`` buffer
+  keyed ``[source, destination]``; each new measurement *extends* it with
+  one source row and one destination column instead of re-enumerating all
+  ``m^2`` pairs in Python (the reshape to the canonical source-major 2-D
+  layout is a single C-level copy, bit-identical to the old enumeration);
+* candidate x source query rows are assembled with ``repeat``/``tile``
+  and scored by a single ensemble predict, which itself is one flat-array
+  traversal over all trees (:func:`repro.ml.tree.predict_packed`);
+* ``refit_fraction`` (default 1.0 = full refit, bit-identical) enables
+  the ensemble's warm-start mode: only a seeded subset of trees is
+  regrown per step, cutting fit time roughly proportionally.
+
+Per-step build/fit/predict wall-clock is recorded in
+:attr:`PairwiseTreeScorer.step_timings` so ``benchmarks/test_perf_engine.py``
+can track the surrogate's perf trajectory.
 """
 
 from __future__ import annotations
+
+from time import perf_counter
 
 import numpy as np
 
@@ -59,6 +81,12 @@ class PairwiseTreeScorer:
     Factored out of :class:`AugmentedBO` so
     :class:`~repro.core.hybrid_bo.HybridBO` can reuse it for its late phase.
 
+    The scorer caches the pair-feature matrix across calls: as long as
+    each call's ``(measured, values, metrics)`` extends the previous
+    call's history (the invariant of a sequential search), only the new
+    source row and destination column are computed.  A call with a
+    diverging history simply rebuilds the cache from scratch.
+
     Args:
         design_matrix: full encoded instance space.
         n_estimators: ensemble size.
@@ -67,6 +95,11 @@ class PairwiseTreeScorer:
         ensemble: ``"extra_trees"`` (the paper's choice, default) or
             ``"random_forest"`` (bagged CART, for the ablation).
         seed: seed for the ensemble's randomisation.
+        refit_fraction: fraction of trees regrown per step (Extra-Trees
+            only).  1.0 — the default — refits the whole ensemble from a
+            fresh per-step seed, keeping seeded searches bit-identical to
+            the classic implementation; smaller values keep one warm
+            ensemble across steps and regrow only a seeded subset.
     """
 
     def __init__(
@@ -76,20 +109,50 @@ class PairwiseTreeScorer:
         relational: bool = True,
         ensemble: str = "extra_trees",
         seed: int | None = None,
+        refit_fraction: float = 1.0,
     ) -> None:
         if ensemble not in ENSEMBLES:
             raise ValueError(f"unknown ensemble {ensemble!r}; known: {ENSEMBLES}")
+        if not 0.0 < refit_fraction <= 1.0:
+            raise ValueError(
+                f"refit_fraction must be in (0, 1], got {refit_fraction}"
+            )
+        if refit_fraction < 1.0 and ensemble != "extra_trees":
+            raise ValueError(
+                "refit_fraction < 1 (warm-start refit) requires the "
+                "extra_trees ensemble"
+            )
         self._design = np.asarray(design_matrix, dtype=float)
         self.n_estimators = n_estimators
         self.relational = relational
         self.ensemble = ensemble
+        self.refit_fraction = refit_fraction
         self._rng = np.random.default_rng(seed)
+        #: Per-call wall-clock breakdown, appended by :meth:`score`:
+        #: dicts with n_measured / n_candidates / build_s / fit_s / predict_s.
+        self.step_timings: list[dict] = []
+        # Pair-matrix cache.  The buffer is indexed [source, destination]
+        # so buffer[:m, :m].reshape(m * m, d) is exactly the source-major
+        # enumeration of _training_set.  Allocated lazily because the
+        # metric dimension is only known once measurements arrive.
+        n_vms = self._design.shape[0]
+        self._buffer: np.ndarray | None = None
+        self._cache_len = 0
+        self._cached_indices = np.empty(n_vms, dtype=np.int64)
+        self._cached_values = np.empty(n_vms, dtype=float)
+        self._cached_metrics: np.ndarray | None = None
+        # Warm-start state (refit_fraction < 1 only).
+        self._model = None
+        self._scaler: StandardScaler | None = None
 
     def _build_model(self):
         seed = int(self._rng.integers(2**31))
         if self.ensemble == "extra_trees":
             return ExtraTreesRegressor(
-                n_estimators=self.n_estimators, min_samples_split=6, seed=seed
+                n_estimators=self.n_estimators,
+                min_samples_split=6,
+                seed=seed,
+                refit_fraction=self.refit_fraction,
             )
         return RandomForestRegressor(
             n_estimators=self.n_estimators,
@@ -104,15 +167,82 @@ class PairwiseTreeScorer:
     def _training_set(
         self, measured: list[int], log_values: np.ndarray, metrics: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        rows, targets = [], []
-        for src_pos, src_index in enumerate(measured):
-            for dst_pos, dst_index in enumerate(measured):
-                rows.append(self._pair_row(dst_index, src_index, metrics[src_pos]))
-                if self.relational:
-                    targets.append(log_values[dst_pos] - log_values[src_pos])
-                else:
-                    targets.append(log_values[dst_pos])
-        return np.array(rows), np.array(targets)
+        """From-scratch enumeration of all ordered pairs (source-major).
+
+        This is the reference the incremental cache must reproduce: row
+        ``src * m + dst`` is ``[design[dst], design[src], metrics[src]]``.
+        Kept vectorised but cache-free; :meth:`score` uses the cached
+        buffer and ``tests/test_augmented_incremental.py`` asserts both
+        agree after every step.
+        """
+        index = np.asarray(measured, dtype=np.int64)
+        m = index.size
+        d = self._design.shape[1]
+        design_rows = self._design[index]
+        rows = np.empty((m * m, 2 * d + metrics.shape[1]))
+        rows[:, :d] = np.tile(design_rows, (m, 1))  # destination varies fastest
+        rows[:, d : 2 * d] = np.repeat(design_rows, m, axis=0)
+        rows[:, 2 * d :] = np.repeat(metrics, m, axis=0)
+        log_values = np.asarray(log_values, dtype=float)
+        if self.relational:
+            targets = np.tile(log_values, m) - np.repeat(log_values, m)
+        else:
+            targets = np.tile(log_values, m)
+        return rows, targets
+
+    def _sync_pair_cache(
+        self, index: np.ndarray, values: np.ndarray, metrics: np.ndarray
+    ) -> None:
+        """Extend (or rebuild) the cached pair buffer to cover ``index``."""
+        m = index.size
+        d = self._design.shape[1]
+        n_vms = self._design.shape[0]
+        if self._buffer is None or self._buffer.shape[2] != 2 * d + metrics.shape[1]:
+            self._buffer = np.empty((n_vms, n_vms, 2 * d + metrics.shape[1]))
+            self._cached_metrics = np.empty((n_vms, metrics.shape[1]))
+            self._cache_len = 0
+        start = self._cache_len
+        # The cache is valid only if the new history extends the old one.
+        if not (
+            start <= m
+            and np.array_equal(index[:start], self._cached_indices[:start])
+            and np.array_equal(values[:start], self._cached_values[:start])
+            and np.array_equal(metrics[:start], self._cached_metrics[:start])
+        ):
+            start = 0
+        buffer = self._buffer
+        for t in range(start, m):
+            catalog_index = index[t]
+            # New source row: (src=t, dst=0..t).
+            buffer[t, : t + 1, :d] = self._design[index[: t + 1]]
+            buffer[t, : t + 1, d : 2 * d] = self._design[catalog_index]
+            buffer[t, : t + 1, 2 * d :] = metrics[t]
+            if t:
+                # New destination column: (src=0..t-1, dst=t).
+                buffer[:t, t, :d] = self._design[catalog_index]
+                buffer[:t, t, d : 2 * d] = self._design[index[:t]]
+                buffer[:t, t, 2 * d :] = metrics[:t]
+        self._cached_indices[:m] = index
+        self._cached_values[:m] = values
+        self._cached_metrics[:m] = metrics
+        self._cache_len = m
+
+    def cached_training_set(self) -> tuple[np.ndarray, np.ndarray]:
+        """The (features, targets) pair set currently held by the cache.
+
+        Raises:
+            RuntimeError: before the first :meth:`score` call.
+        """
+        m = self._cache_len
+        if m == 0 or self._buffer is None:
+            raise RuntimeError("no pair cache yet; call score first")
+        rows = self._buffer[:m, :m].reshape(m * m, self._buffer.shape[2])
+        log_values = np.log(self._cached_values[:m])
+        if self.relational:
+            targets = np.tile(log_values, m) - np.repeat(log_values, m)
+        else:
+            targets = np.tile(log_values, m)
+        return rows, targets
 
     def score(
         self,
@@ -122,29 +252,59 @@ class PairwiseTreeScorer:
         unmeasured: list[int],
     ) -> AcquisitionScores:
         """Fit the pairwise surrogate and score the unmeasured candidates."""
-        metrics = np.array([m.metrics.to_vector() for m in measurements])
+        t_build = perf_counter()
+        index = np.asarray(measured, dtype=np.int64)
+        values = np.asarray(values, dtype=float)
+        m = index.size
+        # to_vector is memoised per measurement, so this is m cheap reads.
+        metrics = np.array([meas.metrics.to_vector() for meas in measurements])
+        self._sync_pair_cache(index, values, metrics)
+        X_train, y_train = self.cached_training_set()
         log_values = np.log(values)
-        X_train, y_train = self._training_set(measured, log_values, metrics)
+        build_s = perf_counter() - t_build
 
-        scaler = StandardScaler().fit(X_train)
-        model = self._build_model()
+        t_fit = perf_counter()
+        if self.refit_fraction < 1.0:
+            # Warm start: one persistent ensemble, scaler frozen on the
+            # first fit so kept trees stay consistent with new data.
+            if self._model is None:
+                self._model = self._build_model()
+                self._scaler = StandardScaler().fit(X_train)
+            scaler, model = self._scaler, self._model
+        else:
+            scaler = StandardScaler().fit(X_train)
+            model = self._build_model()
         model.fit(scaler.transform(X_train), y_train)
+        fit_s = perf_counter() - t_fit
 
         # One prediction per (candidate, measured source); average sources
         # in log space (a geometric mean over sources), so one
         # catastrophic source cannot drown the rest.
-        query_rows = np.array(
-            [
-                self._pair_row(candidate, src_index, metrics[src_pos])
-                for candidate in unmeasured
-                for src_pos, src_index in enumerate(measured)
-            ]
-        )
+        t_predict = perf_counter()
+        d = self._design.shape[1]
+        candidates = np.asarray(unmeasured, dtype=np.int64)
+        u = candidates.size
+        measured_rows = self._design[index]
+        query_rows = np.empty((u * m, X_train.shape[1]))
+        query_rows[:, :d] = np.repeat(self._design[candidates], m, axis=0)
+        query_rows[:, d : 2 * d] = np.tile(measured_rows, (u, 1))
+        query_rows[:, 2 * d :] = np.tile(metrics, (u, 1))
         predictions = model.predict(scaler.transform(query_rows))
-        per_source = predictions.reshape(len(unmeasured), len(measured))
+        per_source = predictions.reshape(u, m)
         if self.relational:
             per_source = per_source + log_values[None, :]
         predicted = np.exp(per_source.mean(axis=1))
+        predict_s = perf_counter() - t_predict
+
+        self.step_timings.append(
+            {
+                "n_measured": int(m),
+                "n_candidates": int(u),
+                "build_s": build_s,
+                "fit_s": fit_s,
+                "predict_s": predict_s,
+            }
+        )
         return AcquisitionScores(scores=prediction_delta(predicted), predicted=predicted)
 
 
@@ -155,6 +315,7 @@ class AugmentedBO(SequentialOptimizer):
         n_estimators: ensemble size.
         relational: surrogate target mode; see :class:`PairwiseTreeScorer`.
         ensemble: surrogate ensemble family; see :class:`PairwiseTreeScorer`.
+        refit_fraction: warm-start refit knob; see :class:`PairwiseTreeScorer`.
         **kwargs: forwarded to :class:`SequentialOptimizer`.
     """
 
@@ -166,6 +327,7 @@ class AugmentedBO(SequentialOptimizer):
         n_estimators: int = DEFAULT_N_ESTIMATORS,
         relational: bool = True,
         ensemble: str = "extra_trees",
+        refit_fraction: float = 1.0,
         **kwargs,
     ) -> None:
         super().__init__(*args, **kwargs)
@@ -175,7 +337,13 @@ class AugmentedBO(SequentialOptimizer):
             relational=relational,
             ensemble=ensemble,
             seed=int(self._rng.integers(2**31)),
+            refit_fraction=refit_fraction,
         )
+
+    @property
+    def scorer(self) -> PairwiseTreeScorer:
+        """The pairwise surrogate scorer (exposes per-step timings)."""
+        return self._scorer
 
     def _score_candidates(self, unmeasured: list[int]) -> AcquisitionScores:
         return self._scorer.score(

@@ -27,6 +27,8 @@ class HybridBO(SequentialOptimizer):
         switch_at: measurement count at which to switch surrogates.
         kernel: kernel for the early-phase GP (default Matérn 5/2).
         n_estimators: ensemble size for the late-phase Extra-Trees.
+        refit_fraction: warm-start refit knob for the late-phase
+            surrogate; see :class:`~repro.core.augmented_bo.PairwiseTreeScorer`.
         **kwargs: forwarded to :class:`SequentialOptimizer`.
     """
 
@@ -38,6 +40,7 @@ class HybridBO(SequentialOptimizer):
         switch_at: int = DEFAULT_SWITCH_AT,
         kernel: Kernel | None = None,
         n_estimators: int = DEFAULT_N_ESTIMATORS,
+        refit_fraction: float = 1.0,
         **kwargs,
     ) -> None:
         super().__init__(*args, **kwargs)
@@ -51,6 +54,7 @@ class HybridBO(SequentialOptimizer):
             self.design_matrix,
             n_estimators=n_estimators,
             seed=int(self._rng.integers(2**31)),
+            refit_fraction=refit_fraction,
         )
 
     def _score_candidates(self, unmeasured: list[int]) -> AcquisitionScores:

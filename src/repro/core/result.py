@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.events import SearchEvent
 from repro.core.objectives import Objective
 
 
@@ -71,6 +72,8 @@ class SearchResult:
             order of occurrence.
         retry_wait_s: total simulated (or real) backoff time spent
             between retry attempts.
+        events: the search's full structured event stream
+            (:class:`~repro.core.events.SearchEvent`), in emission order.
     """
 
     optimizer: str
@@ -81,6 +84,7 @@ class SearchResult:
     quarantined_vms: tuple[str, ...] = ()
     failure_events: tuple[FailureEvent, ...] = ()
     retry_wait_s: float = 0.0
+    events: tuple[SearchEvent, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.steps:

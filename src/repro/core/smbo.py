@@ -33,6 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cloud.encoding import InstanceEncoder
+from repro.core.events import SearchEvent
 from repro.core.objectives import Objective
 from repro.core.result import FailureEvent, SearchResult, SearchStep
 from repro.core.stopping import SearchState, StoppingCriterion
@@ -140,6 +141,7 @@ class SequentialOptimizer(abc.ABC):
         self._design = self._encoder.encode_all()
         self._observations: list[tuple[int, Measurement, float, int]] = []
         self._failure_events: list[FailureEvent] = []
+        self._events: list[SearchEvent] = []
         self._failed_charges = 0
         self._retry_wait_s = 0.0
         self._breaker = CircuitBreaker(self.quarantine_after)
@@ -221,6 +223,14 @@ class SequentialOptimizer(abc.ABC):
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
                 self._retry_wait_s += policy.wait(attempt - 1, self._retry_rng)
+            self._events.append(
+                SearchEvent(
+                    kind="measurement_started",
+                    step=step,
+                    vm_name=vm.name,
+                    detail=f"attempt {attempt}",
+                )
+            )
             try:
                 measurement = self._env.measure(vm)
                 value = self.objective.value_of(measurement)
@@ -231,19 +241,46 @@ class SequentialOptimizer(abc.ABC):
                     )
             except Exception as error:  # noqa: BLE001 - cloud errors are diverse
                 self._failed_charges += 1
+                error_text = f"{type(error).__name__}: {error}"
                 self._failure_events.append(
                     FailureEvent(
                         step=step,
                         vm_name=vm.name,
                         attempt=attempt,
-                        error=f"{type(error).__name__}: {error}",
+                        error=error_text,
                     )
                 )
-                if self._breaker.record_failure(vm.name) or self._budget_exhausted():
+                self._events.append(
+                    SearchEvent(
+                        kind="measurement_failed",
+                        step=step,
+                        vm_name=vm.name,
+                        detail=error_text,
+                    )
+                )
+                if self._breaker.record_failure(vm.name):
+                    self._events.append(
+                        SearchEvent(
+                            kind="vm_quarantined",
+                            step=step,
+                            vm_name=vm.name,
+                            detail=f"after {attempt} failed attempts this round",
+                        )
+                    )
+                    return False
+                if self._budget_exhausted():
                     return False
                 continue
             self._breaker.record_success(vm.name)
             self._observations.append((index, measurement, value, attempt))
+            self._events.append(
+                SearchEvent(
+                    kind="measurement_finished",
+                    step=step,
+                    vm_name=vm.name,
+                    detail=f"{self.objective.value}={value!r}",
+                )
+            )
             return True
         return False
 
@@ -270,6 +307,7 @@ class SequentialOptimizer(abc.ABC):
         self._env.reset()
         self._observations = []
         self._failure_events = []
+        self._events = []
         self._failed_charges = 0
         self._retry_wait_s = 0.0
         self._breaker = CircuitBreaker(self.quarantine_after)
@@ -311,6 +349,13 @@ class SequentialOptimizer(abc.ABC):
                 stopped_by = "budget"
                 break
             acquisition = self._score_candidates(candidates)
+            self._events.append(
+                SearchEvent(
+                    kind="surrogate_fitted",
+                    step=len(self._observations) + 1,
+                    detail=f"scored {len(candidates)} candidates",
+                )
+            )
             if acquisition.scores.shape != (len(candidates),):
                 raise RuntimeError(
                     f"{self.name}: expected {len(candidates)} scores, "
@@ -354,4 +399,5 @@ class SequentialOptimizer(abc.ABC):
             quarantined_vms=tuple(sorted(self._breaker.quarantined)),
             failure_events=tuple(self._failure_events),
             retry_wait_s=self._retry_wait_s,
+            events=tuple(self._events),
         )

@@ -1,0 +1,11 @@
+"""Parallel experiment engine.
+
+Shards :class:`~repro.analysis.runner.RunGrid` cells across a process
+pool with deterministic per-cell seeding, so grid results are identical
+(bit for bit, caches included) no matter how many workers ran them.
+"""
+
+from repro.parallel.engine import run_cells
+from repro.parallel.events import CELL_EVENT_KINDS, CellEvent
+
+__all__ = ["CELL_EVENT_KINDS", "CellEvent", "run_cells"]

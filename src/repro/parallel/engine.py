@@ -1,0 +1,186 @@
+"""Process-pool execution of experiment grid cells.
+
+The engine runs ``(workload, repeat)`` cells of a
+:class:`~repro.analysis.runner.RunGrid` across a pool of worker
+processes.  Three properties make it safe to drop in for the serial
+loop:
+
+* **Determinism** — each cell's optimiser is built from a deterministic
+  seed (``seed_fn(workload_id, repeat)``, by default
+  :func:`~repro.analysis.runner.run_seed`), so a cell's result does not
+  depend on which worker ran it or in what order.  Results are yielded
+  in submission order, so downstream cache assembly is byte-identical
+  to the serial path.
+* **Fork-based context sharing** — optimiser factories are arbitrary
+  closures and therefore not picklable.  The engine stores the cell
+  context (trace, factory, objective, seed function) in a module global
+  *before* the pool forks; workers inherit it through copy-on-write
+  memory, and only the tiny ``(workload_id, repeat)`` tuples and the
+  picklable :class:`~repro.core.result.SearchResult` objects ever cross
+  the process boundary.  When fork is unavailable (or ``workers <= 1``,
+  or the grid has a single cell) the engine runs serially in-process —
+  same code path per cell, no pool.
+* **Crash containment** — a cell that raises an application error in a
+  worker is retried serially in the parent (quarantine the cell, not
+  the run); a deterministic failure then surfaces exactly as it would
+  have serially.  If the pool itself dies (a worker was OOM-killed or
+  crashed hard), the engine emits a ``pool_degraded`` event and falls
+  back to serial execution for every cell not yet yielded.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Callable, Iterable, Iterator
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+from repro.analysis.runner import OptimizerFactory, run_seed
+from repro.core.objectives import Objective
+from repro.core.result import SearchResult
+from repro.parallel.events import CellEvent
+from repro.trace.dataset import BenchmarkTrace
+
+#: One grid cell: (workload_id, repeat).
+Cell = tuple[str, int]
+
+#: Maps a cell to its optimiser seed.
+SeedFn = Callable[[str, int], int]
+
+#: Optional progress-event sink.
+EventSink = Callable[[CellEvent], None] | None
+
+
+@dataclass
+class _CellContext:
+    """Everything a worker needs to execute one cell."""
+
+    trace: BenchmarkTrace
+    factory: OptimizerFactory
+    objective: Objective
+    seed_fn: SeedFn
+
+
+# Set in the parent before the pool forks; workers inherit it.  This is
+# the only channel for the (unpicklable) factory and trace.
+_CELL_CONTEXT: _CellContext | None = None
+
+
+def _execute_cell(cell: Cell) -> SearchResult:
+    """Run one cell's search using the process-inherited context."""
+    context = _CELL_CONTEXT
+    if context is None:
+        raise RuntimeError("cell context is not initialised in this process")
+    workload_id, repeat = cell
+    environment = context.trace.environment(workload_id)
+    optimizer = context.factory(
+        environment, context.objective, context.seed_fn(workload_id, repeat)
+    )
+    return optimizer.run()
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _emit(on_event: EventSink, kind: str, cell: Cell | None, detail: str = "") -> None:
+    if on_event is None:
+        return
+    workload_id, repeat = cell if cell is not None else (None, None)
+    on_event(CellEvent(kind=kind, workload_id=workload_id, repeat=repeat, detail=detail))
+
+
+def _run_serial(
+    cells: list[Cell], on_event: EventSink
+) -> Iterator[tuple[Cell, SearchResult]]:
+    for cell in cells:
+        _emit(on_event, "cell_scheduled", cell)
+        result = _execute_cell(cell)
+        _emit(on_event, "cell_finished", cell)
+        yield cell, result
+
+
+def _run_pool(
+    cells: list[Cell], workers: int, on_event: EventSink
+) -> Iterator[tuple[Cell, SearchResult]]:
+    executor = ProcessPoolExecutor(
+        max_workers=workers, mp_context=multiprocessing.get_context("fork")
+    )
+    try:
+        futures = []
+        for cell in cells:
+            futures.append((cell, executor.submit(_execute_cell, cell)))
+            _emit(on_event, "cell_scheduled", cell)
+        for position, (cell, future) in enumerate(futures):
+            try:
+                result = future.result()
+            except BrokenProcessPool:
+                _emit(
+                    on_event,
+                    "pool_degraded",
+                    None,
+                    "worker pool died; finishing remaining cells serially",
+                )
+                # Cells are deterministic, so recomputing everything not
+                # yet yielded (including any whose result is stranded in
+                # the dead pool) gives identical output.
+                yield from _run_serial([c for c, _ in futures[position:]], on_event)
+                return
+            except Exception as error:  # noqa: BLE001 - worker errors are diverse
+                _emit(
+                    on_event,
+                    "cell_failed",
+                    cell,
+                    f"{type(error).__name__}: {error}",
+                )
+                # Quarantine the cell, not the run: retry serially in the
+                # parent.  A deterministic failure re-raises here exactly
+                # as the serial path would have.
+                result = _execute_cell(cell)
+            _emit(on_event, "cell_finished", cell)
+            yield cell, result
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+
+
+def run_cells(
+    trace: BenchmarkTrace,
+    factory: OptimizerFactory,
+    objective: Objective,
+    cells: Iterable[Cell],
+    workers: int = 1,
+    on_event: EventSink = None,
+    seed_fn: SeedFn = run_seed,
+) -> Iterator[tuple[Cell, SearchResult]]:
+    """Execute grid cells, yielding ``(cell, result)`` in submission order.
+
+    Args:
+        trace: the ground-truth trace to replay against.
+        factory: builds the optimiser for each cell.
+        objective: what to minimise.
+        cells: the ``(workload_id, repeat)`` pairs to run.
+        workers: pool size; ``<= 1`` runs serially in-process.
+        on_event: optional sink for :class:`~repro.parallel.events.CellEvent`
+            progress events.
+        seed_fn: maps a cell to its optimiser seed (default
+            :func:`~repro.analysis.runner.run_seed`).
+
+    Raises:
+        ValueError: if ``workers`` is less than 1.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    cells = list(cells)
+    global _CELL_CONTEXT
+    previous = _CELL_CONTEXT
+    _CELL_CONTEXT = _CellContext(
+        trace=trace, factory=factory, objective=objective, seed_fn=seed_fn
+    )
+    try:
+        if workers <= 1 or len(cells) <= 1 or not _fork_available():
+            yield from _run_serial(cells, on_event)
+        else:
+            yield from _run_pool(cells, min(workers, len(cells)), on_event)
+    finally:
+        _CELL_CONTEXT = previous

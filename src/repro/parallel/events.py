@@ -1,0 +1,46 @@
+"""Progress events streamed by the parallel experiment engine.
+
+One :class:`CellEvent` per lifecycle transition of a grid cell (a
+``(workload, repeat)`` pair), plus engine-level degradation notices.
+The stream is advisory — consumers (progress bars, logs, tests) observe
+it through the ``on_event`` callback; results never depend on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The cell-event vocabulary.  ``cell_cached`` is emitted by the runner
+#: for cache hits (the engine never sees those cells); ``pool_degraded``
+#: fires when the worker pool dies and the engine falls back to serial
+#: execution for the remaining cells.
+CELL_EVENT_KINDS: tuple[str, ...] = (
+    "cell_scheduled",
+    "cell_finished",
+    "cell_failed",
+    "cell_cached",
+    "pool_degraded",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class CellEvent:
+    """One engine progress event.
+
+    Attributes:
+        kind: one of :data:`CELL_EVENT_KINDS`.
+        workload_id: the cell's workload (``None`` for engine-level events).
+        repeat: the cell's repeat index (``None`` for engine-level events).
+        detail: free-form context — error text, degradation reason.
+    """
+
+    kind: str
+    workload_id: str | None = None
+    repeat: int | None = None
+    detail: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in CELL_EVENT_KINDS:
+            raise ValueError(
+                f"unknown cell event kind {self.kind!r}; known: {CELL_EVENT_KINDS}"
+            )

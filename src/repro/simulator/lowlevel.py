@@ -38,7 +38,7 @@ METRIC_NAMES: tuple[str, ...] = (
 _MEM_COMMIT_CAP_PCT = 140.0
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True)
 class LowLevelMetrics:
     """One run's low-level metric summary (time-averaged, as sysstat reports)."""
 
@@ -50,17 +50,29 @@ class LowLevelMetrics:
     disk_wait_ms: float
 
     def to_vector(self) -> np.ndarray:
-        """Return the metrics as a float vector in :data:`METRIC_NAMES` order."""
-        return np.array(
-            [
-                self.cpu_user_pct,
-                self.cpu_iowait_pct,
-                self.task_count,
-                self.mem_commit_pct,
-                self.disk_util_pct,
-                self.disk_wait_ms,
-            ]
-        )
+        """Return the metrics as a float vector in :data:`METRIC_NAMES` order.
+
+        The vector is built once per instance and memoised (the class is
+        frozen, so it cannot go stale): the pairwise surrogate reads every
+        measured VM's metrics on *every* search step, and rebuilding the
+        array each time was a measurable constant in the hot path.  The
+        returned array is marked read-only because it is shared.
+        """
+        cached = self.__dict__.get("_vector")
+        if cached is None:
+            cached = np.array(
+                [
+                    self.cpu_user_pct,
+                    self.cpu_iowait_pct,
+                    self.task_count,
+                    self.mem_commit_pct,
+                    self.disk_util_pct,
+                    self.disk_wait_ms,
+                ]
+            )
+            cached.flags.writeable = False
+            object.__setattr__(self, "_vector", cached)
+        return cached
 
     @classmethod
     def from_vector(cls, values: np.ndarray) -> LowLevelMetrics:

@@ -1,0 +1,166 @@
+"""Incremental pair-matrix cache of the augmented surrogate.
+
+Property under test: after every step of a seeded search, the cached
+(incrementally extended) training set equals the from-scratch enumeration
+of all ordered measured pairs — the reference `_training_set` the unit
+tests pin.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.augmented_bo import AugmentedBO, PairwiseTreeScorer
+
+WORKLOAD = "kmeans/Spark 2.1/small"
+
+
+def _reference(scorer, optimizer):
+    metrics = np.array(
+        [m.metrics.to_vector() for m in optimizer.measured_measurements]
+    )
+    return scorer._training_set(
+        optimizer.measured_indices,
+        np.log(optimizer.measured_values),
+        metrics,
+    )
+
+
+class TestIncrementalEqualsFromScratch:
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_after_every_step_of_a_search(self, trace, seed):
+        """The cache is validated against the reference after each step
+        by hooking the optimiser's scoring path."""
+        optimizer = AugmentedBO(trace.environment(WORKLOAD), seed=seed)
+        scorer = optimizer.scorer
+        checked = []
+        original = scorer.score
+
+        def checking_score(measured, values, measurements, unmeasured):
+            result = original(measured, values, measurements, unmeasured)
+            cached_X, cached_y = scorer.cached_training_set()
+            ref_X, ref_y = _reference(scorer, optimizer)
+            np.testing.assert_array_equal(cached_X, ref_X)
+            np.testing.assert_array_equal(cached_y, ref_y)
+            checked.append(len(measured))
+            return result
+
+        scorer.score = checking_score
+        optimizer.run()
+        # Every acquisition round was checked, at growing history sizes.
+        assert checked == sorted(checked)
+        assert len(checked) >= 10
+
+    def test_relational_false_targets(self, trace):
+        optimizer = AugmentedBO(trace.environment(WORKLOAD), seed=0, relational=False)
+        optimizer.run()
+        scorer = optimizer.scorer
+        # The cache is one step behind after run() (the final measurement
+        # is never scored), so extend it to the full history first.
+        scorer.score(
+            optimizer.measured_indices,
+            optimizer.measured_values,
+            optimizer.measured_measurements,
+            [0],
+        )
+        cached_X, cached_y = scorer.cached_training_set()
+        ref_X, ref_y = _reference(scorer, optimizer)
+        np.testing.assert_array_equal(cached_X, ref_X)
+        np.testing.assert_array_equal(cached_y, ref_y)
+
+
+class TestCacheRebuild:
+    def test_divergent_history_rebuilds(self):
+        """A call whose history does not extend the previous one must
+        rebuild the cache, not extend it."""
+        rng = np.random.default_rng(0)
+        design = rng.uniform(size=(8, 4))
+
+        class FakeMetrics:
+            def __init__(self, vector):
+                self._vector = np.asarray(vector, dtype=float)
+
+            def to_vector(self):
+                return self._vector
+
+        class FakeMeasurement:
+            def __init__(self, vector):
+                self.metrics = FakeMetrics(vector)
+
+        def measurements_for(indices):
+            return [FakeMeasurement(rng2.uniform(size=3)) for _ in indices]
+
+        scorer = PairwiseTreeScorer(design, n_estimators=4, seed=1)
+        rng2 = np.random.default_rng(1)
+        first = [0, 1, 2]
+        meas1 = measurements_for(first)
+        values1 = np.array([3.0, 2.0, 4.0])
+        scorer.score(first, values1, meas1, [5, 6])
+
+        # Same length but different VM at position 1: not an extension.
+        second = [0, 3, 2]
+        meas2 = [meas1[0], FakeMeasurement(rng2.uniform(size=3)), meas1[2]]
+        values2 = np.array([3.0, 5.0, 4.0])
+        scorer.score(second, values2, meas2, [5, 6])
+        cached_X, cached_y = scorer.cached_training_set()
+        metrics = np.array([m.metrics.to_vector() for m in meas2])
+        ref_X, ref_y = scorer._training_set(second, np.log(values2), metrics)
+        np.testing.assert_array_equal(cached_X, ref_X)
+        np.testing.assert_array_equal(cached_y, ref_y)
+
+    def test_cached_training_set_requires_a_score_call(self):
+        scorer = PairwiseTreeScorer(np.eye(4), n_estimators=2, seed=0)
+        with pytest.raises(RuntimeError, match="no pair cache"):
+            scorer.cached_training_set()
+
+
+class TestRefitFraction:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="refit_fraction"):
+            PairwiseTreeScorer(np.eye(4), refit_fraction=0.0)
+        with pytest.raises(ValueError, match="refit_fraction"):
+            PairwiseTreeScorer(np.eye(4), refit_fraction=1.5)
+        with pytest.raises(ValueError, match="extra_trees"):
+            PairwiseTreeScorer(
+                np.eye(4), ensemble="random_forest", refit_fraction=0.5
+            )
+
+    def test_full_refit_is_default_and_bit_identical(self, trace):
+        plain = AugmentedBO(trace.environment(WORKLOAD), seed=5).run()
+        explicit = AugmentedBO(
+            trace.environment(WORKLOAD), seed=5, refit_fraction=1.0
+        ).run()
+        assert plain == explicit
+
+    def test_warm_start_is_deterministic(self, trace):
+        first = AugmentedBO(
+            trace.environment(WORKLOAD), seed=5, refit_fraction=0.25
+        ).run()
+        second = AugmentedBO(
+            trace.environment(WORKLOAD), seed=5, refit_fraction=0.25
+        ).run()
+        assert first == second
+
+    def test_warm_start_still_finds_good_vms(self, trace):
+        result = AugmentedBO(
+            trace.environment(WORKLOAD), seed=0, refit_fraction=0.25
+        ).run()
+        optimum = trace.objective_values(WORKLOAD, "time").min()
+        assert result.best_value <= 1.5 * optimum
+
+
+class TestStepTimings:
+    def test_timings_are_recorded(self, trace):
+        optimizer = AugmentedBO(trace.environment(WORKLOAD), seed=0)
+        optimizer.run()
+        timings = optimizer.scorer.step_timings
+        assert timings
+        assert [t["n_measured"] for t in timings] == sorted(
+            t["n_measured"] for t in timings
+        )
+        for entry in timings:
+            assert entry["build_s"] >= 0.0
+            assert entry["fit_s"] > 0.0
+            assert entry["predict_s"] > 0.0
+            assert entry["n_candidates"] >= 1

@@ -86,6 +86,37 @@ class TestSearch:
         out = capsys.readouterr().out
         assert "stopped by criterion" in out
 
+    def test_workers_flag_matches_serial_summary(self, capsys):
+        argv = [
+            "search", "kmeans/Spark 2.1/small",
+            "--method", "random", "--repeats", "4",
+        ]
+        assert main(argv + ["--workers", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(argv + ["--workers", "3"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert serial_out == parallel_out
+        assert "4 repeats" in serial_out
+
+    def test_refit_fraction_flag(self, capsys):
+        assert main(
+            [
+                "search", "kmeans/Spark 2.1/small",
+                "--method", "augmented", "--refit-fraction", "0.25",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "stopped by" in out
+
+    def test_bad_refit_fraction_fails_cleanly(self, capsys):
+        assert main(
+            [
+                "search", "kmeans/Spark 2.1/small",
+                "--method", "augmented", "--refit-fraction", "0",
+            ]
+        ) == 1
+        assert "refit_fraction" in capsys.readouterr().err
+
 
 class TestSearchFaults:
     def test_fault_plan_with_outage_reports_quarantine(self, capsys):

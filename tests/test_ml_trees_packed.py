@@ -1,0 +1,127 @@
+"""Packed-forest prediction and warm-start refit of the ensembles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.extra_trees import ExtraTreesRegressor
+from repro.ml.random_forest import RandomForestRegressor
+from repro.ml.tree import RegressionTree, pack_trees, predict_packed
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(42)
+    X = rng.uniform(size=(120, 5))
+    y = X @ np.array([3.0, -2.0, 0.0, 1.0, 0.5]) + 0.1 * rng.normal(size=120)
+    return X, y
+
+
+class TestPackTrees:
+    def test_packed_matches_per_tree_predictions(self, data):
+        X, y = data
+        trees = [
+            RegressionTree(min_samples_split=4, seed=seed).fit(X, y)
+            for seed in range(5)
+        ]
+        packed = pack_trees(trees)
+        assert packed.n_trees == 5
+        assert packed.node_count == sum(t.node_count for t in trees)
+        queries = np.random.default_rng(1).uniform(size=(40, 5))
+        expected = np.stack([tree.predict(queries) for tree in trees])
+        np.testing.assert_array_equal(predict_packed(packed, queries), expected)
+
+    def test_single_row_query(self, data):
+        X, y = data
+        tree = RegressionTree(seed=0).fit(X, y)
+        packed = pack_trees([tree])
+        row = X[3]
+        predictions = predict_packed(packed, row)
+        assert predictions.shape == (1, 1)
+        np.testing.assert_array_equal(predictions[0], tree.predict(row))
+
+    def test_cart_trees_pack_too(self, data):
+        """CARTRegressionTree shares the flat node layout, so the random
+        forest benefits from the same packed predict."""
+        X, y = data
+        forest = RandomForestRegressor(n_estimators=4, seed=0).fit(X, y)
+        packed = pack_trees(list(forest.trees))
+        queries = np.random.default_rng(2).uniform(size=(10, 5))
+        expected = np.stack([tree.predict(queries) for tree in forest.trees])
+        np.testing.assert_array_equal(predict_packed(packed, queries), expected)
+
+    def test_rejects_empty_and_unfitted(self, data):
+        X, y = data
+        with pytest.raises(ValueError, match="empty"):
+            pack_trees([])
+        with pytest.raises(ValueError, match="fitted"):
+            pack_trees([RegressionTree(seed=0), RegressionTree(seed=1).fit(X, y)])
+
+
+class TestEnsemblePackedPredict:
+    def test_extra_trees_predict_uses_packed_path(self, data):
+        X, y = data
+        model = ExtraTreesRegressor(n_estimators=6, seed=3).fit(X, y)
+        queries = np.random.default_rng(3).uniform(size=(25, 5))
+        expected = np.stack([tree.predict(queries) for tree in model.trees])
+        np.testing.assert_array_equal(model.predict(queries), expected.mean(axis=0))
+        mean, std = model.predict(queries, return_std=True)
+        np.testing.assert_array_equal(std, expected.std(axis=0))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fitted"):
+            ExtraTreesRegressor(n_estimators=2, seed=0).predict(np.zeros((1, 3)))
+
+
+class TestWarmStartRefit:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="refit_fraction"):
+            ExtraTreesRegressor(refit_fraction=0.0)
+        with pytest.raises(ValueError, match="refit_fraction"):
+            ExtraTreesRegressor(refit_fraction=1.0001)
+
+    def test_partial_refit_keeps_unchosen_trees(self, data):
+        X, y = data
+        model = ExtraTreesRegressor(n_estimators=8, seed=0, refit_fraction=0.25)
+        model.fit(X, y)
+        before = model.trees
+        model.fit(X, y)
+        after = model.trees
+        kept = sum(1 for old, new in zip(before, after) if old is new)
+        regrown = len(after) - kept
+        # ceil(0.25 * 8) = 2 trees regrown, 6 kept by identity.
+        assert regrown == 2
+        assert kept == 6
+
+    def test_full_refit_regrows_everything(self, data):
+        X, y = data
+        model = ExtraTreesRegressor(n_estimators=4, seed=0)
+        model.fit(X, y)
+        before = model.trees
+        model.fit(X, y)
+        assert all(old is not new for old, new in zip(before, model.trees))
+
+    def test_partial_refit_predictions_stay_packed_consistent(self, data):
+        """After a warm-start refit, the packed predictor must reflect
+        the mixed ensemble (kept + regrown trees)."""
+        X, y = data
+        model = ExtraTreesRegressor(n_estimators=6, seed=1, refit_fraction=0.5)
+        model.fit(X, y)
+        model.fit(X, y)
+        queries = np.random.default_rng(4).uniform(size=(15, 5))
+        expected = np.stack([tree.predict(queries) for tree in model.trees])
+        np.testing.assert_array_equal(model.predict(queries), expected.mean(axis=0))
+
+    def test_default_refit_is_stream_compatible(self, data):
+        """refit_fraction=1.0 consumes the RNG exactly like the classic
+        implementation: two same-seed ensembles stay identical across
+        repeated fits."""
+        X, y = data
+        a = ExtraTreesRegressor(n_estimators=3, seed=7)
+        b = ExtraTreesRegressor(n_estimators=3, seed=7, refit_fraction=1.0)
+        queries = np.random.default_rng(5).uniform(size=(10, 5))
+        for _ in range(3):
+            a.fit(X, y)
+            b.fit(X, y)
+            np.testing.assert_array_equal(a.predict(queries), b.predict(queries))

@@ -1,0 +1,246 @@
+"""Parallel experiment engine: determinism, caching, and degradation."""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner, RunGrid
+from repro.core.baselines import RandomSearch
+from repro.core.objectives import Objective
+from repro.faults import FaultInjector, parse_fault_plan, RetryPolicy
+from repro.parallel import CellEvent, run_cells
+from repro.parallel.engine import _fork_available
+
+WORKLOADS = (
+    "kmeans/Spark 2.1/small",
+    "lr/Spark 1.5/medium",
+    "pagerank/Hadoop 2.7/small",
+)
+
+
+def random_factory(environment, objective, seed):
+    return RandomSearch(
+        environment, objective=objective, seed=seed, max_measurements=6
+    )
+
+
+def faulty_factory(environment, objective, seed):
+    plan = parse_fault_plan("transient:rate=0.3", seed=seed)
+    return RandomSearch(
+        FaultInjector(environment, plan),
+        objective=objective,
+        seed=seed,
+        max_measurements=8,
+        retry_policy=RetryPolicy(max_attempts=3),
+    )
+
+
+def _grid(key, factory, repeats=2):
+    return RunGrid(
+        key=key,
+        factory=factory,
+        objective=Objective.TIME,
+        workload_ids=WORKLOADS,
+        repeats=repeats,
+    )
+
+
+def _run(trace, tmp_path, grid, workers, on_event=None):
+    runner = ExperimentRunner(trace, cache_dir=tmp_path / f"w{workers}")
+    return runner.run(grid, workers=workers, on_event=on_event)
+
+
+class TestDeterminism:
+    def test_workers_do_not_change_results(self, trace, tmp_path):
+        serial = _run(trace, tmp_path, _grid("par-det", random_factory), workers=1)
+        parallel = _run(trace, tmp_path, _grid("par-det", random_factory), workers=4)
+        assert serial == parallel
+
+    def test_results_include_event_streams(self, trace, tmp_path):
+        results = _run(trace, tmp_path, _grid("par-ev", random_factory), workers=4)
+        for runs in results.values():
+            for result in runs:
+                assert result.events
+                kinds = {event.kind for event in result.events}
+                assert "measurement_finished" in kinds
+
+    def test_identical_under_fault_plan(self, trace, tmp_path):
+        grid = _grid("par-faulty", faulty_factory)
+        serial = _run(trace, tmp_path, grid, workers=1)
+        parallel = _run(trace, tmp_path, grid, workers=4)
+        assert serial == parallel
+        # The fault plan actually fired somewhere, so the equality above
+        # covers failure events too.
+        assert any(
+            result.failure_events
+            for runs in serial.values()
+            for result in runs
+        )
+
+    def test_cache_files_byte_identical(self, trace, tmp_path):
+        grid = _grid("par-bytes", random_factory)
+        _run(trace, tmp_path, grid, workers=1)
+        _run(trace, tmp_path, grid, workers=4)
+        serial_bytes = (tmp_path / "w1" / "par-bytes__time.json").read_bytes()
+        parallel_bytes = (tmp_path / "w4" / "par-bytes__time.json").read_bytes()
+        assert serial_bytes == parallel_bytes
+
+    def test_cache_hits_skip_the_engine(self, trace, tmp_path):
+        grid = _grid("par-hit", random_factory)
+        runner = ExperimentRunner(trace, cache_dir=tmp_path)
+        first = runner.run(grid, workers=4)
+        events: list[CellEvent] = []
+        second = runner.run(grid, workers=4, on_event=events.append)
+        assert first == second
+        assert {event.kind for event in events} == {"cell_cached"}
+
+
+class TestEngine:
+    def test_yields_in_submission_order(self, trace):
+        cells = [(workload, repeat) for workload in WORKLOADS for repeat in (0, 1)]
+        yielded = [
+            cell
+            for cell, _ in run_cells(
+                trace=trace,
+                factory=random_factory,
+                objective=Objective.TIME,
+                cells=cells,
+                workers=4,
+            )
+        ]
+        assert yielded == cells
+
+    def test_event_stream_covers_every_cell(self, trace):
+        cells = [(workload, 0) for workload in WORKLOADS]
+        events: list[CellEvent] = []
+        list(
+            run_cells(
+                trace=trace,
+                factory=random_factory,
+                objective=Objective.TIME,
+                cells=cells,
+                workers=2,
+                on_event=events.append,
+            )
+        )
+        scheduled = [e for e in events if e.kind == "cell_scheduled"]
+        finished = [e for e in events if e.kind == "cell_finished"]
+        assert {(e.workload_id, e.repeat) for e in scheduled} == set(cells)
+        assert {(e.workload_id, e.repeat) for e in finished} == set(cells)
+
+    def test_rejects_bad_worker_count(self, trace):
+        with pytest.raises(ValueError, match="workers"):
+            list(
+                run_cells(
+                    trace=trace,
+                    factory=random_factory,
+                    objective=Objective.TIME,
+                    cells=[(WORKLOADS[0], 0)],
+                    workers=0,
+                )
+            )
+
+    def test_custom_seed_fn(self, trace):
+        cells = [(WORKLOADS[0], repeat) for repeat in range(3)]
+        seeds: list[int] = []
+
+        def recording_factory(environment, objective, seed):
+            seeds.append(seed)
+            return random_factory(environment, objective, seed)
+
+        list(
+            run_cells(
+                trace=trace,
+                factory=recording_factory,
+                objective=Objective.TIME,
+                cells=cells,
+                workers=1,
+                seed_fn=lambda _workload, repeat: repeat,
+            )
+        )
+        assert seeds == [0, 1, 2]
+
+
+@pytest.mark.skipif(not _fork_available(), reason="requires fork start method")
+class TestDegradation:
+    def test_app_error_in_worker_is_retried_serially(self, trace):
+        """A cell whose first (worker) attempt raises succeeds on the
+        parent's serial retry — quarantine the cell, not the run."""
+        main_pid = os.getpid()
+
+        def flaky_factory(environment, objective, seed):
+            if os.getpid() != main_pid:
+                raise RuntimeError("worker-side failure")
+            return random_factory(environment, objective, seed)
+
+        cells = [(workload, 0) for workload in WORKLOADS]
+        events: list[CellEvent] = []
+        results = list(
+            run_cells(
+                trace=trace,
+                factory=flaky_factory,
+                objective=Objective.TIME,
+                cells=cells,
+                workers=2,
+                on_event=events.append,
+            )
+        )
+        assert [cell for cell, _ in results] == cells
+        failed = [e for e in events if e.kind == "cell_failed"]
+        assert failed and all("worker-side failure" in e.detail for e in failed)
+
+    def test_pool_death_degrades_to_serial(self, trace):
+        """Killing the worker process mid-cell breaks the pool; the
+        engine recomputes the remaining cells serially in the parent."""
+        main_pid = os.getpid()
+
+        def lethal_factory(environment, objective, seed):
+            if os.getpid() != main_pid:
+                os._exit(1)
+            return random_factory(environment, objective, seed)
+
+        cells = [(workload, repeat) for workload in WORKLOADS for repeat in (0, 1)]
+        events: list[CellEvent] = []
+        results = list(
+            run_cells(
+                trace=trace,
+                factory=lethal_factory,
+                objective=Objective.TIME,
+                cells=cells,
+                workers=2,
+                on_event=events.append,
+            )
+        )
+        assert [cell for cell, _ in results] == cells
+        assert any(event.kind == "pool_degraded" for event in events)
+
+    def test_deterministic_failure_propagates(self, trace):
+        """A cell that fails in the worker *and* on the serial retry
+        raises, exactly as the serial path would."""
+
+        def doomed_factory(environment, objective, seed):
+            raise RuntimeError("deterministic failure")
+
+        with pytest.raises(RuntimeError, match="deterministic failure"):
+            list(
+                run_cells(
+                    trace=trace,
+                    factory=doomed_factory,
+                    objective=Objective.TIME,
+                    cells=[(workload, 0) for workload in WORKLOADS],
+                    workers=2,
+                )
+            )
+
+
+class TestRunnerWorkers:
+    def test_constructor_default(self, trace, tmp_path):
+        with pytest.raises(ValueError, match="workers"):
+            ExperimentRunner(trace, workers=0)
+        runner = ExperimentRunner(trace, cache_dir=tmp_path, workers=2)
+        grid = _grid("par-ctor", random_factory, repeats=1)
+        results = runner.run(grid)  # uses the constructor default
+        assert set(results) == set(WORKLOADS)
