@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Soft perf-regression gate for CI.
+
+Compares the surrogate fit time in a freshly generated ``BENCH_perf.json``
+against the committed baseline (``BENCH_perf.prev.json``, written by the
+benchmark before it overwrites the committed file — or an explicit
+``--baseline`` path). Fails when the vectorized per-step ensemble fit
+time regresses by more than ``--max-ratio`` (default 2x).
+
+The gate is *soft* in the sense that it only guards order-of-magnitude
+regressions — shared CI runners are too noisy for tight thresholds —
+and it skips cleanly (exit 0 with a notice) when either file is missing
+or the baseline predates the tracked metric, so the check never blocks
+unrelated work.
+
+Usage::
+
+    python scripts/check_perf_regression.py \
+        [--current BENCH_perf.json] [--baseline BENCH_perf.prev.json] \
+        [--max-ratio 2.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Metrics guarded by the gate: (section, key, human label).
+TRACKED = (
+    ("surrogate", "vectorized_builder_fit_s", "vectorized full-refit fit"),
+    ("surrogate", "warm_refit_score_s", "warm-start scoring step"),
+)
+
+
+def _load(path: Path) -> dict | None:
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current", type=Path, default=REPO_ROOT / "BENCH_perf.json"
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=REPO_ROOT / "BENCH_perf.prev.json"
+    )
+    parser.add_argument("--max-ratio", type=float, default=2.0)
+    args = parser.parse_args(argv)
+
+    current = _load(args.current)
+    baseline = _load(args.baseline)
+    if current is None:
+        print(f"perf gate: no current bench at {args.current}; skipping")
+        return 0
+    if baseline is None:
+        print(f"perf gate: no baseline at {args.baseline}; skipping")
+        return 0
+
+    failures = []
+    for section, key, label in TRACKED:
+        now = current.get(section, {}).get(key)
+        before = baseline.get(section, {}).get(key)
+        if not isinstance(now, (int, float)) or not isinstance(
+            before, (int, float)
+        ):
+            print(f"perf gate: {label}: metric missing, skipping")
+            continue
+        if before <= 0:
+            print(f"perf gate: {label}: degenerate baseline {before}, skipping")
+            continue
+        ratio = now / before
+        verdict = "OK" if ratio <= args.max_ratio else "REGRESSION"
+        print(
+            f"perf gate: {label}: {before * 1e3:.2f} ms -> {now * 1e3:.2f} ms "
+            f"({ratio:.2f}x, limit {args.max_ratio:.1f}x) {verdict}"
+        )
+        if ratio > args.max_ratio:
+            failures.append(label)
+
+    if failures:
+        print(f"perf gate: FAILED for: {', '.join(failures)}")
+        return 1
+    print("perf gate: passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

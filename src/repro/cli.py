@@ -138,6 +138,7 @@ def _build_optimizer(args: argparse.Namespace, environment, seed: int | None = N
     extra = {}
     if args.method in ("augmented", "hybrid"):
         extra["refit_fraction"] = args.refit_fraction
+        extra["tree_builder"] = args.tree_builder
     cls = _METHODS[args.method]
     return cls(
         environment,
@@ -435,6 +436,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="fraction of surrogate trees regrown per step for the "
         "augmented/hybrid methods (1.0 = full refit, bit-identical "
         "classic behaviour; smaller = faster warm-start refits)",
+    )
+    search.add_argument(
+        "--tree-builder", choices=["vectorized", "classic"],
+        default="vectorized",
+        help="surrogate tree-growth strategy for the augmented/hybrid "
+        "methods: level-synchronous batched growth (default) or the "
+        "per-node recursive grower (statistically equivalent)",
     )
     search.add_argument("--stop", choices=["none", "ei", "delta"], default="none")
     search.add_argument("--stop-value", type=float, default=None)

@@ -65,6 +65,7 @@ from repro.core.smbo import AcquisitionScores, SequentialOptimizer
 from repro.ml.extra_trees import ExtraTreesRegressor
 from repro.ml.random_forest import RandomForestRegressor
 from repro.ml.scaling import StandardScaler
+from repro.ml.tree_builder import TREE_BUILDERS
 from repro.simulator.cluster import Measurement
 
 #: Default ensemble size for the Extra-Trees surrogate.
@@ -100,6 +101,10 @@ class PairwiseTreeScorer:
             fresh per-step seed, keeping seeded searches bit-identical to
             the classic implementation; smaller values keep one warm
             ensemble across steps and regrow only a seeded subset.
+        tree_builder: how the surrogate's trees are grown —
+            ``"vectorized"`` (default, level-synchronous batched growth)
+            or ``"classic"`` (per-node recursion); see
+            :mod:`repro.ml.tree_builder`.
     """
 
     def __init__(
@@ -110,6 +115,7 @@ class PairwiseTreeScorer:
         ensemble: str = "extra_trees",
         seed: int | None = None,
         refit_fraction: float = 1.0,
+        tree_builder: str = "vectorized",
     ) -> None:
         if ensemble not in ENSEMBLES:
             raise ValueError(f"unknown ensemble {ensemble!r}; known: {ENSEMBLES}")
@@ -122,11 +128,16 @@ class PairwiseTreeScorer:
                 "refit_fraction < 1 (warm-start refit) requires the "
                 "extra_trees ensemble"
             )
+        if tree_builder not in TREE_BUILDERS:
+            raise ValueError(
+                f"unknown tree_builder {tree_builder!r}, expected one of {TREE_BUILDERS}"
+            )
         self._design = np.asarray(design_matrix, dtype=float)
         self.n_estimators = n_estimators
         self.relational = relational
         self.ensemble = ensemble
         self.refit_fraction = refit_fraction
+        self.tree_builder = tree_builder
         self._rng = np.random.default_rng(seed)
         #: Per-call wall-clock breakdown, appended by :meth:`score`:
         #: dicts with n_measured / n_candidates / build_s / fit_s / predict_s.
@@ -153,12 +164,14 @@ class PairwiseTreeScorer:
                 min_samples_split=6,
                 seed=seed,
                 refit_fraction=self.refit_fraction,
+                tree_builder=self.tree_builder,
             )
         return RandomForestRegressor(
             n_estimators=self.n_estimators,
             max_features=None,
             min_samples_split=6,
             seed=seed,
+            tree_builder=self.tree_builder,
         )
 
     def _pair_row(self, dest: int, source: int, source_metrics: np.ndarray) -> np.ndarray:
@@ -316,6 +329,7 @@ class AugmentedBO(SequentialOptimizer):
         relational: surrogate target mode; see :class:`PairwiseTreeScorer`.
         ensemble: surrogate ensemble family; see :class:`PairwiseTreeScorer`.
         refit_fraction: warm-start refit knob; see :class:`PairwiseTreeScorer`.
+        tree_builder: tree-growth strategy; see :class:`PairwiseTreeScorer`.
         **kwargs: forwarded to :class:`SequentialOptimizer`.
     """
 
@@ -328,6 +342,7 @@ class AugmentedBO(SequentialOptimizer):
         relational: bool = True,
         ensemble: str = "extra_trees",
         refit_fraction: float = 1.0,
+        tree_builder: str = "vectorized",
         **kwargs,
     ) -> None:
         super().__init__(*args, **kwargs)
@@ -338,6 +353,7 @@ class AugmentedBO(SequentialOptimizer):
             ensemble=ensemble,
             seed=int(self._rng.integers(2**31)),
             refit_fraction=refit_fraction,
+            tree_builder=tree_builder,
         )
 
     @property

@@ -29,7 +29,14 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.ml.tree import PackedTrees, RegressionTree, pack_trees, predict_packed
+from repro.ml.tree import (
+    PackedTrees,
+    RegressionTree,
+    coerce_training_data,
+    pack_trees,
+    predict_packed,
+)
+from repro.ml.tree_builder import TREE_BUILDERS, build_extra_trees
 
 
 class ExtraTreesRegressor:
@@ -49,6 +56,14 @@ class ExtraTreesRegressor:
             every tree — the classic, bit-identical behaviour; smaller
             values warm-start: a seeded subset of ``ceil(fraction * n)``
             trees is refitted on the new data, the rest are kept.
+        tree_builder: ``"vectorized"`` (default) grows the whole
+            ensemble level-synchronously with batched numpy
+            (:func:`repro.ml.tree_builder.build_extra_trees`) and emits
+            straight into the packed predict format; ``"classic"`` keeps
+            the per-node recursive grower.  Both implement the same
+            split rules; seeded results are statistically equivalent but
+            not bit-identical because random draws are consumed in a
+            different order.
     """
 
     def __init__(
@@ -59,6 +74,7 @@ class ExtraTreesRegressor:
         max_depth: int | None = None,
         seed: int | None = None,
         refit_fraction: float = 1.0,
+        tree_builder: str = "vectorized",
     ) -> None:
         if n_estimators < 1:
             raise ValueError("n_estimators must be at least 1")
@@ -66,11 +82,16 @@ class ExtraTreesRegressor:
             raise ValueError(
                 f"refit_fraction must be in (0, 1], got {refit_fraction}"
             )
+        if tree_builder not in TREE_BUILDERS:
+            raise ValueError(
+                f"unknown tree_builder {tree_builder!r}, expected one of {TREE_BUILDERS}"
+            )
         self.n_estimators = n_estimators
         self.max_features = max_features
         self.min_samples_split = min_samples_split
         self.max_depth = max_depth
         self.refit_fraction = refit_fraction
+        self.tree_builder = tree_builder
         self._rng = np.random.default_rng(seed)
         self._trees: list[RegressionTree] = []
         self._packed: PackedTrees | None = None
@@ -89,6 +110,30 @@ class ExtraTreesRegressor:
         )
         return tree.fit(X, y)
 
+    def _grow_batch(
+        self, X: np.ndarray, y: np.ndarray, n_trees: int
+    ) -> tuple[list[RegressionTree], PackedTrees]:
+        """Grow ``n_trees`` trees in one level-synchronous builder pass."""
+        built = build_extra_trees(
+            X,
+            y,
+            n_trees,
+            max_features=self.max_features,
+            min_samples_split=self.min_samples_split,
+            max_depth=self.max_depth,
+            rng=self._rng,
+        )
+        trees = [
+            RegressionTree.from_arrays(
+                *built.tree_arrays(index),
+                max_features=self.max_features,
+                min_samples_split=self.min_samples_split,
+                max_depth=self.max_depth,
+            )
+            for index in range(n_trees)
+        ]
+        return trees, built.packed
+
     def fit(self, X: np.ndarray, y: np.ndarray) -> ExtraTreesRegressor:
         """Fit the ensemble on the full ``(X, y)`` sample.
 
@@ -98,18 +143,28 @@ class ExtraTreesRegressor:
         regrown on the new data (warm start); the remaining trees keep
         the structure they learned from the previous fit.
         """
-        X = np.asarray(X, dtype=float)
-        y = np.asarray(y, dtype=float).ravel()
+        X, y = coerce_training_data(X, y)
+        vectorized = self.tree_builder == "vectorized"
         if self._trees and self.refit_fraction < 1.0:
             n_refit = max(1, int(np.ceil(self.refit_fraction * self.n_estimators)))
             chosen = np.sort(
                 self._rng.choice(self.n_estimators, size=n_refit, replace=False)
             )
-            for index in chosen:
-                self._trees[int(index)] = self._grow_tree(X, y)
+            if vectorized:
+                regrown, _ = self._grow_batch(X, y, n_refit)
+                for slot, tree in zip(chosen, regrown):
+                    self._trees[int(slot)] = tree
+            else:
+                for index in chosen:
+                    self._trees[int(index)] = self._grow_tree(X, y)
+            self._packed = pack_trees(self._trees)
+        elif vectorized:
+            # The builder emits the packed layout directly — no
+            # per-tree repacking on the full-refit hot path.
+            self._trees, self._packed = self._grow_batch(X, y, self.n_estimators)
         else:
             self._trees = [self._grow_tree(X, y) for _ in range(self.n_estimators)]
-        self._packed = pack_trees(self._trees)
+            self._packed = pack_trees(self._trees)
         return self
 
     def _tree_predictions(self, X: np.ndarray) -> np.ndarray:

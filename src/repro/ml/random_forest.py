@@ -16,6 +16,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.ml.tree import adopt_nodes, coerce_training_data
+from repro.ml.tree_builder import TREE_BUILDERS, build_cart_forest
+
 
 class CARTRegressionTree:
     """A best-split (CART) regression tree.
@@ -55,14 +58,7 @@ class CARTRegressionTree:
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> CARTRegressionTree:
         """Grow the tree on observations ``(X, y)``."""
-        X = np.asarray(X, dtype=float)
-        y = np.asarray(y, dtype=float).ravel()
-        if X.ndim != 2:
-            raise ValueError(f"X must be 2-D, got shape {X.shape}")
-        if X.shape[0] != y.shape[0]:
-            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
-        if X.shape[0] == 0:
-            raise ValueError("cannot fit a tree on zero observations")
+        X, y = coerce_training_data(X, y)
 
         features: list[int] = []
         thresholds: list[float] = []
@@ -179,6 +175,12 @@ class RandomForestRegressor:
         min_samples_split: node size below which growth stops.
         max_depth: per-tree depth cap.
         seed: ensemble randomisation seed.
+        tree_builder: ``"vectorized"`` (default) grows the whole forest
+            level-synchronously (:func:`repro.ml.tree_builder.build_cart_forest`)
+            with all bootstrap resamples drawn up front; ``"classic"``
+            keeps the per-node recursive grower.  Statistically
+            equivalent, not bit-identical (random draws are consumed in
+            a different order).
     """
 
     def __init__(
@@ -188,13 +190,19 @@ class RandomForestRegressor:
         min_samples_split: int = 2,
         max_depth: int | None = None,
         seed: int | None = None,
+        tree_builder: str = "vectorized",
     ) -> None:
         if n_estimators < 1:
             raise ValueError("n_estimators must be at least 1")
+        if tree_builder not in TREE_BUILDERS:
+            raise ValueError(
+                f"unknown tree_builder {tree_builder!r}, expected one of {TREE_BUILDERS}"
+            )
         self.n_estimators = n_estimators
         self.max_features = max_features
         self.min_samples_split = min_samples_split
         self.max_depth = max_depth
+        self.tree_builder = tree_builder
         self._rng = np.random.default_rng(seed)
         self._trees: list[CARTRegressionTree] = []
 
@@ -212,18 +220,32 @@ class RandomForestRegressor:
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> RandomForestRegressor:
         """Fit every tree on a bootstrap resample of ``(X, y)``."""
-        X = np.asarray(X, dtype=float)
-        y = np.asarray(y, dtype=float).ravel()
-        if X.ndim != 2:
-            raise ValueError(f"X must be 2-D, got shape {X.shape}")
-        if X.shape[0] != y.shape[0]:
-            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
-        if X.shape[0] == 0:
-            raise ValueError("cannot fit a forest on zero observations")
+        X, y = coerce_training_data(X, y)
         max_features = self._resolve_max_features(X.shape[1])
 
         self._trees = []
         n = X.shape[0]
+        if self.tree_builder == "vectorized":
+            samples = self._rng.integers(n, size=(self.n_estimators, n))
+            built = build_cart_forest(
+                X,
+                y,
+                self.n_estimators,
+                max_features=max_features,
+                min_samples_split=self.min_samples_split,
+                max_depth=self.max_depth,
+                rng=self._rng,
+                sample_indices=samples,
+            )
+            for index in range(self.n_estimators):
+                tree = CARTRegressionTree(
+                    max_features=max_features,
+                    min_samples_split=self.min_samples_split,
+                    max_depth=self.max_depth,
+                )
+                adopt_nodes(tree, *built.tree_arrays(index))
+                self._trees.append(tree)
+            return self
         for _ in range(self.n_estimators):
             sample = self._rng.integers(n, size=n)
             tree = CARTRegressionTree(

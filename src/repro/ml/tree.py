@@ -21,6 +21,27 @@ from dataclasses import dataclass
 import numpy as np
 
 
+def coerce_training_data(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Validate and coerce ``(X, y)`` once, for a whole ensemble.
+
+    Every tree grower in this package accepts the result without
+    re-validating, so an ensemble fit pays the (cheap, but per-tree
+    repeated) checks exactly once.
+
+    Raises:
+        ValueError: on empty or mismatched inputs.
+    """
+    X = np.ascontiguousarray(X, dtype=float)
+    y = np.ascontiguousarray(y, dtype=float).reshape(-1)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if X.shape[0] != y.shape[0]:
+        raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+    if X.shape[0] == 0:
+        raise ValueError("cannot fit a tree on zero observations")
+    return X, y
+
+
 @dataclass(frozen=True)
 class PackedTrees:
     """A whole ensemble flattened into one set of node arrays.
@@ -115,6 +136,41 @@ def predict_packed(packed: PackedTrees, X: np.ndarray) -> np.ndarray:
     return packed.value[node].reshape(packed.n_trees, n_rows)
 
 
+def adopt_nodes(
+    tree,
+    feature: np.ndarray,
+    threshold: np.ndarray,
+    left: np.ndarray,
+    right: np.ndarray,
+    value: np.ndarray,
+    depths: np.ndarray,
+) -> None:
+    """Install flat node arrays into ``tree`` as its fitted state.
+
+    Works for any tree class using this package's flat node layout
+    (:class:`RegressionTree` and the CART tree in
+    :mod:`repro.ml.random_forest`).  Child indices must be tree-local.
+
+    Raises:
+        ValueError: when the arrays disagree on the node count.
+    """
+    n = feature.shape[0]
+    for name, array in (
+        ("threshold", threshold), ("left", left), ("right", right),
+        ("value", value), ("depths", depths),
+    ):
+        if array.shape[0] != n:
+            raise ValueError(
+                f"{name} has {array.shape[0]} nodes but feature has {n}"
+            )
+    tree._feature = np.ascontiguousarray(feature, dtype=np.int64)
+    tree._threshold = np.ascontiguousarray(threshold, dtype=float)
+    tree._left = np.ascontiguousarray(left, dtype=np.int64)
+    tree._right = np.ascontiguousarray(right, dtype=np.int64)
+    tree._value = np.ascontiguousarray(value, dtype=float)
+    tree._depths = [int(depth) for depth in depths]
+
+
 class RegressionTree:
     """A single extremely-randomised regression tree.
 
@@ -154,20 +210,36 @@ class RegressionTree:
         """Number of nodes in the fitted tree (0 before fitting)."""
         return 0 if self._feature is None else int(self._feature.size)
 
+    @classmethod
+    def from_arrays(
+        cls,
+        feature: np.ndarray,
+        threshold: np.ndarray,
+        left: np.ndarray,
+        right: np.ndarray,
+        value: np.ndarray,
+        depths: np.ndarray,
+        **params,
+    ) -> RegressionTree:
+        """A fitted tree adopting pre-grown flat node arrays.
+
+        Used by the level-synchronous builder
+        (:mod:`repro.ml.tree_builder`), which grows whole ensembles at
+        once and hands each tree its slice of the packed node arrays.
+        ``params`` are forwarded to the constructor so the shell reports
+        the hyper-parameters it was grown with.
+        """
+        tree = cls(**params)
+        adopt_nodes(tree, feature, threshold, left, right, value, depths)
+        return tree
+
     def fit(self, X: np.ndarray, y: np.ndarray) -> RegressionTree:
         """Grow the tree on observations ``(X, y)``.
 
         Raises:
             ValueError: on empty or mismatched inputs.
         """
-        X = np.asarray(X, dtype=float)
-        y = np.asarray(y, dtype=float).ravel()
-        if X.ndim != 2:
-            raise ValueError(f"X must be 2-D, got shape {X.shape}")
-        if X.shape[0] != y.shape[0]:
-            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
-        if X.shape[0] == 0:
-            raise ValueError("cannot fit a tree on zero observations")
+        X, y = coerce_training_data(X, y)
 
         features: list[int] = []
         thresholds: list[float] = []

@@ -3,9 +3,22 @@
 Shards :class:`~repro.analysis.runner.RunGrid` cells across a process
 pool with deterministic per-cell seeding, so grid results are identical
 (bit for bit, caches included) no matter how many workers ran them.
+Worker counts are clamped to what the machine and grid can use
+(:func:`~repro.parallel.engine.plan_workers`), and the trace's bulk
+arrays reach workers through one shared-memory segment
+(:class:`~repro.parallel.dataplane.TraceShare`) instead of per-worker
+copies.
 """
 
-from repro.parallel.engine import run_cells
+from repro.parallel.dataplane import TraceShare
+from repro.parallel.engine import POOL_MIN_CELLS, plan_workers, run_cells
 from repro.parallel.events import CELL_EVENT_KINDS, CellEvent
 
-__all__ = ["CELL_EVENT_KINDS", "CellEvent", "run_cells"]
+__all__ = [
+    "CELL_EVENT_KINDS",
+    "CellEvent",
+    "POOL_MIN_CELLS",
+    "TraceShare",
+    "plan_workers",
+    "run_cells",
+]

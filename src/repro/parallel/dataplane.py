@@ -1,0 +1,155 @@
+"""Zero-copy trace sharing for the parallel experiment engine.
+
+A :class:`~repro.trace.dataset.BenchmarkTrace` is dominated by three
+numpy arrays (``times``, ``costs``, ``metrics``); everything else
+(registry, catalog, seed) is a few kilobytes of plain objects.  The
+engine's fork-based pool already avoids per-cell pickling by letting
+workers inherit the parent's trace through copy-on-write memory, but
+CPython reference counting dirties inherited pages over time, silently
+re-copying them per worker.  :class:`TraceShare` pins the bulk data in
+one explicitly shared segment instead:
+
+* :meth:`TraceShare.export` concatenates the trace's arrays into a
+  single ``multiprocessing.shared_memory`` block (one allocation, one
+  copy, ever);
+* :meth:`TraceShare.trace` — called in any process — maps that block
+  and rebuilds the ``BenchmarkTrace`` around read-only numpy *views* of
+  it: no copy, no pickle, one physical instance of the data regardless
+  of worker count.  The rebuilt trace is cached per process, so a
+  worker attaches exactly once no matter how many cells it runs;
+* the parent (the only process that created the segment) calls
+  :meth:`close` when the pool is done, unlinking the segment.
+
+The share object itself is tiny (segment name, shapes, and the small
+picklable registry/catalog objects), so shipping it through fork
+inheritance — or even pickling it, should a spawn-based pool ever
+exist — costs nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.cloud.vmtypes import VMType
+from repro.trace.dataset import BenchmarkTrace
+from repro.workloads.registry import WorkloadRegistry
+
+#: Process-local cache of attached traces, keyed by segment name: each
+#: worker process maps the segment and rebuilds the trace exactly once.
+_ATTACHED: dict[str, BenchmarkTrace] = {}
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Map an existing segment without adopting ownership of it.
+
+    Python registers every opened segment with its ``resource_tracker``,
+    which would unlink the segment when the *worker* exits — destroying
+    it while the parent and sibling workers still need it.  Only the
+    creating process owns cleanup here, so de-register the attachment.
+    """
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")  # noqa: SLF001
+    except Exception:  # pragma: no cover - tracker API is platform-dependent
+        pass
+    return segment
+
+
+@dataclass
+class TraceShare:
+    """A trace exported once into shared memory, attachable anywhere.
+
+    Build with :meth:`export`; call :meth:`trace` in any process to get
+    the zero-copy reconstruction; the exporting process calls
+    :meth:`close` when all consumers are done.
+    """
+
+    segment_name: str
+    times_shape: tuple[int, ...]
+    costs_shape: tuple[int, ...]
+    metrics_shape: tuple[int, ...]
+    registry: WorkloadRegistry
+    catalog: tuple[VMType, ...]
+    seed: int
+    _owned: shared_memory.SharedMemory | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    @classmethod
+    def export(cls, trace: BenchmarkTrace) -> TraceShare:
+        """Copy ``trace``'s arrays into one new shared-memory segment."""
+        times = np.ascontiguousarray(trace.times, dtype=np.float64)
+        costs = np.ascontiguousarray(trace.costs, dtype=np.float64)
+        metrics = np.ascontiguousarray(trace.metrics, dtype=np.float64)
+        total = times.nbytes + costs.nbytes + metrics.nbytes
+        segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+        offset = 0
+        for array in (times, costs, metrics):
+            view = np.ndarray(array.shape, dtype=np.float64, buffer=segment.buf, offset=offset)
+            view[...] = array
+            offset += array.nbytes
+        return cls(
+            segment_name=segment.name,
+            times_shape=times.shape,
+            costs_shape=costs.shape,
+            metrics_shape=metrics.shape,
+            registry=trace.registry,
+            catalog=trace.catalog,
+            seed=trace.seed,
+            _owned=segment,
+        )
+
+    def trace(self) -> BenchmarkTrace:
+        """The shared trace, rebuilt around views of the segment.
+
+        Safe to call from any process; the result is cached per process
+        so repeated calls (one per grid cell) map the segment once.
+        """
+        cached = _ATTACHED.get(self.segment_name)
+        if cached is not None:
+            return cached
+        segment = (
+            self._owned
+            if self._owned is not None
+            else _attach_segment(self.segment_name)
+        )
+        arrays = []
+        offset = 0
+        for shape in (self.times_shape, self.costs_shape, self.metrics_shape):
+            view = np.ndarray(shape, dtype=np.float64, buffer=segment.buf, offset=offset)
+            view.flags.writeable = False
+            arrays.append(view)
+            offset += view.nbytes
+        times, costs, metrics = arrays
+        rebuilt = BenchmarkTrace(
+            registry=self.registry,
+            catalog=self.catalog,
+            times=times,
+            costs=costs,
+            metrics=metrics,
+            seed=self.seed,
+        )
+        # Keep the mapping alive for as long as the views are in use.
+        rebuilt.__dict__["_dataplane_segment"] = segment
+        _ATTACHED[self.segment_name] = rebuilt
+        return rebuilt
+
+    def close(self) -> None:
+        """Tear the segment down (exporting process only).
+
+        Workers that attached keep their mappings until process exit;
+        the segment's backing memory is freed once the last mapping
+        closes.
+        """
+        _ATTACHED.pop(self.segment_name, None)
+        if self._owned is None:
+            return
+        try:
+            self._owned.close()
+            self._owned.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        self._owned = None

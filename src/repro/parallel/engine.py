@@ -11,15 +11,27 @@ loop:
   depend on which worker ran it or in what order.  Results are yielded
   in submission order, so downstream cache assembly is byte-identical
   to the serial path.
-* **Fork-based context sharing** — optimiser factories are arbitrary
-  closures and therefore not picklable.  The engine stores the cell
-  context (trace, factory, objective, seed function) in a module global
-  *before* the pool forks; workers inherit it through copy-on-write
-  memory, and only the tiny ``(workload_id, repeat)`` tuples and the
-  picklable :class:`~repro.core.result.SearchResult` objects ever cross
-  the process boundary.  When fork is unavailable (or ``workers <= 1``,
-  or the grid has a single cell) the engine runs serially in-process —
-  same code path per cell, no pool.
+* **Fork-based context sharing and a zero-copy data plane** — optimiser
+  factories are arbitrary closures and therefore not picklable.  The
+  engine stores the cell context (trace, factory, objective, seed
+  function) in a module global *before* the pool forks; workers inherit
+  it through copy-on-write memory, and only the tiny
+  ``(workload_id, repeat)`` tuples and the picklable
+  :class:`~repro.core.result.SearchResult` objects ever cross the
+  process boundary.  The trace's bulk arrays additionally ride in one
+  ``multiprocessing.shared_memory`` segment
+  (:class:`~repro.parallel.dataplane.TraceShare`), so every worker reads
+  the same physical bytes instead of copy-on-write page duplicates.
+  When fork is unavailable (or ``workers <= 1``, or the grid has a
+  single cell) the engine runs serially in-process — same code path per
+  cell, no pool.
+* **Worker clamping** — a requested worker count is only a ceiling: the
+  engine clamps it to ``min(workers, os.cpu_count(), n_cells)`` and
+  skips the pool entirely for grids under :data:`POOL_MIN_CELLS` cells
+  (:func:`plan_workers`), where fork + warm-up overhead exceeds the
+  work.  The decision is observable as a ``pool_planned`` event;
+  ``auto_clamp=False`` restores the literal request for tests that
+  need a pool regardless of the host machine.
 * **Crash containment** — a cell that raises an application error in a
   worker is retried serially in the parent (quarantine the cell, not
   the run); a deterministic failure then surfaces exactly as it would
@@ -31,6 +43,7 @@ loop:
 from __future__ import annotations
 
 import multiprocessing
+import os
 from collections.abc import Callable, Iterable, Iterator
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -39,6 +52,7 @@ from dataclasses import dataclass
 from repro.analysis.runner import OptimizerFactory, run_seed
 from repro.core.objectives import Objective
 from repro.core.result import SearchResult
+from repro.parallel.dataplane import TraceShare
 from repro.parallel.events import CellEvent
 from repro.trace.dataset import BenchmarkTrace
 
@@ -51,6 +65,32 @@ SeedFn = Callable[[str, int], int]
 #: Optional progress-event sink.
 EventSink = Callable[[CellEvent], None] | None
 
+#: Below this many cells a pool never pays for itself: per-worker fork +
+#: interpreter warm-up costs hundreds of milliseconds, while a grid this
+#: small finishes in about that time serially.
+POOL_MIN_CELLS = 4
+
+
+def plan_workers(
+    workers: int, n_cells: int, cpu_count: int | None = None
+) -> int:
+    """Effective worker count for a grid of ``n_cells`` cells.
+
+    Clamps the request to the machine (``os.cpu_count()``) and to the
+    work available (``n_cells`` — extra workers would only idle), and
+    degrades to serial (1) for grids under :data:`POOL_MIN_CELLS`,
+    where pool spin-up exceeds the work itself.
+
+    Raises:
+        ValueError: if ``workers`` is less than 1.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if n_cells < POOL_MIN_CELLS:
+        return 1
+    cores = cpu_count if cpu_count is not None else (os.cpu_count() or 1)
+    return max(1, min(workers, cores, n_cells))
+
 
 @dataclass
 class _CellContext:
@@ -60,6 +100,7 @@ class _CellContext:
     factory: OptimizerFactory
     objective: Objective
     seed_fn: SeedFn
+    share: TraceShare | None = None
 
 
 # Set in the parent before the pool forks; workers inherit it.  This is
@@ -73,7 +114,10 @@ def _execute_cell(cell: Cell) -> SearchResult:
     if context is None:
         raise RuntimeError("cell context is not initialised in this process")
     workload_id, repeat = cell
-    environment = context.trace.environment(workload_id)
+    # Pool runs read the trace from the shared-memory data plane (one
+    # physical copy across all workers); serial runs use it directly.
+    trace = context.trace if context.share is None else context.share.trace()
+    environment = trace.environment(workload_id)
     optimizer = context.factory(
         environment, context.objective, context.seed_fn(workload_id, repeat)
     )
@@ -152,6 +196,7 @@ def run_cells(
     workers: int = 1,
     on_event: EventSink = None,
     seed_fn: SeedFn = run_seed,
+    auto_clamp: bool = True,
 ) -> Iterator[tuple[Cell, SearchResult]]:
     """Execute grid cells, yielding ``(cell, result)`` in submission order.
 
@@ -165,6 +210,12 @@ def run_cells(
             progress events.
         seed_fn: maps a cell to its optimiser seed (default
             :func:`~repro.analysis.runner.run_seed`).
+        auto_clamp: when true (default), the requested ``workers`` is
+            reduced to what can help — ``min(workers, cpu_count,
+            n_cells)``, serial for tiny grids (:func:`plan_workers`) —
+            and the decision is reported via a ``pool_planned`` event.
+            ``False`` takes the request literally (for tests exercising
+            pool behaviour regardless of the host machine).
 
     Raises:
         ValueError: if ``workers`` is less than 1.
@@ -172,15 +223,40 @@ def run_cells(
     if workers < 1:
         raise ValueError(f"workers must be >= 1, got {workers}")
     cells = list(cells)
+    effective = plan_workers(workers, len(cells)) if auto_clamp else workers
+    if auto_clamp and on_event is not None:
+        _emit(
+            on_event,
+            "pool_planned",
+            None,
+            f"workers requested={workers} effective={effective} "
+            f"cells={len(cells)} cpus={os.cpu_count() or 1}",
+        )
     global _CELL_CONTEXT
     previous = _CELL_CONTEXT
+    serial = effective <= 1 or len(cells) <= 1 or not _fork_available()
+    # The shared-memory data plane only pays off when a pool forks.  If
+    # the platform can't provide a segment (e.g. no /dev/shm), workers
+    # simply fall back to the fork-inherited copy of the trace.
+    share = None
+    if not serial:
+        try:
+            share = TraceShare.export(trace)
+        except OSError:  # pragma: no cover - platform-dependent
+            share = None
     _CELL_CONTEXT = _CellContext(
-        trace=trace, factory=factory, objective=objective, seed_fn=seed_fn
+        trace=trace,
+        factory=factory,
+        objective=objective,
+        seed_fn=seed_fn,
+        share=share,
     )
     try:
-        if workers <= 1 or len(cells) <= 1 or not _fork_available():
+        if serial:
             yield from _run_serial(cells, on_event)
         else:
-            yield from _run_pool(cells, min(workers, len(cells)), on_event)
+            yield from _run_pool(cells, min(effective, len(cells)), on_event)
     finally:
         _CELL_CONTEXT = previous
+        if share is not None:
+            share.close()

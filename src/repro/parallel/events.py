@@ -11,14 +11,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 #: The cell-event vocabulary.  ``cell_cached`` is emitted by the runner
-#: for cache hits (the engine never sees those cells); ``pool_degraded``
-#: fires when the worker pool dies and the engine falls back to serial
-#: execution for the remaining cells.
+#: for cache hits (the engine never sees those cells); ``pool_planned``
+#: reports the engine's worker-clamping decision (requested vs effective
+#: workers) before any cell runs; ``pool_degraded`` fires when the
+#: worker pool dies and the engine falls back to serial execution for
+#: the remaining cells.
 CELL_EVENT_KINDS: tuple[str, ...] = (
     "cell_scheduled",
     "cell_finished",
     "cell_failed",
     "cell_cached",
+    "pool_planned",
     "pool_degraded",
 )
 

@@ -1,0 +1,71 @@
+"""Seeded search-outcome equivalence: classic vs vectorized builder.
+
+The vectorized builder consumes random draws in a different order than
+the classic grower, so individual trees differ — but the surrogate's
+*decisions* must not: on the tier-1 grid configuration (the engine test
+workloads, ``run_seed`` seeding, the paper's Prediction-Delta stopping
+rule) both builders must select the same best VM at the same search
+cost, step for step.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.runner import ExperimentRunner, RunGrid
+from repro.core.augmented_bo import AugmentedBO
+from repro.core.objectives import Objective
+from repro.core.stopping import PredictionDeltaThreshold
+
+WORKLOADS = ("kmeans/Spark 2.1/small", "lr/Spark 1.5/medium")
+REPEATS = 2
+
+
+def _factory(builder):
+    def factory(environment, objective, seed):
+        return AugmentedBO(
+            environment,
+            objective=objective,
+            seed=seed,
+            stopping=PredictionDeltaThreshold(1.1),
+            tree_builder=builder,
+        )
+
+    return factory
+
+
+@pytest.fixture(scope="module")
+def outcomes(trace):
+    results = {}
+    for builder in ("classic", "vectorized"):
+        grid = RunGrid(
+            key=f"builder-equiv-{builder}",
+            factory=_factory(builder),
+            objective=Objective.TIME,
+            workload_ids=WORKLOADS,
+            repeats=REPEATS,
+        )
+        results[builder] = ExperimentRunner(trace, cache_dir=None).run(grid)
+    return results
+
+
+class TestSearchOutcomeEquivalence:
+    def test_identical_best_vm_selections(self, outcomes):
+        for workload in WORKLOADS:
+            for classic, vectorized in zip(
+                outcomes["classic"][workload], outcomes["vectorized"][workload]
+            ):
+                assert classic.best_vm_name == vectorized.best_vm_name
+
+    def test_identical_search_costs(self, outcomes):
+        for workload in WORKLOADS:
+            classic_costs = [r.search_cost for r in outcomes["classic"][workload]]
+            vector_costs = [r.search_cost for r in outcomes["vectorized"][workload]]
+            assert classic_costs == vector_costs
+
+    def test_identical_stopping_reasons(self, outcomes):
+        for workload in WORKLOADS:
+            for classic, vectorized in zip(
+                outcomes["classic"][workload], outcomes["vectorized"][workload]
+            ):
+                assert classic.stopped_by == vectorized.stopped_by

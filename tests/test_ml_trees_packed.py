@@ -125,3 +125,83 @@ class TestWarmStartRefit:
             a.fit(X, y)
             b.fit(X, y)
             np.testing.assert_array_equal(a.predict(queries), b.predict(queries))
+
+    @pytest.mark.parametrize("builder", ["vectorized", "classic"])
+    def test_partial_refit_with_either_builder(self, data, builder):
+        """Warm-start refit keeps unchosen trees and stays packed-
+        consistent regardless of the tree builder."""
+        X, y = data
+        model = ExtraTreesRegressor(
+            n_estimators=8, seed=0, refit_fraction=0.25, tree_builder=builder
+        )
+        model.fit(X, y)
+        before = model.trees
+        model.fit(X, y)
+        after = model.trees
+        kept = sum(1 for old, new in zip(before, after) if old is new)
+        assert kept == 6 and len(after) - kept == 2
+        queries = np.random.default_rng(6).uniform(size=(20, 5))
+        expected = np.stack([tree.predict(queries) for tree in after])
+        np.testing.assert_array_equal(model.predict(queries), expected.mean(axis=0))
+
+    def test_partial_refit_actually_tracks_new_data(self, data):
+        """A vectorized warm refit on shifted targets moves predictions
+        toward the new data (the regrown subset really retrains)."""
+        X, y = data
+        model = ExtraTreesRegressor(n_estimators=8, seed=2, refit_fraction=0.5)
+        model.fit(X, y)
+        before = model.predict(X)
+        model.fit(X, y + 10.0)
+        after = model.predict(X)
+        assert np.all(after > before)
+
+
+class TestPackedDegenerate:
+    """predict_packed on deep and degenerate tree shapes."""
+
+    @pytest.mark.parametrize("builder", ["vectorized", "classic"])
+    def test_constant_y_collapses_to_root_leaves(self, builder):
+        X = np.random.default_rng(0).uniform(size=(30, 4))
+        y = np.full(30, 2.5)
+        model = ExtraTreesRegressor(n_estimators=3, seed=0, tree_builder=builder)
+        model.fit(X, y)
+        assert all(tree.node_count == 1 for tree in model.trees)
+        np.testing.assert_array_equal(model.predict(X), np.full(30, 2.5))
+
+    @pytest.mark.parametrize("builder", ["vectorized", "classic"])
+    def test_max_depth_one_stumps(self, data, builder):
+        X, y = data
+        model = ExtraTreesRegressor(
+            n_estimators=4, max_depth=1, seed=1, tree_builder=builder
+        )
+        model.fit(X, y)
+        assert all(tree.depth() == 1 for tree in model.trees)
+        assert all(tree.node_count == 3 for tree in model.trees)
+        queries = np.random.default_rng(7).uniform(size=(12, 5))
+        expected = np.stack([tree.predict(queries) for tree in model.trees])
+        np.testing.assert_array_equal(model.predict(queries), expected.mean(axis=0))
+
+    @pytest.mark.parametrize("builder", ["vectorized", "classic"])
+    def test_single_sample_leaves_deep_tree(self, builder):
+        """Distinct targets and min_samples_split=2 grow every leaf down
+        to one sample; packed traversal must agree with per-tree."""
+        rng = np.random.default_rng(3)
+        X = rng.uniform(size=(40, 3))
+        y = np.arange(40.0)  # all-distinct: forces full purity
+        model = ExtraTreesRegressor(
+            n_estimators=3, min_samples_split=2, seed=4, tree_builder=builder
+        )
+        model.fit(X, y)
+        # Full purity: every training row predicts its own target.
+        np.testing.assert_allclose(model.predict(X), y)
+        queries = rng.uniform(size=(25, 3))
+        expected = np.stack([tree.predict(queries) for tree in model.trees])
+        np.testing.assert_array_equal(model.predict(queries), expected.mean(axis=0))
+
+    @pytest.mark.parametrize("builder", ["vectorized", "classic"])
+    def test_two_row_fit(self, builder):
+        X = np.array([[0.0, 1.0], [1.0, 0.0]])
+        y = np.array([1.0, 3.0])
+        model = ExtraTreesRegressor(n_estimators=2, seed=5, tree_builder=builder)
+        model.fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y)

@@ -1,0 +1,85 @@
+"""Worker planning and the shared-memory trace data plane."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.parallel import POOL_MIN_CELLS, TraceShare, plan_workers
+from repro.parallel.dataplane import _ATTACHED
+
+
+class TestPlanWorkers:
+    def test_clamps_to_cpu_count(self):
+        assert plan_workers(8, 20, cpu_count=2) == 2
+
+    def test_clamps_to_cell_count(self):
+        assert plan_workers(8, 5, cpu_count=16) == 5
+
+    def test_request_is_a_ceiling(self):
+        assert plan_workers(3, 20, cpu_count=16) == 3
+
+    def test_tiny_grids_run_serially(self):
+        assert POOL_MIN_CELLS > 1
+        for n_cells in range(POOL_MIN_CELLS):
+            assert plan_workers(8, n_cells, cpu_count=16) == 1
+
+    def test_at_threshold_pools(self):
+        assert plan_workers(8, POOL_MIN_CELLS, cpu_count=16) == POOL_MIN_CELLS
+
+    def test_rejects_bad_request(self):
+        with pytest.raises(ValueError, match="workers"):
+            plan_workers(0, 10)
+
+    def test_uses_host_cpu_count_by_default(self):
+        import os
+
+        cores = os.cpu_count() or 1
+        assert plan_workers(10_000, 10_000) == min(10_000, cores)
+
+
+class TestTraceShare:
+    def test_roundtrip_is_exact_and_zero_copy(self, trace):
+        share = TraceShare.export(trace)
+        try:
+            rebuilt = share.trace()
+            np.testing.assert_array_equal(rebuilt.times, trace.times)
+            np.testing.assert_array_equal(rebuilt.costs, trace.costs)
+            np.testing.assert_array_equal(rebuilt.metrics, trace.metrics)
+            assert rebuilt.registry is trace.registry
+            assert rebuilt.catalog == trace.catalog
+            assert rebuilt.seed == trace.seed
+            # The rebuilt arrays are views of the shared segment, not
+            # copies, and are protected against accidental writes.
+            assert not rebuilt.times.flags.owndata
+            assert not rebuilt.times.flags.writeable
+        finally:
+            share.close()
+
+    def test_attach_is_cached_per_process(self, trace):
+        share = TraceShare.export(trace)
+        try:
+            assert share.trace() is share.trace()
+        finally:
+            share.close()
+
+    def test_close_clears_cache_and_is_idempotent(self, trace):
+        share = TraceShare.export(trace)
+        share.trace()
+        share.close()
+        assert share.segment_name not in _ATTACHED
+        share.close()  # second close must not raise
+
+    def test_environment_replays_identically(self, trace):
+        """A search environment built from the shared trace measures
+        exactly what the original trace would."""
+        share = TraceShare.export(trace)
+        try:
+            rebuilt = share.trace()
+            workload = trace.registry.workloads[0]
+            original_env = trace.environment(workload)
+            shared_env = rebuilt.environment(workload)
+            vm = trace.catalog[0].name
+            assert original_env.measure(vm) == shared_env.measure(vm)
+        finally:
+            share.close()

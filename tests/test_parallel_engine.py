@@ -186,6 +186,7 @@ class TestDegradation:
                 cells=cells,
                 workers=2,
                 on_event=events.append,
+                auto_clamp=False,
             )
         )
         assert [cell for cell, _ in results] == cells
@@ -212,6 +213,7 @@ class TestDegradation:
                 cells=cells,
                 workers=2,
                 on_event=events.append,
+                auto_clamp=False,
             )
         )
         assert [cell for cell, _ in results] == cells
@@ -232,6 +234,7 @@ class TestDegradation:
                     objective=Objective.TIME,
                     cells=[(workload, 0) for workload in WORKLOADS],
                     workers=2,
+                    auto_clamp=False,
                 )
             )
 
