@@ -32,10 +32,15 @@ import os
 from pathlib import Path
 from time import perf_counter
 
+import numpy as np
+
 from repro.analysis.runner import ExperimentRunner, RunGrid
 from repro.analysis.experiments import all_workload_ids
 from repro.core.augmented_bo import AugmentedBO, PairwiseTreeScorer
+from repro.core.naive_bo import GPScorer, NaiveBO
 from repro.core.objectives import Objective
+from repro.ml.gp import GaussianProcessRegressor
+from repro.ml.kernels import kernel_by_name
 from repro.parallel import plan_workers
 
 from conftest import REPO_ROOT, show
@@ -46,6 +51,8 @@ BENCH_PREV_PATH = REPO_ROOT / "BENCH_perf.prev.json"
 N_WORKLOADS = int(os.environ.get("ARROW_PERF_WORKLOADS", "10"))
 N_REPEATS = int(os.environ.get("ARROW_PERF_REPEATS", "8"))
 N_WORKERS = int(os.environ.get("ARROW_PERF_WORKERS", "4"))
+N_GP_WORKLOADS = int(os.environ.get("ARROW_PERF_GP_WORKLOADS", "2"))
+N_GP_REPEATS = int(os.environ.get("ARROW_PERF_GP_REPEATS", "2"))
 
 #: Warm-start fraction used by both benchmark sections.
 FAST_REFIT = 0.25
@@ -250,3 +257,123 @@ def test_surrogate_scoring_reduction(trace):
     _show_delta("surrogate", payload)
     assert reduction >= 3.0
     assert builder_reduction >= 4.0
+
+
+#: The paper's Figure 7 kernel sweep: Naive BO under each of the four.
+FIG7_KERNELS = ("rbf", "matern12", "matern32", "matern52")
+
+
+def _naive_grid(kernel_name: str, gradient: str, workload_ids) -> RunGrid:
+    def factory(environment, objective, seed):
+        return NaiveBO(
+            environment,
+            objective=objective,
+            seed=seed,
+            kernel=kernel_by_name(kernel_name),
+            gp_gradient=gradient,
+        )
+
+    return RunGrid(
+        key=f"perf-gp-{kernel_name}-{gradient}",
+        factory=factory,
+        objective=Objective.TIME,
+        workload_ids=workload_ids,
+        repeats=N_GP_REPEATS,
+    )
+
+
+def test_gp_hot_path(trace):
+    environment = trace.environment(all_workload_ids()[0])
+    environment.reset()
+    catalog = list(environment.catalog)
+    measured = list(range(AT_MEASUREMENTS))
+    measurements = [environment.measure(catalog[index]) for index in measured]
+    values = np.array([Objective.TIME.value_of(m) for m in measurements])
+    unmeasured = list(range(AT_MEASUREMENTS, len(catalog)))
+
+    design = NaiveBO(environment, seed=0).design_matrix
+    scale = design.std(axis=0)
+    X = (design - design.mean(axis=0)) / np.where(scale > 0, scale, 1.0)
+    X_measured = X[measured]
+
+    # -- hyperparameter-fit micro-benchmark: fresh GP per round so the
+    # warm start cannot flatten the comparison.
+    def best_fit(gradient: str, rounds: int = 5) -> tuple[float, int, int]:
+        timings, gp = [], None
+        for _ in range(rounds + 1):  # first round is the warm-up
+            gp = GaussianProcessRegressor(
+                kernel_by_name("matern52"), seed=0, gradient=gradient
+            )
+            t0 = perf_counter()
+            gp.fit(X_measured, values)
+            timings.append(perf_counter() - t0)
+        return min(timings[1:]), gp.n_lml_evals, gp.n_kernel_builds
+
+    fit_s, lml_analytic, builds_analytic = best_fit("analytic")
+    fit_numeric_s, lml_numeric, builds_numeric = best_fit("numeric")
+    builds_reduction = builds_numeric / builds_analytic
+
+    # -- per-step scorer time (fit + incremental cross-covariance predict).
+    def best_score(gradient: str, rounds: int = 5) -> float:
+        scorer = GPScorer(design, seed=0, gradient=gradient)
+        scorer.score(measured, values, unmeasured)  # warm-up
+        timings = []
+        for _ in range(rounds):
+            t0 = perf_counter()
+            scorer.score(measured, values, unmeasured)
+            timings.append(perf_counter() - t0)
+        return min(timings)
+
+    score_s = best_score("analytic")
+    score_numeric_s = best_score("numeric")
+
+    # -- end-to-end Figure 7 kernel-fragility grid, analytic vs numeric.
+    workload_ids = tuple(all_workload_ids()[:N_GP_WORKLOADS])
+    grid_s = {}
+    for gradient in ("analytic", "numeric"):
+        t0 = perf_counter()
+        for kernel_name in FIG7_KERNELS:
+            ExperimentRunner(trace, cache_dir=None).run(
+                _naive_grid(kernel_name, gradient, workload_ids)
+            )
+        grid_s[gradient] = perf_counter() - t0
+    grid_speedup = grid_s["numeric"] / grid_s["analytic"]
+
+    payload = {
+        "n_measured": AT_MEASUREMENTS,
+        "fit_s": round(fit_s, 6),
+        "fit_numeric_s": round(fit_numeric_s, 6),
+        "fit_speedup": round(fit_numeric_s / fit_s, 3),
+        "lml_evals_analytic": lml_analytic,
+        "lml_evals_numeric": lml_numeric,
+        "kernel_builds_analytic": builds_analytic,
+        "kernel_builds_numeric": builds_numeric,
+        "builds_reduction": round(builds_reduction, 3),
+        "score_s": round(score_s, 6),
+        "score_numeric_s": round(score_numeric_s, 6),
+        "grid_kernels": len(FIG7_KERNELS),
+        "grid_workloads": len(workload_ids),
+        "grid_repeats": N_GP_REPEATS,
+        "grid_analytic_s": round(grid_s["analytic"], 3),
+        "grid_numeric_s": round(grid_s["numeric"], 3),
+        "grid_speedup": round(grid_speedup, 3),
+    }
+    _merge_bench("gp", payload)
+    show(
+        f"GP hot path at {AT_MEASUREMENTS} measurements "
+        f"(Fig. 7 grid: {len(FIG7_KERNELS)} kernels x {len(workload_ids)} "
+        f"workloads x {N_GP_REPEATS} repeats)",
+        [
+            ("analytic fit (ms)", "-", f"{fit_s * 1e3:.1f}"),
+            ("numeric fit (ms)", "-", f"{fit_numeric_s * 1e3:.1f}"),
+            ("kernel builds / fit", ">= 3x fewer", f"{builds_analytic} vs {builds_numeric}"),
+            ("analytic score (ms)", "-", f"{score_s * 1e3:.1f}"),
+            ("numeric score (ms)", "-", f"{score_numeric_s * 1e3:.1f}"),
+            ("grid analytic (s)", "-", f"{grid_s['analytic']:.1f}"),
+            ("grid numeric (s)", "-", f"{grid_s['numeric']:.1f}"),
+            ("grid speedup", ">= 2x", f"{grid_speedup:.2f}x"),
+        ],
+    )
+    _show_delta("gp", payload)
+    assert builds_reduction >= 3.0
+    assert grid_speedup >= 2.0

@@ -42,6 +42,32 @@ def test_gp_fit_12_points(benchmark, gp_data):
     benchmark(fit)
 
 
+@pytest.mark.parametrize("gradient", ["analytic", "numeric"])
+def test_gp_fit_by_gradient_mode(benchmark, gp_data, gradient):
+    """The one-Cholesky fused value+grad path vs finite differences."""
+    X, y = gp_data
+
+    def fit():
+        return GaussianProcessRegressor(
+            Matern52(), n_restarts=0, seed=0, gradient=gradient
+        ).fit(X, y)
+
+    benchmark(fit)
+
+
+def test_gp_lml_value_and_grad(benchmark, gp_data):
+    """One fused LML value+gradient evaluation from cached geometry."""
+    from repro.ml.kernels import Geometry
+
+    X, y = gp_data
+    gp = GaussianProcessRegressor(Matern52(), optimise=False, seed=0).fit(X, y)
+    gp._eye = np.eye(X.shape[0])
+    y_scaled = (y - y.mean()) / y.std()
+    geometry = Geometry(X)
+    theta = gp._packed_theta()
+    benchmark(gp._lml_value_and_grad, theta, y_scaled, geometry)
+
+
 def test_gp_predict_with_std(benchmark, gp_data):
     X, y = gp_data
     gp = GaussianProcessRegressor(Matern52(), n_restarts=0, seed=0).fit(X, y)

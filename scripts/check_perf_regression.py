@@ -33,6 +33,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 TRACKED = (
     ("surrogate", "vectorized_builder_fit_s", "vectorized full-refit fit"),
     ("surrogate", "warm_refit_score_s", "warm-start scoring step"),
+    ("gp", "fit_s", "analytic GP hyperparameter fit"),
 )
 
 

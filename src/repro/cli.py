@@ -139,6 +139,8 @@ def _build_optimizer(args: argparse.Namespace, environment, seed: int | None = N
     if args.method in ("augmented", "hybrid"):
         extra["refit_fraction"] = args.refit_fraction
         extra["tree_builder"] = args.tree_builder
+    if args.method in ("naive", "hybrid"):
+        extra["gp_gradient"] = args.gp_gradient
     cls = _METHODS[args.method]
     return cls(
         environment,
@@ -443,6 +445,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="surrogate tree-growth strategy for the augmented/hybrid "
         "methods: level-synchronous batched growth (default) or the "
         "per-node recursive grower (statistically equivalent)",
+    )
+    search.add_argument(
+        "--gp-gradient", choices=["analytic", "numeric"], default="analytic",
+        help="likelihood-gradient mode for the naive/hybrid GP surrogate: "
+        "fused analytic value+gradient fits (default, one Cholesky per "
+        "L-BFGS-B step) or the legacy finite-difference path",
     )
     search.add_argument("--stop", choices=["none", "ei", "delta"], default="none")
     search.add_argument("--stop-value", type=float, default=None)

@@ -22,13 +22,16 @@ from dataclasses import dataclass
 #: attempt (so retries are visible), ``measurement_failed`` once per
 #: failed attempt, ``measurement_finished`` once per successful
 #: observation, ``vm_quarantined`` once per VM the circuit breaker trips
-#: on, and ``surrogate_fitted`` once per acquisition round.
+#: on, ``surrogate_fitted`` once per acquisition round, and
+#: ``stopping_rule_fired`` once, when an early-stopping criterion ends
+#: the search (detail carries the rule name and threshold).
 EVENT_KINDS: tuple[str, ...] = (
     "measurement_started",
     "measurement_finished",
     "measurement_failed",
     "vm_quarantined",
     "surrogate_fitted",
+    "stopping_rule_fired",
 )
 
 

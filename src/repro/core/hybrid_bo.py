@@ -31,6 +31,9 @@ class HybridBO(SequentialOptimizer):
             surrogate; see :class:`~repro.core.augmented_bo.PairwiseTreeScorer`.
         tree_builder: tree-growth strategy for the late-phase surrogate;
             see :class:`~repro.core.augmented_bo.PairwiseTreeScorer`.
+        gp_gradient: likelihood-gradient mode for the early-phase GP —
+            ``"analytic"`` (default) or ``"numeric"``; see
+            :class:`~repro.core.naive_bo.GPScorer`.
         **kwargs: forwarded to :class:`SequentialOptimizer`.
     """
 
@@ -44,6 +47,7 @@ class HybridBO(SequentialOptimizer):
         n_estimators: int = DEFAULT_N_ESTIMATORS,
         refit_fraction: float = 1.0,
         tree_builder: str = "vectorized",
+        gp_gradient: str = "analytic",
         **kwargs,
     ) -> None:
         super().__init__(*args, **kwargs)
@@ -51,7 +55,10 @@ class HybridBO(SequentialOptimizer):
             raise ValueError(f"switch_at must be at least 1, got {switch_at}")
         self.switch_at = switch_at
         self._gp_scorer = GPScorer(
-            self.design_matrix, kernel=kernel, seed=int(self._rng.integers(2**31))
+            self.design_matrix,
+            kernel=kernel,
+            seed=int(self._rng.integers(2**31)),
+            gradient=gp_gradient,
         )
         self._tree_scorer = PairwiseTreeScorer(
             self.design_matrix,

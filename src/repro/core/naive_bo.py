@@ -21,7 +21,7 @@ from repro.core.acquisition import (
 )
 from repro.core.smbo import AcquisitionScores, SequentialOptimizer
 from repro.ml.gp import GaussianProcessRegressor
-from repro.ml.kernels import Kernel, Matern52
+from repro.ml.kernels import DesignGeometry, Kernel, Matern52
 from repro.ml.scaling import StandardScaler
 
 #: Acquisition functions a GP surrogate can drive.  Section III-A lists
@@ -38,12 +38,22 @@ class GPScorer:
     Factored out of :class:`NaiveBO` so :class:`~repro.core.hybrid_bo.HybridBO`
     can reuse it verbatim for its early phase.
 
+    The scorer is incremental across BO steps: the pairwise distance
+    geometry of the scaled design is tracked by a
+    :class:`~repro.ml.kernels.DesignGeometry` that appends one column
+    per new measurement, so both the hyperparameter fit and the
+    cross-covariance block of the predict reuse cached distances
+    instead of recomputing them every step.
+
     Args:
         design_matrix: full encoded instance space (scaling is fitted on
             it once, so feature scales don't drift as measurements arrive).
         kernel: GP covariance function (cloned per fit).
         acquisition: ``"ei"`` (default), ``"pi"`` or ``"lcb"``.
         seed: seed for the GP's hyperparameter restarts.
+        gradient: likelihood-gradient mode for the GP —
+            ``"analytic"`` (fused one-Cholesky value+gradient, default)
+            or ``"numeric"`` (finite differences, the legacy path).
     """
 
     def __init__(
@@ -52,6 +62,7 @@ class GPScorer:
         kernel: Kernel | None = None,
         acquisition: str = "ei",
         seed: int | None = None,
+        gradient: str = "analytic",
     ) -> None:
         if acquisition not in GP_ACQUISITIONS:
             raise ValueError(
@@ -62,6 +73,7 @@ class GPScorer:
         self._scaler = StandardScaler().fit(self._design)
         self._scaled_design = self._scaler.transform(self._design)
         self._rng = np.random.default_rng(seed)
+        self._geometry = DesignGeometry(self._scaled_design)
         # One persistent GP: successive fits warm-start the likelihood
         # optimisation from the previous step's hyperparameters, which
         # keeps per-step cost low without losing adaptivity.
@@ -69,15 +81,44 @@ class GPScorer:
             kernel=kernel if kernel is not None else Matern52(),
             n_restarts=0,
             seed=int(self._rng.integers(2**31)),
+            gradient=gradient,
         )
+
+    @property
+    def gp(self) -> GaussianProcessRegressor:
+        """The underlying GP (exposes fit/eval instrumentation counters)."""
+        return self._gp
+
+    @property
+    def geometry_stats(self) -> dict[str, int]:
+        """Incremental-geometry counters: columns appended vs restarts."""
+        return {
+            "extensions": self._geometry.extensions,
+            "rebuilds": self._geometry.rebuilds,
+        }
 
     def score(
         self, measured: list[int], values: np.ndarray, unmeasured: list[int]
     ) -> AcquisitionScores:
         """Fit on the measured rows and return EI scores for the rest."""
         gp = self._gp
-        gp.fit(self._scaled_design[measured], values)
-        mean, std = gp.predict(self._scaled_design[unmeasured], return_std=True)
+        if gp.gradient == "analytic":
+            # Reuse the incrementally grown distance geometry for both
+            # the fit and the cross-covariance block of the predict.
+            gp.fit(
+                self._scaled_design[measured],
+                values,
+                geometry=self._geometry.fit_geometry(measured),
+            )
+            mean, std = gp.predict(
+                self._scaled_design[unmeasured],
+                return_std=True,
+                geometry=self._geometry.cross_geometry(unmeasured, measured),
+            )
+        else:
+            # Numeric mode preserves the legacy behaviour bit for bit.
+            gp.fit(self._scaled_design[measured], values)
+            mean, std = gp.predict(self._scaled_design[unmeasured], return_std=True)
         ei = expected_improvement(mean, std, float(values.min()))
         if self.acquisition == "ei":
             scores = ei
@@ -97,6 +138,8 @@ class NaiveBO(SequentialOptimizer):
         kernel: covariance function; defaults to Matérn 5/2.
         acquisition: ``"ei"`` (CherryPick's choice, default), ``"pi"`` or
             ``"lcb"``.
+        gp_gradient: ``"analytic"`` (fused value+gradient likelihood
+            fits, default) or ``"numeric"`` (legacy finite differences).
         **kwargs: forwarded to :class:`SequentialOptimizer`.
     """
 
@@ -107,6 +150,7 @@ class NaiveBO(SequentialOptimizer):
         *args,
         kernel: Kernel | None = None,
         acquisition: str = "ei",
+        gp_gradient: str = "analytic",
         **kwargs,
     ) -> None:
         super().__init__(*args, **kwargs)
@@ -115,6 +159,7 @@ class NaiveBO(SequentialOptimizer):
             kernel=kernel,
             acquisition=acquisition,
             seed=int(self._rng.integers(2**31)),
+            gradient=gp_gradient,
         )
 
     def _score_candidates(self, unmeasured: list[int]) -> AcquisitionScores:

@@ -369,6 +369,13 @@ class SequentialOptimizer(abc.ABC):
                     expected_improvements=acquisition.expected_improvements,
                 )
             ):
+                self._events.append(
+                    SearchEvent(
+                        kind="stopping_rule_fired",
+                        step=len(self._observations) + 1,
+                        detail=self.stopping.describe(),
+                    )
+                )
                 stopped_by = "criterion"
                 break
             self._observe(candidates[int(np.argmax(acquisition.scores))])

@@ -51,6 +51,10 @@ class StoppingCriterion(abc.ABC):
     def should_stop(self, state: SearchState) -> bool:
         """True if the search should stop in ``state``."""
 
+    def describe(self) -> str:
+        """Rule name plus threshold, for the ``stopping_rule_fired`` event."""
+        return type(self).__name__
+
     @property
     def min_measurements(self) -> int:
         """Measurements that must be charged before this criterion may fire."""
@@ -67,6 +71,9 @@ class MaxMeasurements(StoppingCriterion):
 
     def should_stop(self, state: SearchState) -> bool:
         return state.measurement_count >= self.budget
+
+    def describe(self) -> str:
+        return f"MaxMeasurements(budget={self.budget})"
 
 
 class EIThreshold(StoppingCriterion):
@@ -97,6 +104,9 @@ class EIThreshold(StoppingCriterion):
             state.best_observed
         )
 
+    def describe(self) -> str:
+        return f"EIThreshold(fraction={self.fraction})"
+
 
 class PredictionDeltaThreshold(StoppingCriterion):
     """Augmented BO's rule: stop when min predicted >= threshold x incumbent.
@@ -123,3 +133,6 @@ class PredictionDeltaThreshold(StoppingCriterion):
         if state.predicted is None or state.predicted.size == 0:
             return False
         return float(np.min(state.predicted)) >= self.threshold * state.best_observed
+
+    def describe(self) -> str:
+        return f"PredictionDeltaThreshold(threshold={self.threshold})"

@@ -44,6 +44,99 @@ def _sq_dists(X: np.ndarray, Y: np.ndarray, lengthscale: float | np.ndarray) -> 
     return np.maximum(sq, 0.0)
 
 
+class Geometry:
+    """Cached *unscaled* pairwise squared-distance geometry of two row sets.
+
+    The log-marginal-likelihood optimisation evaluates the kernel matrix
+    at dozens of hyperparameter settings over the same design.  The
+    design never changes during a fit, so the expensive part — pairwise
+    squared distances — is computed once here and merely rescaled by
+    ``1/lengthscale**2`` per evaluation (:meth:`scaled_sq`).
+
+    ``total`` holds the summed squared distances (enough for isotropic
+    kernels); the per-dimension stack ``dims`` — needed for ARD values
+    and gradients — is materialised lazily on first use.
+    """
+
+    __slots__ = ("X", "Y", "self_pair", "_total", "_dims")
+
+    def __init__(self, X: np.ndarray, Y: np.ndarray | None = None) -> None:
+        self.X = _as_2d(X)
+        #: Whether the two row sets are the same object (K(X, X)): white
+        #: noise contributes to the diagonal only in that case.
+        self.self_pair = Y is None
+        self.Y = self.X if Y is None else _as_2d(Y)
+        if self.X.shape[1] != self.Y.shape[1]:
+            raise ValueError(
+                f"row sets disagree on dimensionality: "
+                f"{self.X.shape[1]} vs {self.Y.shape[1]}"
+            )
+        self._total: np.ndarray | None = None
+        self._dims: np.ndarray | None = None
+
+    @classmethod
+    def from_blocks(
+        cls, dims: np.ndarray, total: np.ndarray | None, self_pair: bool
+    ) -> Geometry:
+        """Wrap precomputed distance blocks (the incremental-scorer path).
+
+        Args:
+            dims: per-dimension squared differences, shape ``(d, n, m)``.
+            total: their sum over dimensions ``(n, m)``; derived when None.
+            self_pair: whether the blocks describe ``K(X, X)``.
+        """
+        dims = np.asarray(dims, dtype=float)
+        if dims.ndim != 3:
+            raise ValueError(f"dims must be (d, n, m), got shape {dims.shape}")
+        geometry = cls.__new__(cls)
+        geometry.X = None  # type: ignore[assignment]
+        geometry.Y = None  # type: ignore[assignment]
+        geometry.self_pair = self_pair
+        geometry._dims = dims
+        geometry._total = dims.sum(axis=0) if total is None else np.asarray(total, float)
+        return geometry
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """``(n, m)`` — rows of X by rows of Y."""
+        if self._total is not None:
+            return self._total.shape  # type: ignore[return-value]
+        if self._dims is not None:
+            return self._dims.shape[1:]  # type: ignore[return-value]
+        return (self.X.shape[0], self.Y.shape[0])
+
+    @property
+    def total(self) -> np.ndarray:
+        """Unscaled pairwise squared distances, shape ``(n, m)``."""
+        if self._total is None:
+            self._total = _sq_dists(self.X, self.Y, 1.0)
+            if self.self_pair:
+                # The quadratic-expansion formula leaves ~1e-15 residuals
+                # where the exact distance is 0; pin the diagonal so
+                # non-smooth kernels (Matérn 1/2) see exact zeros.
+                self._total.flat[:: self._total.shape[0] + 1] = 0.0
+        return self._total
+
+    @property
+    def dims(self) -> np.ndarray:
+        """Per-dimension squared differences, shape ``(d, n, m)``."""
+        if self._dims is None:
+            diff = self.X[:, None, :] - self.Y[None, :, :]
+            self._dims = np.ascontiguousarray(np.moveaxis(diff * diff, -1, 0))
+        return self._dims
+
+    def scaled_sq(self, lengthscale: float | np.ndarray) -> np.ndarray:
+        """Squared distances of ``1/lengthscale``-scaled inputs.
+
+        Scalar lengthscales rescale the cached total; ARD vectors
+        contract the per-dimension stack with ``1/lengthscale**2``.
+        """
+        ls = np.asarray(lengthscale, dtype=float)
+        if ls.ndim == 0:
+            return self.total / float(ls) ** 2
+        return np.tensordot(1.0 / ls**2, self.dims, axes=1)
+
+
 class Kernel(abc.ABC):
     """A positive semi-definite covariance function.
 
@@ -73,10 +166,43 @@ class Kernel(abc.ABC):
     def clone(self) -> Kernel:
         """An independent copy with the same hyperparameters."""
 
+    def value(self, geometry: Geometry) -> np.ndarray:
+        """Covariance matrix evaluated from cached distance geometry.
+
+        The generic fallback re-evaluates :meth:`__call__` on the raw row
+        sets; built-in kernels override it to rescale the cached
+        geometry instead of recomputing distances.
+        """
+        if geometry.X is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} cannot evaluate block-built geometry"
+            )
+        return self(geometry.X, None if geometry.self_pair else geometry.Y)
+
+    def value_and_grad(self, geometry: Geometry) -> tuple[np.ndarray, np.ndarray]:
+        """``K`` and its analytic gradients w.r.t. the log hyperparameters.
+
+        Returns:
+            ``(K, dK)`` where ``dK`` has shape ``(theta.size, n, m)`` and
+            ``dK[p]`` is the derivative of ``K`` w.r.t. ``theta[p]``
+            (log-space, matching :attr:`theta`).
+
+        Raises:
+            NotImplementedError: for kernels without an analytic gradient
+                (the GP then falls back to finite differences).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} has no analytic gradient"
+        )
+
     def diag(self, X: np.ndarray) -> np.ndarray:
-        """The diagonal of ``self(X, X)`` without forming the matrix."""
-        X = _as_2d(X)
-        return np.array([self(row.reshape(1, -1))[0, 0] for row in X])
+        """The diagonal of ``self(X, X)``.
+
+        Generic fallback: one vectorised kernel evaluation instead of a
+        per-row Python loop.  Subclasses override with O(n) shortcuts
+        that never form the matrix.
+        """
+        return np.diag(self(_as_2d(X))).copy()
 
     def __add__(self, other: Kernel) -> Kernel:
         return Sum(self, other)
@@ -150,6 +276,42 @@ class _Stationary(Kernel):
     def diag(self, X: np.ndarray) -> np.ndarray:
         return np.full(_as_2d(X).shape[0], self.variance)
 
+    @abc.abstractmethod
+    def _from_sq(self, sq: np.ndarray) -> np.ndarray:
+        """Covariance from squared distances of already-scaled inputs."""
+
+    @abc.abstractmethod
+    def _value_and_dsq(self, sq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """``(K, dK/d sq)`` from scaled squared distances ``sq``."""
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        X = _as_2d(X)
+        Y = X if Y is None else _as_2d(Y)
+        return self._from_sq(_sq_dists(X, Y, self.lengthscale))
+
+    def value(self, geometry: Geometry) -> np.ndarray:
+        return self._from_sq(geometry.scaled_sq(self.lengthscale))
+
+    def value_and_grad(self, geometry: Geometry) -> tuple[np.ndarray, np.ndarray]:
+        """``K`` plus gradients w.r.t. ``log variance`` and log lengthscales.
+
+        With ``sq`` the scaled squared distances, ``d sq / d log l = -2 sq``
+        (isotropic) or ``-2 sq_d / l_d**2`` per dimension (ARD), and the
+        gradient w.r.t. ``log variance`` is ``K`` itself.
+        """
+        sq = geometry.scaled_sq(self.lengthscale)
+        K, dK_dsq = self._value_and_dsq(sq)
+        lengthscales = self._lengthscales()
+        grad = np.empty((1 + lengthscales.size, *K.shape))
+        grad[0] = K
+        if self.is_ard:
+            dims = geometry.dims
+            for axis, lengthscale in enumerate(lengthscales):
+                grad[1 + axis] = dK_dsq * (-2.0 / lengthscale**2) * dims[axis]
+        else:
+            grad[1] = dK_dsq * (-2.0 * sq)
+        return K, grad
+
     def __repr__(self) -> str:
         if self.is_ard:
             scales = np.array2string(self._lengthscales(), precision=3)
@@ -168,10 +330,12 @@ class RBF(_Stationary):
     equally" and can be unrealistic for cloud performance.
     """
 
-    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
-        X = _as_2d(X)
-        Y = X if Y is None else _as_2d(Y)
-        return self.variance * np.exp(-0.5 * _sq_dists(X, Y, self.lengthscale))
+    def _from_sq(self, sq: np.ndarray) -> np.ndarray:
+        return self.variance * np.exp(-0.5 * sq)
+
+    def _value_and_dsq(self, sq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        K = self._from_sq(sq)
+        return K, -0.5 * K
 
 
 class Matern12(_Stationary):
@@ -181,21 +345,32 @@ class Matern12(_Stationary):
     differentiable.
     """
 
-    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
-        X = _as_2d(X)
-        Y = X if Y is None else _as_2d(Y)
-        d = np.sqrt(_sq_dists(X, Y, self.lengthscale))
+    def _from_sq(self, sq: np.ndarray) -> np.ndarray:
+        d = np.sqrt(sq)
         return self.variance * np.exp(-d)
+
+    def _value_and_dsq(self, sq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        d = np.sqrt(sq)
+        K = self.variance * np.exp(-d)
+        # dK/dsq = -K / (2 d); the kernel is not differentiable at d = 0
+        # (the diagonal), where the distance gradient is 0 anyway — take
+        # the subgradient 0 there.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            dK_dsq = np.where(d > 0.0, -K / (2.0 * d), 0.0)
+        return K, dK_dsq
 
 
 class Matern32(_Stationary):
     """Matérn kernel with smoothness 3/2 (once-differentiable paths)."""
 
-    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
-        X = _as_2d(X)
-        Y = X if Y is None else _as_2d(Y)
-        d = math.sqrt(3.0) * np.sqrt(_sq_dists(X, Y, self.lengthscale))
+    def _from_sq(self, sq: np.ndarray) -> np.ndarray:
+        d = math.sqrt(3.0) * np.sqrt(sq)
         return self.variance * (1.0 + d) * np.exp(-d)
+
+    def _value_and_dsq(self, sq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        d = math.sqrt(3.0) * np.sqrt(sq)
+        exp_d = np.exp(-d)
+        return self.variance * (1.0 + d) * exp_d, -1.5 * self.variance * exp_d
 
 
 class Matern52(_Stationary):
@@ -205,11 +380,15 @@ class Matern52(_Stationary):
     optimisation but without RBF's unrealistically strong smoothness.
     """
 
-    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
-        X = _as_2d(X)
-        Y = X if Y is None else _as_2d(Y)
-        d = math.sqrt(5.0) * np.sqrt(_sq_dists(X, Y, self.lengthscale))
+    def _from_sq(self, sq: np.ndarray) -> np.ndarray:
+        d = math.sqrt(5.0) * np.sqrt(sq)
         return self.variance * (1.0 + d + d**2 / 3.0) * np.exp(-d)
+
+    def _value_and_dsq(self, sq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        d = math.sqrt(5.0) * np.sqrt(sq)
+        exp_d = np.exp(-d)
+        K = self.variance * (1.0 + d + d**2 / 3.0) * exp_d
+        return K, -(5.0 / 6.0) * self.variance * (1.0 + d) * exp_d
 
 
 class White(Kernel):
@@ -246,6 +425,18 @@ class White(Kernel):
 
     def clone(self) -> Kernel:
         return White(self.noise, self._bounds)
+
+    def value(self, geometry: Geometry) -> np.ndarray:
+        n, m = geometry.shape
+        K = np.zeros((n, m))
+        if geometry.self_pair:
+            K.flat[:: m + 1] = self.noise
+        return K
+
+    def value_and_grad(self, geometry: Geometry) -> tuple[np.ndarray, np.ndarray]:
+        # d(noise I)/d log noise = noise I = K itself.
+        K = self.value(geometry)
+        return K, K[None].copy()
 
     def diag(self, X: np.ndarray) -> np.ndarray:
         return np.full(_as_2d(X).shape[0], self.noise)
@@ -286,6 +477,14 @@ class Sum(_Combination):
     def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
         return self.left(X, Y) + self.right(X, Y)
 
+    def value(self, geometry: Geometry) -> np.ndarray:
+        return self.left.value(geometry) + self.right.value(geometry)
+
+    def value_and_grad(self, geometry: Geometry) -> tuple[np.ndarray, np.ndarray]:
+        K_left, grad_left = self.left.value_and_grad(geometry)
+        K_right, grad_right = self.right.value_and_grad(geometry)
+        return K_left + K_right, np.concatenate([grad_left, grad_right])
+
     def diag(self, X: np.ndarray) -> np.ndarray:
         return self.left.diag(X) + self.right.diag(X)
 
@@ -299,11 +498,88 @@ class Product(_Combination):
     def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
         return self.left(X, Y) * self.right(X, Y)
 
+    def value(self, geometry: Geometry) -> np.ndarray:
+        return self.left.value(geometry) * self.right.value(geometry)
+
+    def value_and_grad(self, geometry: Geometry) -> tuple[np.ndarray, np.ndarray]:
+        K_left, grad_left = self.left.value_and_grad(geometry)
+        K_right, grad_right = self.right.value_and_grad(geometry)
+        return (
+            K_left * K_right,
+            np.concatenate([grad_left * K_right, K_left * grad_right]),
+        )
+
     def diag(self, X: np.ndarray) -> np.ndarray:
         return self.left.diag(X) * self.right.diag(X)
 
     def __repr__(self) -> str:
         return f"({self.left!r} * {self.right!r})"
+
+
+class DesignGeometry:
+    """Incremental distance geometry over a fixed design matrix.
+
+    A BO scorer fits its GP on the measured subset of a fixed design and
+    predicts over the unmeasured rest at every step.  The measured set
+    only ever grows by one row per step, so the per-dimension squared
+    differences between *all* design rows and the measured set are
+    extended one column per new measurement instead of rebuilt: the
+    buffers hold ``(d, n_design, k)`` / ``(n_design, k)`` blocks for the
+    ``k`` rows measured so far, in measurement order.
+
+    :meth:`fit_geometry` and :meth:`cross_geometry` slice the grown
+    buffers into the :class:`Geometry` blocks kernels consume, so no
+    pairwise distance is ever computed twice across a whole search.
+    """
+
+    def __init__(self, design: np.ndarray) -> None:
+        self.design = _as_2d(np.asarray(design, dtype=float))
+        n, d = self.design.shape
+        self._order: list[int] = []
+        self._dims = np.empty((d, n, 0))
+        self._total = np.empty((n, 0))
+        #: Observability counters: columns appended vs full restarts.
+        self.extensions = 0
+        self.rebuilds = 0
+
+    def _extend(self, measured: list[int]) -> None:
+        """Grow the buffers so they cover ``measured`` (in that order)."""
+        if measured[: len(self._order)] != self._order:
+            # The measurement order diverged from what the buffers hold
+            # (e.g. a rerun of the search) — start over.
+            self._order = []
+            self._dims = self._dims[:, :, :0]
+            self._total = self._total[:, :0]
+            self.rebuilds += 1
+        for index in measured[len(self._order) :]:
+            diff = self.design - self.design[index]
+            column = np.ascontiguousarray((diff * diff).T)[:, :, None]
+            self._dims = np.concatenate([self._dims, column], axis=2)
+            self._total = np.concatenate([self._total, column.sum(axis=0)], axis=1)
+            self._order.append(index)
+            self.extensions += 1
+
+    def fit_geometry(self, measured: list[int]) -> Geometry:
+        """Geometry of the measured rows against themselves."""
+        measured = list(measured)
+        self._extend(measured)
+        rows = np.asarray(measured, dtype=int)
+        k = len(measured)
+        return Geometry.from_blocks(
+            self._dims[:, rows, :k], self._total[rows, :k], self_pair=True
+        )
+
+    def cross_geometry(self, rows: list[int], measured: list[int]) -> Geometry:
+        """Geometry of arbitrary design rows against the measured set."""
+        measured = list(measured)
+        self._extend(measured)
+        row_index = np.asarray(list(rows), dtype=int)
+        k = len(measured)
+        return Geometry.from_blocks(
+            self._dims[:, row_index, :k],
+            self._total[row_index, :k],
+            self_pair=False,
+        )
 
 
 _KERNELS_BY_NAME = {

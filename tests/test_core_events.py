@@ -78,6 +78,47 @@ class TestEmission:
             assert kinds.count("measurement_finished") == result.search_cost
 
 
+class TestStoppingRuleFired:
+    def test_fired_criterion_emits_event(self, trace):
+        from repro.core.stopping import MaxMeasurements
+
+        result = RandomSearch(
+            trace.environment(WORKLOAD), seed=0, stopping=MaxMeasurements(4)
+        ).run()
+        assert result.stopped_by == "criterion"
+        fired = [e for e in result.events if e.kind == "stopping_rule_fired"]
+        assert len(fired) == 1
+        assert fired[0].detail == "MaxMeasurements(budget=4)"
+        assert fired[0].step == result.search_cost + 1
+        # It is the last event of the stream: nothing happens after it.
+        assert result.events[-1] is fired[0]
+
+    def test_exhausted_search_emits_no_stopping_event(self, trace):
+        result = RandomSearch(trace.environment(WORKLOAD), seed=0).run()
+        assert result.stopped_by == "exhausted"
+        assert all(e.kind != "stopping_rule_fired" for e in result.events)
+
+    def test_budget_stop_emits_no_stopping_event(self, trace):
+        result = RandomSearch(
+            trace.environment(WORKLOAD), seed=0, max_measurements=5
+        ).run()
+        assert result.stopped_by == "budget"
+        assert all(e.kind != "stopping_rule_fired" for e in result.events)
+
+    def test_event_survives_cache_roundtrip(self, trace):
+        from repro.core.stopping import MaxMeasurements
+
+        result = RandomSearch(
+            trace.environment(WORKLOAD), seed=1, stopping=MaxMeasurements(4)
+        ).run()
+        payload = _result_to_json(result)
+        assert _valid_payload(payload)
+        restored = _result_from_json(payload, result.objective, WORKLOAD)
+        assert restored == result
+        fired = [e for e in restored.events if e.kind == "stopping_rule_fired"]
+        assert [e.detail for e in fired] == ["MaxMeasurements(budget=4)"]
+
+
 class TestCacheRoundtrip:
     def test_events_survive_json_roundtrip(self, trace):
         result = RandomSearch(

@@ -85,3 +85,22 @@ class TestPredictionDeltaThreshold:
     def test_invalid_threshold_rejected(self):
         with pytest.raises(ValueError):
             PredictionDeltaThreshold(threshold=0.0)
+
+
+class TestDescribe:
+    """describe() feeds the stopping_rule_fired event's detail field."""
+
+    def test_carries_rule_name_and_threshold(self):
+        assert MaxMeasurements(7).describe() == "MaxMeasurements(budget=7)"
+        assert EIThreshold(0.2).describe() == "EIThreshold(fraction=0.2)"
+        assert (
+            PredictionDeltaThreshold(1.05).describe()
+            == "PredictionDeltaThreshold(threshold=1.05)"
+        )
+
+    def test_base_fallback_is_the_class_name(self):
+        class Custom(MaxMeasurements):
+            def describe(self):
+                return super(MaxMeasurements, self).describe()
+
+        assert Custom(3).describe() == "Custom"

@@ -1,0 +1,128 @@
+"""Seeded search-outcome equivalence: analytic vs numeric GP gradients.
+
+The analytic mode optimises the same log marginal likelihood as the
+numeric (finite-difference) mode, but with exact gradients the two
+L-BFGS-B runs can settle in different — equally good — local optima of a
+multi-modal surface.  Individual hyperparameter fits therefore differ
+beyond optimiser tolerance; what must agree is the *search outcome*: on
+the tier-1 grid configuration (the engine test workloads, ``run_seed``
+seeding, CherryPick's EI stopping rule) both modes must find a
+comparably good VM at a comparable search cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.runner import ExperimentRunner, RunGrid
+from repro.core.naive_bo import NaiveBO
+from repro.core.objectives import Objective
+from repro.core.stopping import EIThreshold
+from repro.ml.kernels import kernel_by_name
+
+WORKLOADS = ("kmeans/Spark 2.1/small", "lr/Spark 1.5/medium")
+REPEATS = 2
+
+#: The selected VM's objective may differ by at most this factor.
+BEST_VALUE_RTOL = 0.10
+#: Search costs may differ by at most this many measurements.
+COST_SLACK = 4
+
+
+def _factory(gradient):
+    def factory(environment, objective, seed):
+        return NaiveBO(
+            environment,
+            objective=objective,
+            seed=seed,
+            kernel=kernel_by_name("matern52"),
+            stopping=EIThreshold(),
+            gp_gradient=gradient,
+        )
+
+    return factory
+
+
+@pytest.fixture(scope="module")
+def outcomes(trace):
+    results = {}
+    for gradient in ("analytic", "numeric"):
+        grid = RunGrid(
+            key=f"gp-gradient-equiv-{gradient}",
+            factory=_factory(gradient),
+            objective=Objective.TIME,
+            workload_ids=WORKLOADS,
+            repeats=REPEATS,
+        )
+        results[gradient] = ExperimentRunner(trace, cache_dir=None).run(grid)
+    return results
+
+
+class TestSearchOutcomeEquivalence:
+    def test_equivalent_best_vm_quality(self, outcomes):
+        """Both modes must find a VM of (near-)identical measured quality."""
+        for workload in WORKLOADS:
+            for analytic, numeric in zip(
+                outcomes["analytic"][workload], outcomes["numeric"][workload]
+            ):
+                assert analytic.best_value == pytest.approx(
+                    numeric.best_value, rel=BEST_VALUE_RTOL
+                )
+
+    def test_comparable_search_costs(self, outcomes):
+        for workload in WORKLOADS:
+            analytic_costs = [r.search_cost for r in outcomes["analytic"][workload]]
+            numeric_costs = [r.search_cost for r in outcomes["numeric"][workload]]
+            for a, n in zip(analytic_costs, numeric_costs):
+                assert abs(a - n) <= COST_SLACK
+
+    def test_same_initial_design(self, outcomes):
+        """The seeded initial design is gradient-mode independent."""
+        for workload in WORKLOADS:
+            for analytic, numeric in zip(
+                outcomes["analytic"][workload], outcomes["numeric"][workload]
+            ):
+                assert (
+                    analytic.measured_vm_names[:3] == numeric.measured_vm_names[:3]
+                )
+
+
+class TestScorerEquivalence:
+    def test_scores_agree_at_fixed_hyperparameters(self, trace):
+        """With optimisation off, the incremental-geometry scoring path
+        must reproduce the legacy direct-evaluation path exactly."""
+        from repro.core.naive_bo import GPScorer
+
+        rng = np.random.default_rng(11)
+        design = rng.uniform(size=(14, 5))
+        y = rng.uniform(1.0, 3.0, size=14)
+        measured = [2, 7, 11, 4]
+
+        scores = {}
+        for gradient in ("analytic", "numeric"):
+            scorer = GPScorer(design, seed=0, gradient=gradient)
+            scorer.gp.optimise = False
+            unmeasured = [i for i in range(14) if i not in measured]
+            scores[gradient] = scorer.score(measured, y[measured], unmeasured)
+
+        assert np.allclose(scores["analytic"].scores, scores["numeric"].scores, atol=1e-9)
+        assert np.allclose(
+            scores["analytic"].predicted, scores["numeric"].predicted, atol=1e-9
+        )
+
+    def test_incremental_geometry_used_in_analytic_mode(self, trace):
+        from repro.core.naive_bo import GPScorer
+
+        rng = np.random.default_rng(12)
+        design = rng.uniform(size=(10, 3))
+        y = rng.uniform(1.0, 2.0, size=10)
+        scorer = GPScorer(design, seed=0, gradient="analytic")
+        measured = []
+        for step, index in enumerate([3, 8, 1, 6]):
+            measured.append(index)
+            unmeasured = [i for i in range(10) if i not in measured]
+            scorer.score(measured, np.asarray(y)[measured], unmeasured)
+        stats = scorer.geometry_stats
+        assert stats["extensions"] == 4
+        assert stats["rebuilds"] == 0

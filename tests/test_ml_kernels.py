@@ -51,6 +51,40 @@ class TestKernelValues:
         K = kernel_cls()(X)
         assert np.allclose(K, K.T)
 
+    @pytest.mark.parametrize(
+        "make",
+        [
+            pytest.param(lambda: RBF(2.5, 1.3), id="rbf"),
+            pytest.param(lambda: Matern12(1.5, 0.7), id="matern12"),
+            pytest.param(lambda: Matern32(0.8, 2.1), id="matern32"),
+            pytest.param(lambda: Matern52(1.1, 0.9), id="matern52"),
+            pytest.param(lambda: RBF(1.2, np.array([0.5, 1.0, 2.0])), id="rbf-ard"),
+            pytest.param(lambda: White(0.3), id="white"),
+            pytest.param(lambda: Sum(RBF(1.1, 0.9), White(0.2)), id="sum"),
+            pytest.param(lambda: Product(Matern32(1.4, 1.1), RBF(0.7, 2.2)), id="product"),
+        ],
+    )
+    def test_diag_matches_full_matrix_diagonal(self, make):
+        kernel = make()
+        X = np.random.default_rng(2).normal(size=(8, 3))
+        assert np.allclose(kernel.diag(X), np.diag(kernel(X)), atol=1e-12)
+
+    def test_base_diag_fallback_is_vectorised(self):
+        from repro.ml.kernels import Kernel
+
+        calls = []
+
+        class Counting(RBF):
+            def __call__(self, X, Y=None):
+                calls.append(np.asarray(X).shape)
+                return super().__call__(X, Y)
+
+        X = np.random.default_rng(3).normal(size=(6, 2))
+        diag = Kernel.diag(Counting(1.5, 0.8), X)
+        assert np.allclose(diag, 1.5)
+        # One full-matrix evaluation, not a per-row loop.
+        assert calls == [(6, 2)]
+
     def test_smoothness_ordering_near_origin(self):
         """Rougher kernels decay faster for small distances:
         matern12 < matern32 < matern52 < rbf at the same separation."""
