@@ -1,0 +1,205 @@
+#!/usr/bin/env python
+"""End-to-end chaos smoke test for the supervised execution plane.
+
+Drives a real interrupted-grid scenario, outside pytest, the way an
+operator would hit it:
+
+1. Computes a clean serial reference cache for a small grid.
+2. Launches a child process running the same grid on a worker pool with
+   a worker-killer factory (one cell kills its worker to exercise pool
+   self-healing) and per-cell pacing, waits until the child's crash-safe
+   journal holds a few completed cells, then SIGTERMs it mid-grid.
+3. Re-runs the grid with ``resume=True`` and asserts that
+
+   * no journaled/flushed cell is recomputed — only the cells that were
+     in flight (or never started) at the moment of the signal are
+     scheduled, and
+   * the final consolidated cache is byte-identical to the clean
+     serial reference.
+
+Timings are appended to ``BENCH_perf.json`` under the ``chaos`` section,
+which ``scripts/check_perf_regression.py`` explicitly exempts from the
+perf gate — chaos runs measure signal latency and recovery, not hot-path
+speed, and must never fail a perf check.
+
+Usage::
+
+    python scripts/chaos_smoke.py            # full scenario (parent)
+    python scripts/chaos_smoke.py --child D  # internal: interrupted run
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis.runner import ExperimentRunner, RunGrid, run_seed  # noqa: E402
+from repro.core.baselines import RandomSearch  # noqa: E402
+from repro.core.objectives import Objective  # noqa: E402
+from repro.parallel import GridCheckpoint  # noqa: E402
+from repro.trace.generate import default_trace  # noqa: E402
+
+WORKLOADS = (
+    "kmeans/Spark 2.1/small",
+    "lr/Spark 1.5/medium",
+    "pagerank/Hadoop 2.7/small",
+)
+REPEATS = 4
+GRID_KEY = "chaos-smoke"
+CACHE_NAME = f"{GRID_KEY}__time"
+
+#: Worker-side pacing so the parent can SIGTERM the child mid-grid.
+PACE_S = 0.5
+
+#: The cell whose pool attempts kill their worker.  The *first* cell in
+#: submission order: results are yielded (and journaled) in that order,
+#: so a crash-recovering cell in the middle would buffer every completed
+#: sibling and make the journal grow in one burst instead of steadily.
+LETHAL_SEED = run_seed(WORKLOADS[0], 0)
+
+
+def clean_factory(environment, objective, seed):
+    return RandomSearch(environment, objective=objective, seed=seed, max_measurements=6)
+
+
+def _grid(factory) -> RunGrid:
+    return RunGrid(
+        key=GRID_KEY,
+        factory=factory,
+        objective=Objective.TIME,
+        workload_ids=WORKLOADS,
+        repeats=REPEATS,
+    )
+
+
+def run_child(cache_dir: Path) -> int:
+    """The interrupted run: paced pool with a worker-killer, until SIGTERM."""
+    main_pid = os.getpid()
+    # This box may have a single CPU; the scenario needs a real pool, so
+    # lie to the auto-clamp. Worker-kill recovery on one core is slower
+    # but identical in behaviour.
+    os.cpu_count = lambda: 4  # type: ignore[method-assign]
+
+    def chaos_factory(environment, objective, seed):
+        if os.getpid() != main_pid:
+            time.sleep(PACE_S)
+            if seed == LETHAL_SEED:
+                os._exit(1)
+        return clean_factory(environment, objective, seed)
+
+    runner = ExperimentRunner(default_trace(), cache_dir=cache_dir)
+    runner.run(_grid(chaos_factory), workers=2)
+    return 0
+
+
+def main() -> int:
+    if len(sys.argv) == 3 and sys.argv[1] == "--child":
+        return run_child(Path(sys.argv[2]))
+
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
+        work = Path(tmp)
+        ref_dir, chaos_dir = work / "ref", work / "chaos"
+        trace = default_trace()
+        total = len(WORKLOADS) * REPEATS
+
+        print(f"chaos-smoke: clean serial reference ({total} cells)")
+        ExperimentRunner(trace, cache_dir=ref_dir).run(_grid(clean_factory), workers=1)
+        reference = (ref_dir / f"{CACHE_NAME}.json").read_bytes()
+
+        print("chaos-smoke: launching interrupted pool run")
+        started = time.monotonic()
+        child = subprocess.Popen(
+            [sys.executable, __file__, "--child", str(chaos_dir)],
+            cwd=REPO_ROOT,
+        )
+        journal_path = chaos_dir / f"{CACHE_NAME}.journal"
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if child.poll() is not None:
+                print("chaos-smoke: FAIL — child finished before the signal")
+                return 1
+            if journal_path.exists() and len(journal_path.read_bytes().splitlines()) >= 3:
+                break
+            time.sleep(0.05)
+        else:
+            child.kill()
+            print("chaos-smoke: FAIL — journal never reached 3 cells")
+            return 1
+        child.send_signal(signal.SIGTERM)
+        child.wait(timeout=60.0)
+        interrupted_s = time.monotonic() - started
+        if child.returncode != 128 + signal.SIGTERM:
+            print(f"chaos-smoke: FAIL — child exit {child.returncode}, wanted 143")
+            return 1
+
+        journaled = GridCheckpoint(journal_path, cache_key=CACHE_NAME).load()
+        print(
+            f"chaos-smoke: child SIGTERMed after {len(journaled)} journaled cells "
+            f"({interrupted_s:.1f}s)"
+        )
+
+        events = []
+        started = time.monotonic()
+        ExperimentRunner(trace, cache_dir=chaos_dir).run(
+            _grid(clean_factory), workers=1, resume=True, on_event=events.append
+        )
+        resume_s = time.monotonic() - started
+
+        completed = {e.cell for e in events if e.kind in ("cell_cached", "cell_resumed")}
+        scheduled = {e.cell for e in events if e.kind == "cell_scheduled"}
+        recomputed_beyond_in_flight = scheduled & set(journaled)
+        print(
+            f"chaos-smoke: resume recovered {len(completed)} cells, "
+            f"recomputed {len(scheduled)} ({resume_s:.1f}s)"
+        )
+        failures = []
+        if recomputed_beyond_in_flight:
+            failures.append(
+                f"recomputed journaled cells: {sorted(recomputed_beyond_in_flight)}"
+            )
+        if scheduled | completed != {
+            (w, r) for w in WORKLOADS for r in range(REPEATS)
+        } or len(scheduled) + len(completed) != total:
+            failures.append("recovered + recomputed cells do not partition the grid")
+        final = (chaos_dir / f"{CACHE_NAME}.json").read_bytes()
+        if final != reference:
+            failures.append("resumed cache differs from the clean serial reference")
+        if journal_path.exists():
+            failures.append("journal not retired after clean completion")
+
+        bench_path = REPO_ROOT / "BENCH_perf.json"
+        bench = {}
+        if bench_path.exists():
+            try:
+                bench = json.loads(bench_path.read_text())
+            except json.JSONDecodeError:
+                bench = {}
+        bench["chaos"] = {
+            "interrupted_run_s": round(interrupted_s, 3),
+            "resume_run_s": round(resume_s, 3),
+            "journaled_cells": len(journaled),
+            "recovered_cells": len(completed),
+            "recomputed_cells": len(scheduled),
+        }
+        bench_path.write_text(json.dumps(bench, indent=2) + "\n")
+
+        if failures:
+            for failure in failures:
+                print(f"chaos-smoke: FAIL — {failure}")
+            return 1
+        print("chaos-smoke: passed (byte-identical resume, zero extra recompute)")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,12 @@ TRACKED = (
     ("gp", "fit_s", "analytic GP hyperparameter fit"),
 )
 
+#: Sections recorded for observability only, never gated.  ``chaos``
+#: holds chaos-smoke timings (scripts/chaos_smoke.py): they measure
+#: signal latency, crash recovery, and deliberate pacing sleeps — not
+#: hot-path speed — so a "regression" there is meaningless by design.
+EXEMPT_SECTIONS = ("chaos",)
+
 
 def _load(path: Path) -> dict | None:
     if not path.exists():
@@ -65,6 +71,10 @@ def main(argv: list[str] | None = None) -> int:
     if baseline is None:
         print(f"perf gate: no baseline at {args.baseline}; skipping")
         return 0
+
+    for section in EXEMPT_SECTIONS:
+        if section in current or section in baseline:
+            print(f"perf gate: section '{section}' present but exempt; ignoring")
 
     failures = []
     for section, key, label in TRACKED:

@@ -14,6 +14,14 @@ schema version, and a truncated or otherwise corrupt cache file — the
 footprint of a killed process — is quarantined aside (``*.corrupt``) and
 recomputed rather than crashing the runner.  Every run is deterministic
 given its seed, so recomputation yields identical results.
+
+Interrupted grids resume instead of recomputing: every completed cell is
+additionally journaled (append + fsync) to a ``*.journal`` file next to
+the cache (:class:`~repro.parallel.checkpoint.GridCheckpoint`), SIGINT/
+SIGTERM flush the consolidated cache before the process dies, and
+``run(grid, resume=True)`` folds journaled results back in so at most
+the in-flight cells of the interrupted run are recomputed — the final
+cache file is byte-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -300,13 +308,24 @@ class ExperimentRunner:
         grid: RunGrid,
         workers: int | None = None,
         on_event: Callable[..., None] | None = None,
+        resume: bool = False,
+        cell_timeout: float | None = None,
+        cell_retries: int = 0,
+        pool_restarts: int | None = None,
+        seed_fn: Callable[[str, int], int] | None = None,
     ) -> dict[str, list[SearchResult]]:
         """All results of ``grid``, computed or loaded from cache.
 
-        Cells missing from the cache are executed by the parallel engine
-        (:func:`repro.parallel.run_cells`) — serially in-process when
-        ``workers`` is 1 — and merged back in grid order, so the cache
-        file that lands on disk is byte-identical for any worker count.
+        Cells missing from the cache are executed by the supervised
+        parallel engine (:func:`repro.parallel.run_cells`) — serially
+        in-process when ``workers`` is 1 — and merged back in grid
+        order, so the cache file that lands on disk is byte-identical
+        for any worker count (and for any interruption/resume history).
+
+        While computing, every completed cell is journaled crash-safely
+        next to the cache file and SIGINT/SIGTERM flush the
+        consolidated cache before the process dies, so an interrupted
+        grid loses at most its in-flight cells.
 
         Args:
             grid: the experiment grid to run.
@@ -314,19 +333,48 @@ class ExperimentRunner:
                 runner's ``workers``.
             on_event: optional sink for
                 :class:`~repro.parallel.events.CellEvent` progress
-                events (cache hits emit ``cell_cached``).
+                events (cache hits emit ``cell_cached``; cells
+                recovered from a journal emit ``cell_resumed``).
+            resume: fold results journaled by an interrupted run back
+                into the cache and skip those cells.  When False
+                (default) a leftover journal is discarded — a fresh run
+                was asked for.  Only meaningful with a ``cache_dir``.
+            cell_timeout: wall-clock deadline per cell on a pool;
+                stragglers are cancelled and completed serially.
+            cell_retries: extra pool attempts for a cell whose worker
+                raised, before the parent's serial fallback.
+            pool_restarts: worker deaths survived before serial
+                degradation (default: the engine's budget).
+            seed_fn: maps ``(workload_id, repeat)`` to the optimiser
+                seed (default :func:`run_seed`).  The grid ``key`` must
+                change whenever this changes — seeds determine results.
 
         Returns:
             Mapping from workload id to one result per repeat (repeat
             order preserved).
         """
         # Imported lazily: the engine imports this module at top level.
-        from repro.parallel.engine import run_cells
+        from repro.parallel.checkpoint import GridCheckpoint, flush_on_signal
+        from repro.parallel.engine import DEFAULT_POOL_RESTARTS, run_cells
         from repro.parallel.events import CellEvent
 
         n_workers = self.workers if workers is None else workers
         cache_path = self._cache_path(grid)
         cache = self._load_cache(cache_path)
+
+        journal: GridCheckpoint | None = None
+        journaled: dict[tuple[str, int], dict] = {}
+        if cache_path is not None:
+            journal = GridCheckpoint(
+                cache_path.with_suffix(".journal"),
+                cache_key=cache_path.stem,
+            )
+            if resume:
+                journaled = journal.load()
+            else:
+                # A fresh run was asked for: a stale journal must not
+                # inject results behind the caller's back.
+                journal.clear()
 
         results: dict[str, list[SearchResult | None]] = {}
         missing: list[tuple[str, int]] = []
@@ -335,6 +383,20 @@ class ExperimentRunner:
             slots: list[SearchResult | None] = []
             for repeat in range(grid.repeats):
                 seed_key = str(repeat)
+                recovered = False
+                if seed_key not in per_workload and (workload_id, repeat) in journaled:
+                    # An interrupted run completed this cell; its
+                    # payload is durable in the journal.  Fold it in as
+                    # if it had been cached all along.
+                    payload = journaled[(workload_id, repeat)]
+                    if _valid_payload(payload):
+                        per_workload[seed_key] = payload
+                        recovered = True
+                    else:
+                        logger.warning(
+                            "dropping malformed journal entry %s/%s",
+                            workload_id, seed_key,
+                        )
                 if seed_key in per_workload:
                     if _valid_payload(per_workload[seed_key]):
                         slots.append(
@@ -344,10 +406,9 @@ class ExperimentRunner:
                         )
                         if on_event is not None:
                             on_event(
-                                CellEvent(
-                                    kind="cell_cached",
-                                    workload_id=workload_id,
-                                    repeat=repeat,
+                                CellEvent.for_cell(
+                                    "cell_resumed" if recovered else "cell_cached",
+                                    (workload_id, repeat),
                                 )
                             )
                         continue
@@ -372,25 +433,53 @@ class ExperimentRunner:
                 tmp_path.replace(cache_path)
 
         if missing:
-            for cell, result in run_cells(
-                trace=self.trace,
-                factory=grid.factory,
-                objective=grid.objective,
-                cells=missing,
-                workers=n_workers,
-                on_event=on_event,
-            ):
-                workload_id, repeat = cell
-                cache[workload_id][str(repeat)] = _result_to_json(result)
-                results[workload_id][repeat] = result
-                dirty += 1
-                # Checkpoint periodically so a long grid survives
-                # interruption.
-                if dirty >= 100:
+            try:
+                with flush_on_signal(flush):
+                    for cell, result in run_cells(
+                        trace=self.trace,
+                        factory=grid.factory,
+                        objective=grid.objective,
+                        cells=missing,
+                        workers=n_workers,
+                        on_event=on_event,
+                        seed_fn=seed_fn if seed_fn is not None else run_seed,
+                        cell_timeout=cell_timeout,
+                        cell_retries=cell_retries,
+                        pool_restarts=(
+                            DEFAULT_POOL_RESTARTS
+                            if pool_restarts is None
+                            else pool_restarts
+                        ),
+                    ):
+                        workload_id, repeat = cell
+                        payload = _result_to_json(result)
+                        cache[workload_id][str(repeat)] = payload
+                        results[workload_id][repeat] = result
+                        if journal is not None:
+                            # Durable the instant the cell completes: a
+                            # kill -9 from here on loses only in-flight
+                            # cells.
+                            journal.record(cell, payload)
+                        dirty += 1
+                        # Consolidate periodically so the common restart
+                        # path reads one JSON file, not a long journal.
+                        if dirty >= 100:
+                            flush()
+                            dirty = 0
+                if dirty:
                     flush()
-                    dirty = 0
-            if dirty:
-                flush()
+            finally:
+                if journal is not None:
+                    journal.close()
+            # A clean completion owns its journal: everything in it is
+            # now in the consolidated cache.
+            if journal is not None:
+                journal.clear()
+        elif resume and journaled and journal is not None and cache_path is not None:
+            # Every journaled cell was folded into the cache; persist
+            # the consolidation and retire the journal.
+            flush()
+            journal.clear()
         return results
 
     def optimal_value(self, workload_id: str, objective: Objective) -> float:

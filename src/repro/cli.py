@@ -181,6 +181,81 @@ def _fault_summary(result) -> str | None:
     return "; ".join(parts)
 
 
+def _search_grid_key(args: argparse.Namespace) -> str:
+    """A cache key for one ``arrow search`` repeat campaign.
+
+    Encodes every argument that changes results, so two invocations
+    share cache entries exactly when their runs would be identical.
+    """
+    import zlib
+
+    slug = args.workload.replace("/", "~").replace(" ", "_")
+    relevant = (
+        args.method, args.objective, args.stop, args.stop_value,
+        args.measure_retries, args.retry_backoff, args.quarantine_after,
+        args.fault_plan, args.fault_seed, args.refit_fraction,
+        args.tree_builder, args.gp_gradient,
+    )
+    digest = zlib.crc32(repr(relevant).encode()) & 0xFFFFFFFF
+    return f"search-{args.method}-{slug}-{digest:08x}"
+
+
+def _run_repeats(args: argparse.Namespace, trace, objective):
+    """All repeat results for ``arrow search --repeats N``, in order.
+
+    With ``--cache-dir`` the repeats run as a one-workload
+    :class:`~repro.analysis.runner.RunGrid` through the caching
+    :class:`~repro.analysis.runner.ExperimentRunner`, which journals
+    every completed repeat — an interrupted campaign picks up with
+    ``--resume`` instead of recomputing.  Without it they stream
+    straight through the supervised engine.
+    """
+    from repro.parallel.engine import run_cells
+
+    def factory(environment, _objective, seed):
+        return _build_optimizer(args, _wrap_faults(args, environment), seed=seed)
+
+    def seed_fn(_workload: str, repeat: int) -> int:
+        return repeat
+
+    if args.cache_dir:
+        from repro.analysis.runner import ExperimentRunner, RunGrid
+
+        runner = ExperimentRunner(trace, cache_dir=args.cache_dir)
+        grid = RunGrid(
+            key=_search_grid_key(args),
+            factory=factory,
+            objective=objective,
+            workload_ids=(args.workload,),
+            repeats=args.repeats,
+        )
+        results = runner.run(
+            grid,
+            workers=args.workers,
+            resume=args.resume,
+            cell_timeout=args.cell_timeout,
+            cell_retries=args.cell_retries,
+            pool_restarts=args.pool_restarts,
+            seed_fn=seed_fn,
+        )
+        return results[args.workload]
+
+    return [
+        result
+        for _cell, result in run_cells(
+            trace=trace,
+            factory=factory,
+            objective=objective,
+            cells=[(args.workload, repeat) for repeat in range(args.repeats)],
+            workers=args.workers,
+            seed_fn=seed_fn,
+            cell_timeout=args.cell_timeout,
+            cell_retries=args.cell_retries,
+            pool_restarts=args.pool_restarts,
+        )
+    ]
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     trace = _load_trace_arg(args.trace)
     if args.workload not in trace.registry:
@@ -210,24 +285,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
         # Repeats are independent cells, so they parallelise across the
         # engine's workers; per-cell seeding (seed = repeat index) keeps
-        # the summary identical for any --workers value.
-        from repro.parallel.engine import run_cells
-
-        def factory(environment, _objective, seed):
-            return _build_optimizer(args, _wrap_faults(args, environment), seed=seed)
-
-        costs, charged, ratios = [], [], []
-        for _cell, result in run_cells(
-            trace=trace,
-            factory=factory,
-            objective=objective,
-            cells=[(args.workload, repeat) for repeat in range(args.repeats)],
-            workers=args.workers,
-            seed_fn=lambda _workload, repeat: repeat,
-        ):
-            costs.append(result.search_cost)
-            charged.append(result.charged_cost)
-            ratios.append(result.best_value / optimum)
+        # the summary identical for any --workers value, any supervision
+        # settings, and any interruption/resume history.
+        results = _run_repeats(args, trace, objective)
+        costs = [r.search_cost for r in results]
+        charged = [r.charged_cost for r in results]
+        ratios = [r.best_value / optimum for r in results]
     except (ValueError, MeasurementError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -432,6 +495,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes for --repeats > 1 (results are identical "
         "for any worker count)",
+    )
+    search.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline per repeat when running on a worker "
+        "pool; a straggler past it is cancelled and completed serially",
+    )
+    search.add_argument(
+        "--cell-retries", type=int, default=0,
+        help="extra pool attempts for a repeat whose worker raised, "
+        "before the final in-process attempt",
+    )
+    search.add_argument(
+        "--pool-restarts", type=int, default=2,
+        help="worker deaths survived (pool healed, cell re-run) before "
+        "the remaining repeats degrade to serial execution",
+    )
+    search.add_argument(
+        "--cache-dir",
+        help="cache/journal directory for --repeats campaigns; completed "
+        "repeats persist across invocations and interruptions",
+    )
+    search.add_argument(
+        "--resume", action="store_true",
+        help="with --cache-dir: fold results journaled by an interrupted "
+        "campaign back in and recompute only the cells it lost in flight",
     )
     search.add_argument(
         "--refit-fraction", type=float, default=1.0,

@@ -24,7 +24,10 @@ from dataclasses import dataclass
 #: observation, ``vm_quarantined`` once per VM the circuit breaker trips
 #: on, ``surrogate_fitted`` once per acquisition round, and
 #: ``stopping_rule_fired`` once, when an early-stopping criterion ends
-#: the search (detail carries the rule name and threshold).
+#: the search (detail carries the rule name and threshold), and
+#: ``cell_retried`` when the parallel engine's supervisor had to retry
+#: the whole cell this result came from (a worker-side failure preceded
+#: it; the mirror makes the retry visible in the persisted record).
 EVENT_KINDS: tuple[str, ...] = (
     "measurement_started",
     "measurement_finished",
@@ -32,6 +35,7 @@ EVENT_KINDS: tuple[str, ...] = (
     "vm_quarantined",
     "surrogate_fitted",
     "stopping_rule_fired",
+    "cell_retried",
 )
 
 

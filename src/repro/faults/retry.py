@@ -1,9 +1,13 @@
 """Retry policies and the per-VM circuit breaker.
 
-:class:`RetryPolicy` decides how many times one observation may be
+:class:`RetryPolicy` decides how many times one operation may be
 attempted and how long to back off between attempts (exponential with
 seeded jitter, so retry schedules are as reproducible as everything else
-in this package).  Charge accounting stays with the caller — every
+in this package).  It is the *single* retry implementation in the
+codebase: the measurement layer retries failed observations with it,
+and the execution plane's :class:`~repro.parallel.supervisor.Supervisor`
+retries whole grid cells with it (``RetryPolicy.from_retries(
+cell_retries)``).  Charge accounting stays with the caller — every
 attempt, failed or not, is billed by the cloud — the policy only shapes
 the attempt schedule.
 

@@ -1,24 +1,56 @@
-"""Parallel experiment engine.
+"""Supervised parallel experiment engine.
 
 Shards :class:`~repro.analysis.runner.RunGrid` cells across a process
 pool with deterministic per-cell seeding, so grid results are identical
 (bit for bit, caches included) no matter how many workers ran them.
-Worker counts are clamped to what the machine and grid can use
-(:func:`~repro.parallel.engine.plan_workers`), and the trace's bulk
+Cells are dispatched through the pluggable
+:class:`~repro.parallel.executors.CellExecutor` protocol
+(``submit/poll/cancel/shutdown``) and supervised by
+:class:`~repro.parallel.supervisor.Supervisor` — per-cell deadlines,
+bounded retries, pool self-healing with a restart budget, poison-cell
+quarantine.  Worker counts are clamped to what the machine and grid can
+use (:func:`~repro.parallel.engine.plan_workers`), the trace's bulk
 arrays reach workers through one shared-memory segment
 (:class:`~repro.parallel.dataplane.TraceShare`) instead of per-worker
-copies.
+copies, and completed cells are journaled crash-safely by
+:class:`~repro.parallel.checkpoint.GridCheckpoint` so interrupted grids
+resume instead of recomputing.
 """
 
+from repro.parallel.checkpoint import GridCheckpoint, flush_on_signal
 from repro.parallel.dataplane import TraceShare
-from repro.parallel.engine import POOL_MIN_CELLS, plan_workers, run_cells
-from repro.parallel.events import CELL_EVENT_KINDS, CellEvent
+from repro.parallel.engine import (
+    DEFAULT_POOL_RESTARTS,
+    POOL_MIN_CELLS,
+    build_executor,
+    plan_workers,
+    run_cells,
+)
+from repro.parallel.events import CELL_EVENT_KINDS, GRID_EVENT_KINDS, CellEvent
+from repro.parallel.executors import (
+    CellExecutor,
+    CellOutcome,
+    ForkPoolExecutor,
+    SerialExecutor,
+)
+from repro.parallel.supervisor import SupervisionConfig, Supervisor
 
 __all__ = [
     "CELL_EVENT_KINDS",
     "CellEvent",
+    "CellExecutor",
+    "CellOutcome",
+    "DEFAULT_POOL_RESTARTS",
+    "ForkPoolExecutor",
+    "GRID_EVENT_KINDS",
+    "GridCheckpoint",
     "POOL_MIN_CELLS",
+    "SerialExecutor",
+    "SupervisionConfig",
+    "Supervisor",
     "TraceShare",
+    "build_executor",
+    "flush_on_signal",
     "plan_workers",
     "run_cells",
 ]

@@ -1,0 +1,198 @@
+"""Crash-safe grid checkpointing: the journal behind ``--resume``.
+
+A long grid run writes its consolidated JSON cache only periodically —
+an atomic whole-file rewrite per cell would be quadratic — so a killed
+process could lose up to a flush interval of finished work.  The
+:class:`GridCheckpoint` closes that gap: every completed cell is
+appended to a JSON-Lines journal next to the cache file and ``fsync``'d
+immediately, so after any interruption (SIGTERM, ``kill -9``, power
+loss) at most the *in-flight* cells are lost.  On ``resume=True`` the
+runner folds journaled results back into its cache map and skips those
+cells entirely; on a clean completion the journal's contents are in the
+consolidated cache and the journal is deleted.
+
+Journal lines are self-describing and defensive:
+
+* each line carries the grid's ``cache_key``, so a journal accidentally
+  pointed at a different grid contributes nothing;
+* a truncated final line — the footprint of dying mid-append — is
+  skipped, never fatal;
+* payloads are validated by the caller with the same schema check as
+  cache entries, so a corrupt line degrades to recomputing one cell.
+
+:func:`flush_on_signal` complements the journal for *graceful*
+interruption: while active, SIGINT/SIGTERM first flush the
+consolidated cache (journaled results are already safe), then re-raise
+as ``KeyboardInterrupt`` / ``SystemExit`` so the process still dies
+with conventional semantics.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import signal
+import threading
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from pathlib import Path
+
+logger = logging.getLogger(__name__)
+
+#: One grid cell: (workload_id, repeat).
+Cell = tuple[str, int]
+
+#: Journal files live next to the cache file they shadow.
+JOURNAL_SUFFIX = ".journal"
+
+
+class GridCheckpoint:
+    """Append-only, fsync-per-record journal of completed grid cells.
+
+    Args:
+        path: the journal file (conventionally the cache path with
+            :data:`JOURNAL_SUFFIX`).
+        cache_key: identity of the grid this journal belongs to —
+            recorded in and checked against every line.
+    """
+
+    def __init__(self, path: str | Path, cache_key: str) -> None:
+        self.path = Path(path)
+        self.cache_key = cache_key
+        self._handle = None
+
+    # -- writing ----------------------------------------------------------
+
+    def record(self, cell: Cell, payload: dict) -> None:
+        """Durably append one completed cell's result payload.
+
+        The line is flushed and ``fsync``'d before returning, so a
+        subsequent hard kill cannot lose this cell.
+        """
+        workload_id, repeat = cell
+        line = json.dumps(
+            {
+                "cache_key": self.cache_key,
+                "workload": workload_id,
+                "repeat": repeat,
+                "result": payload,
+            }
+        )
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Close the append handle (records stay on disk)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def clear(self) -> None:
+        """Remove the journal — its contents live in the cache now."""
+        self.close()
+        self.path.unlink(missing_ok=True)
+
+    # -- reading ----------------------------------------------------------
+
+    def load(self) -> dict[Cell, dict]:
+        """Journaled ``{cell: payload}`` for this grid, tolerating damage.
+
+        Unparseable lines (a truncated tail from a hard kill) and lines
+        recorded for a different ``cache_key`` are skipped with a log
+        message; they cost one recomputation each, never a crash.
+        """
+        if not self.path.exists():
+            return {}
+        entries: dict[Cell, dict] = {}
+        skipped = 0
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                skipped += 1
+                continue
+            if not isinstance(record, dict):
+                skipped += 1
+                continue
+            if record.get("cache_key") != self.cache_key:
+                skipped += 1
+                continue
+            workload_id = record.get("workload")
+            repeat = record.get("repeat")
+            payload = record.get("result")
+            if (
+                not isinstance(workload_id, str)
+                or not isinstance(repeat, int)
+                or not isinstance(payload, dict)
+            ):
+                skipped += 1
+                continue
+            entries[(workload_id, repeat)] = payload
+        if skipped:
+            logger.warning(
+                "grid journal %s: skipped %d unusable line(s) "
+                "(truncated tail or foreign cache_key)",
+                self.path, skipped,
+            )
+        return entries
+
+    def __enter__(self) -> GridCheckpoint:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@contextmanager
+def flush_on_signal(
+    flush: Callable[[], None],
+    signals: tuple[int, ...] = (signal.SIGINT, signal.SIGTERM),
+) -> Iterator[None]:
+    """Run a block with SIGINT/SIGTERM flushing state before dying.
+
+    On a handled signal the ``flush`` callback runs once, the previous
+    handlers are restored, and the conventional exception is raised
+    (``KeyboardInterrupt`` for SIGINT, ``SystemExit(128 + signum)``
+    otherwise) so callers and shells observe a normal interruption.
+
+    Outside the main thread — where Python forbids ``signal.signal`` —
+    the block simply runs unprotected.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+    previous: dict[int, object] = {}
+
+    def handler(signum: int, frame) -> None:
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+        try:
+            flush()
+        finally:
+            if signum == signal.SIGINT:
+                raise KeyboardInterrupt
+            raise SystemExit(128 + signum)
+
+    try:
+        for sig in signals:
+            previous[sig] = signal.signal(sig, handler)
+    except (ValueError, OSError):  # pragma: no cover - exotic hosts
+        for sig, old in previous.items():
+            signal.signal(sig, old)
+        yield
+        return
+    try:
+        yield
+    finally:
+        for sig, old in previous.items():
+            try:
+                signal.signal(sig, old)
+            except (ValueError, OSError):  # pragma: no cover
+                pass

@@ -1,16 +1,24 @@
-"""Process-pool execution of experiment grid cells.
+"""Supervised execution of experiment grid cells.
 
 The engine runs ``(workload, repeat)`` cells of a
-:class:`~repro.analysis.runner.RunGrid` across a pool of worker
-processes.  Three properties make it safe to drop in for the serial
-loop:
+:class:`~repro.analysis.runner.RunGrid` through the execution plane:
+cells are dispatched via the :class:`~repro.parallel.executors.
+CellExecutor` protocol (:class:`~repro.parallel.executors.
+SerialExecutor` in-process, :class:`~repro.parallel.executors.
+ForkPoolExecutor` across forked workers — remote or async backends can
+plug in behind the same four methods) and supervised by
+:class:`~repro.parallel.supervisor.Supervisor`, which owns deadlines,
+retries, pool self-healing, and degradation policy.
+
+Properties that make this a drop-in for the serial loop:
 
 * **Determinism** — each cell's optimiser is built from a deterministic
   seed (``seed_fn(workload_id, repeat)``, by default
   :func:`~repro.analysis.runner.run_seed`), so a cell's result does not
-  depend on which worker ran it or in what order.  Results are yielded
-  in submission order, so downstream cache assembly is byte-identical
-  to the serial path.
+  depend on which worker ran it, in what order, or how many times
+  supervision had to re-run it.  Results are yielded in submission
+  order, so downstream cache assembly is byte-identical to the serial
+  path.
 * **Fork-based context sharing and a zero-copy data plane** — optimiser
   factories are arbitrary closures and therefore not picklable.  The
   engine stores the cell context (trace, factory, objective, seed
@@ -32,12 +40,20 @@ loop:
   work.  The decision is observable as a ``pool_planned`` event;
   ``auto_clamp=False`` restores the literal request for tests that
   need a pool regardless of the host machine.
-* **Crash containment** — a cell that raises an application error in a
-  worker is retried serially in the parent (quarantine the cell, not
-  the run); a deterministic failure then surfaces exactly as it would
-  have serially.  If the pool itself dies (a worker was OOM-killed or
-  crashed hard), the engine emits a ``pool_degraded`` event and falls
-  back to serial execution for every cell not yet yielded.
+* **Crash containment and self-healing** — an application error in a
+  worker is retried (``cell_retries`` pool attempts under
+  :class:`~repro.faults.retry.RetryPolicy` backoff, then one serial
+  attempt in the parent), so a deterministic failure surfaces exactly
+  as it would have serially.  A worker killed mid-cell costs only that
+  worker: the pool heals and the cell is re-submitted, up to
+  ``pool_restarts`` deaths per grid (``pool_restarted`` events), after
+  which the engine emits ``pool_degraded`` once, drains every finished
+  result, and completes only the result-less cells serially.  A cell
+  that kills its worker twice is a *poison cell* and is pinned to
+  serial execution rather than re-breaking a fresh worker.  A cell
+  exceeding ``cell_timeout`` seconds of execution is cancelled (its
+  worker alone is killed) and completed serially, so one straggler
+  never stalls the grid.
 """
 
 from __future__ import annotations
@@ -45,19 +61,21 @@ from __future__ import annotations
 import multiprocessing
 import os
 from collections.abc import Callable, Iterable, Iterator
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
 
 from repro.analysis.runner import OptimizerFactory, run_seed
 from repro.core.objectives import Objective
 from repro.core.result import SearchResult
+from repro.faults.retry import RetryPolicy
 from repro.parallel.dataplane import TraceShare
 from repro.parallel.events import CellEvent
+from repro.parallel.executors import (
+    Cell,
+    CellExecutor,
+    ForkPoolExecutor,
+    SerialExecutor,
+)
+from repro.parallel.supervisor import SupervisionConfig, Supervisor
 from repro.trace.dataset import BenchmarkTrace
-
-#: One grid cell: (workload_id, repeat).
-Cell = tuple[str, int]
 
 #: Maps a cell to its optimiser seed.
 SeedFn = Callable[[str, int], int]
@@ -70,6 +88,9 @@ EventSink = Callable[[CellEvent], None] | None
 #: small finishes in about that time serially.
 POOL_MIN_CELLS = 4
 
+#: Default worker-death budget per grid before serial degradation.
+DEFAULT_POOL_RESTARTS = 2
+
 
 def plan_workers(
     workers: int, n_cells: int, cpu_count: int | None = None
@@ -80,6 +101,10 @@ def plan_workers(
     work available (``n_cells`` — extra workers would only idle), and
     degrades to serial (1) for grids under :data:`POOL_MIN_CELLS`,
     where pool spin-up exceeds the work itself.
+
+    This is also the single validation site for worker counts: every
+    entry point (:func:`run_cells`, the runner, the CLI) funnels
+    through it.
 
     Raises:
         ValueError: if ``workers`` is less than 1.
@@ -92,15 +117,24 @@ def plan_workers(
     return max(1, min(workers, cores, n_cells))
 
 
-@dataclass
 class _CellContext:
     """Everything a worker needs to execute one cell."""
 
-    trace: BenchmarkTrace
-    factory: OptimizerFactory
-    objective: Objective
-    seed_fn: SeedFn
-    share: TraceShare | None = None
+    __slots__ = ("trace", "factory", "objective", "seed_fn", "share")
+
+    def __init__(
+        self,
+        trace: BenchmarkTrace,
+        factory: OptimizerFactory,
+        objective: Objective,
+        seed_fn: SeedFn,
+        share: TraceShare | None = None,
+    ) -> None:
+        self.trace = trace
+        self.factory = factory
+        self.objective = objective
+        self.seed_fn = seed_fn
+        self.share = share
 
 
 # Set in the parent before the pool forks; workers inherit it.  This is
@@ -128,64 +162,11 @@ def _fork_available() -> bool:
     return "fork" in multiprocessing.get_all_start_methods()
 
 
-def _emit(on_event: EventSink, kind: str, cell: Cell | None, detail: str = "") -> None:
-    if on_event is None:
-        return
-    workload_id, repeat = cell if cell is not None else (None, None)
-    on_event(CellEvent(kind=kind, workload_id=workload_id, repeat=repeat, detail=detail))
-
-
-def _run_serial(
-    cells: list[Cell], on_event: EventSink
-) -> Iterator[tuple[Cell, SearchResult]]:
-    for cell in cells:
-        _emit(on_event, "cell_scheduled", cell)
-        result = _execute_cell(cell)
-        _emit(on_event, "cell_finished", cell)
-        yield cell, result
-
-
-def _run_pool(
-    cells: list[Cell], workers: int, on_event: EventSink
-) -> Iterator[tuple[Cell, SearchResult]]:
-    executor = ProcessPoolExecutor(
-        max_workers=workers, mp_context=multiprocessing.get_context("fork")
-    )
-    try:
-        futures = []
-        for cell in cells:
-            futures.append((cell, executor.submit(_execute_cell, cell)))
-            _emit(on_event, "cell_scheduled", cell)
-        for position, (cell, future) in enumerate(futures):
-            try:
-                result = future.result()
-            except BrokenProcessPool:
-                _emit(
-                    on_event,
-                    "pool_degraded",
-                    None,
-                    "worker pool died; finishing remaining cells serially",
-                )
-                # Cells are deterministic, so recomputing everything not
-                # yet yielded (including any whose result is stranded in
-                # the dead pool) gives identical output.
-                yield from _run_serial([c for c, _ in futures[position:]], on_event)
-                return
-            except Exception as error:  # noqa: BLE001 - worker errors are diverse
-                _emit(
-                    on_event,
-                    "cell_failed",
-                    cell,
-                    f"{type(error).__name__}: {error}",
-                )
-                # Quarantine the cell, not the run: retry serially in the
-                # parent.  A deterministic failure re-raises here exactly
-                # as the serial path would have.
-                result = _execute_cell(cell)
-            _emit(on_event, "cell_finished", cell)
-            yield cell, result
-    finally:
-        executor.shutdown(wait=False, cancel_futures=True)
+def build_executor(workers: int) -> CellExecutor:
+    """The default executor for ``workers`` slots: serial or fork pool."""
+    if workers <= 1 or not _fork_available():
+        return SerialExecutor(_execute_cell)
+    return ForkPoolExecutor(workers=workers, run_cell=_execute_cell)
 
 
 def run_cells(
@@ -197,6 +178,10 @@ def run_cells(
     on_event: EventSink = None,
     seed_fn: SeedFn = run_seed,
     auto_clamp: bool = True,
+    cell_timeout: float | None = None,
+    cell_retries: int = 0,
+    pool_restarts: int = DEFAULT_POOL_RESTARTS,
+    retry_policy: RetryPolicy | None = None,
 ) -> Iterator[tuple[Cell, SearchResult]]:
     """Execute grid cells, yielding ``(cell, result)`` in submission order.
 
@@ -216,22 +201,44 @@ def run_cells(
             and the decision is reported via a ``pool_planned`` event.
             ``False`` takes the request literally (for tests exercising
             pool behaviour regardless of the host machine).
+        cell_timeout: wall-clock deadline in seconds per cell execution
+            on a pool; a straggler past it is cancelled and completed
+            serially.  ``None`` (default) disables deadlines.
+        cell_retries: extra *pool* attempts for a cell that raises an
+            application error in a worker, before the final serial
+            attempt in the parent (0 = straight to serial, the
+            historical behaviour).
+        pool_restarts: worker deaths survived (pool healed, cell
+            re-submitted, ``pool_restarted`` emitted) before the engine
+            degrades the rest of the grid to serial execution.
+        retry_policy: full backoff schedule for cell retries; defaults
+            to ``RetryPolicy.from_retries(cell_retries)``.  When given,
+            it overrides ``cell_retries``.
 
     Raises:
         ValueError: if ``workers`` is less than 1.
     """
-    if workers < 1:
-        raise ValueError(f"workers must be >= 1, got {workers}")
     cells = list(cells)
-    effective = plan_workers(workers, len(cells)) if auto_clamp else workers
+    # plan_workers validates the request (single site) even when the
+    # clamp itself is disabled.
+    planned = plan_workers(workers, len(cells))
+    effective = planned if auto_clamp else workers
     if auto_clamp and on_event is not None:
-        _emit(
-            on_event,
-            "pool_planned",
-            None,
-            f"workers requested={workers} effective={effective} "
-            f"cells={len(cells)} cpus={os.cpu_count() or 1}",
+        on_event(
+            CellEvent.for_grid(
+                "pool_planned",
+                f"workers requested={workers} effective={effective} "
+                f"cells={len(cells)} cpus={os.cpu_count() or 1}",
+            )
         )
+    if retry_policy is None:
+        retry_policy = RetryPolicy.from_retries(cell_retries)
+    config = SupervisionConfig(
+        cell_timeout_s=cell_timeout,
+        retry_policy=retry_policy,
+        pool_restarts=pool_restarts,
+    )
+
     global _CELL_CONTEXT
     previous = _CELL_CONTEXT
     serial = effective <= 1 or len(cells) <= 1 or not _fork_available()
@@ -252,10 +259,11 @@ def run_cells(
         share=share,
     )
     try:
-        if serial:
-            yield from _run_serial(cells, on_event)
-        else:
-            yield from _run_pool(cells, min(effective, len(cells)), on_event)
+        executor = build_executor(1 if serial else min(effective, len(cells)))
+        supervisor = Supervisor(
+            executor, _execute_cell, config=config, on_event=on_event
+        )
+        yield from supervisor.run(cells)
     finally:
         _CELL_CONTEXT = previous
         if share is not None:

@@ -1,27 +1,66 @@
 """Progress events streamed by the parallel experiment engine.
 
 One :class:`CellEvent` per lifecycle transition of a grid cell (a
-``(workload, repeat)`` pair), plus engine-level degradation notices.
+``(workload, repeat)`` pair), plus engine-level supervision notices.
 The stream is advisory — consumers (progress bars, logs, tests) observe
 it through the ``on_event`` callback; results never depend on it.
+
+Events come in two scopes: *cell-scoped* events carry the
+``(workload_id, repeat)`` pair they describe (build them with
+:meth:`CellEvent.for_cell`), while *grid-scoped* events describe the
+execution plane itself — worker planning, pool restarts, degradation —
+and carry no cell (build them with :meth:`CellEvent.for_grid`).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-#: The cell-event vocabulary.  ``cell_cached`` is emitted by the runner
-#: for cache hits (the engine never sees those cells); ``pool_planned``
-#: reports the engine's worker-clamping decision (requested vs effective
-#: workers) before any cell runs; ``pool_degraded`` fires when the
-#: worker pool dies and the engine falls back to serial execution for
-#: the remaining cells.
+#: The cell-event vocabulary.
+#:
+#: Cell-scoped kinds:
+#:
+#: * ``cell_scheduled`` / ``cell_finished`` — normal lifecycle;
+#: * ``cell_failed`` — the cell raised an application error in a worker;
+#: * ``cell_cached`` — the runner served the cell from its cache (the
+#:   engine never sees those cells);
+#: * ``cell_resumed`` — the runner recovered the cell from a grid
+#:   checkpoint journal left by an interrupted run;
+#: * ``cell_retried`` — the supervisor re-attempted a failed cell
+#:   (resubmitted to the pool, or fell back to the parent's serial
+#:   path — ``detail`` says which);
+#: * ``cell_timeout`` — the cell exceeded its wall-clock deadline, was
+#:   cancelled, and will be completed serially;
+#: * ``cell_pinned`` — the cell killed the pool repeatedly (a *poison
+#:   cell*) and is quarantined to serial execution instead of
+#:   re-breaking a fresh pool.
+#:
+#: Grid-scoped kinds:
+#:
+#: * ``pool_planned`` — the engine's worker-clamping decision (requested
+#:   vs effective workers) before any cell runs;
+#: * ``pool_restarted`` — a dead worker pool was healed within the
+#:   restart budget;
+#: * ``pool_degraded`` — the restart budget is exhausted; remaining
+#:   cells run serially in the parent.
 CELL_EVENT_KINDS: tuple[str, ...] = (
     "cell_scheduled",
     "cell_finished",
     "cell_failed",
     "cell_cached",
+    "cell_resumed",
+    "cell_retried",
+    "cell_timeout",
+    "cell_pinned",
     "pool_planned",
+    "pool_restarted",
+    "pool_degraded",
+)
+
+#: Kinds that never name a cell.
+GRID_EVENT_KINDS: tuple[str, ...] = (
+    "pool_planned",
+    "pool_restarted",
     "pool_degraded",
 )
 
@@ -32,8 +71,8 @@ class CellEvent:
 
     Attributes:
         kind: one of :data:`CELL_EVENT_KINDS`.
-        workload_id: the cell's workload (``None`` for engine-level events).
-        repeat: the cell's repeat index (``None`` for engine-level events).
+        workload_id: the cell's workload (``None`` for grid-scoped events).
+        repeat: the cell's repeat index (``None`` for grid-scoped events).
         detail: free-form context — error text, degradation reason.
     """
 
@@ -47,3 +86,29 @@ class CellEvent:
             raise ValueError(
                 f"unknown cell event kind {self.kind!r}; known: {CELL_EVENT_KINDS}"
             )
+
+    @classmethod
+    def for_cell(
+        cls, kind: str, cell: tuple[str, int], detail: str = ""
+    ) -> CellEvent:
+        """A cell-scoped event for one ``(workload_id, repeat)`` pair."""
+        workload_id, repeat = cell
+        return cls(kind=kind, workload_id=workload_id, repeat=repeat, detail=detail)
+
+    @classmethod
+    def for_grid(cls, kind: str, detail: str = "") -> CellEvent:
+        """A grid-scoped (cell-less) event — no fabricated ``(None, None)``
+        pair at call sites; the constructor *is* the statement that the
+        event concerns the whole execution plane."""
+        if kind not in GRID_EVENT_KINDS:
+            raise ValueError(
+                f"{kind!r} is not a grid-scoped event kind; known: {GRID_EVENT_KINDS}"
+            )
+        return cls(kind=kind, detail=detail)
+
+    @property
+    def cell(self) -> tuple[str, int] | None:
+        """The ``(workload_id, repeat)`` pair, or None for grid scope."""
+        if self.workload_id is None or self.repeat is None:
+            return None
+        return (self.workload_id, self.repeat)

@@ -1,0 +1,126 @@
+"""Grid checkpoint journal: durability, damage tolerance, signal flush."""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+
+import pytest
+
+from repro.parallel.checkpoint import GridCheckpoint, flush_on_signal
+
+PAYLOAD_A = {"optimizer": "x", "stopped_by": "budget", "steps": [["vm", 1.0, 1]]}
+PAYLOAD_B = {"optimizer": "y", "stopped_by": "budget", "steps": [["vm", 2.0, 1]]}
+
+
+class TestGridCheckpoint:
+    def test_record_load_roundtrip(self, tmp_path):
+        journal = GridCheckpoint(tmp_path / "grid.journal", cache_key="g__time")
+        journal.record(("w1", 0), PAYLOAD_A)
+        journal.record(("w1", 1), PAYLOAD_B)
+        journal.close()
+        loaded = GridCheckpoint(tmp_path / "grid.journal", cache_key="g__time").load()
+        assert loaded == {("w1", 0): PAYLOAD_A, ("w1", 1): PAYLOAD_B}
+
+    def test_load_missing_journal_is_empty(self, tmp_path):
+        assert GridCheckpoint(tmp_path / "none.journal", cache_key="g").load() == {}
+
+    def test_truncated_tail_is_skipped(self, tmp_path):
+        path = tmp_path / "grid.journal"
+        journal = GridCheckpoint(path, cache_key="g")
+        journal.record(("w1", 0), PAYLOAD_A)
+        journal.record(("w1", 1), PAYLOAD_B)
+        journal.close()
+        # Simulate dying mid-append: chop bytes off the last line.
+        raw = path.read_bytes()
+        path.write_bytes(raw[:-15])
+        loaded = GridCheckpoint(path, cache_key="g").load()
+        assert loaded == {("w1", 0): PAYLOAD_A}
+
+    def test_foreign_cache_key_contributes_nothing(self, tmp_path):
+        path = tmp_path / "grid.journal"
+        journal = GridCheckpoint(path, cache_key="grid-a__time")
+        journal.record(("w1", 0), PAYLOAD_A)
+        journal.close()
+        assert GridCheckpoint(path, cache_key="grid-b__time").load() == {}
+
+    def test_malformed_records_are_skipped(self, tmp_path):
+        path = tmp_path / "grid.journal"
+        lines = [
+            "not json at all",
+            json.dumps([1, 2, 3]),
+            json.dumps({"cache_key": "g", "workload": 5, "repeat": 0, "result": {}}),
+            json.dumps({"cache_key": "g", "workload": "w", "repeat": "0", "result": {}}),
+            json.dumps({"cache_key": "g", "workload": "w", "repeat": 0, "result": PAYLOAD_A}),
+        ]
+        path.write_text("\n".join(lines) + "\n")
+        assert GridCheckpoint(path, cache_key="g").load() == {("w", 0): PAYLOAD_A}
+
+    def test_clear_removes_the_file(self, tmp_path):
+        path = tmp_path / "grid.journal"
+        journal = GridCheckpoint(path, cache_key="g")
+        journal.record(("w1", 0), PAYLOAD_A)
+        journal.clear()
+        assert not path.exists()
+        journal.clear()  # idempotent
+
+    def test_records_survive_without_close(self, tmp_path):
+        """Every record is fsync'd: bytes are durable before close()."""
+        path = tmp_path / "grid.journal"
+        journal = GridCheckpoint(path, cache_key="g")
+        journal.record(("w1", 0), PAYLOAD_A)
+        # Read through a second handle while the first is still open.
+        assert GridCheckpoint(path, cache_key="g").load() == {("w1", 0): PAYLOAD_A}
+        journal.close()
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "grid.journal"
+        with GridCheckpoint(path, cache_key="g") as journal:
+            journal.record(("w1", 0), PAYLOAD_A)
+        assert journal._handle is None
+
+
+class TestFlushOnSignal:
+    def test_sigterm_flushes_then_exits(self):
+        flushed = []
+        with pytest.raises(SystemExit) as excinfo:
+            with flush_on_signal(lambda: flushed.append("yes")):
+                os.kill(os.getpid(), signal.SIGTERM)
+        assert flushed == ["yes"]
+        assert excinfo.value.code == 128 + signal.SIGTERM
+
+    def test_sigint_flushes_then_keyboard_interrupts(self):
+        flushed = []
+        with pytest.raises(KeyboardInterrupt):
+            with flush_on_signal(lambda: flushed.append("yes")):
+                os.kill(os.getpid(), signal.SIGINT)
+        assert flushed == ["yes"]
+
+    def test_handlers_restored_after_block(self):
+        before_int = signal.getsignal(signal.SIGINT)
+        before_term = signal.getsignal(signal.SIGTERM)
+        with flush_on_signal(lambda: None):
+            assert signal.getsignal(signal.SIGINT) is not before_int
+        assert signal.getsignal(signal.SIGINT) is before_int
+        assert signal.getsignal(signal.SIGTERM) is before_term
+
+    def test_no_signal_means_no_flush(self):
+        flushed = []
+        with flush_on_signal(lambda: flushed.append("yes")):
+            pass
+        assert flushed == []
+
+    def test_worker_threads_run_unprotected(self):
+        import threading
+
+        outcome = {}
+
+        def body():
+            with flush_on_signal(lambda: None):
+                outcome["ran"] = True
+
+        thread = threading.Thread(target=body)
+        thread.start()
+        thread.join()
+        assert outcome == {"ran": True}

@@ -3,16 +3,17 @@
 from __future__ import annotations
 
 import os
+import time
 from pathlib import Path
 
 import pytest
 
-from repro.analysis.runner import ExperimentRunner, RunGrid
+from repro.analysis.runner import ExperimentRunner, RunGrid, run_seed
 from repro.core.baselines import RandomSearch
 from repro.core.objectives import Objective
 from repro.faults import FaultInjector, parse_fault_plan, RetryPolicy
-from repro.parallel import CellEvent, run_cells
-from repro.parallel.engine import _fork_available
+from repro.parallel import CellEvent, GridCheckpoint, plan_workers, run_cells
+from repro.parallel.engine import POOL_MIN_CELLS, _fork_available
 
 WORKLOADS = (
     "kmeans/Spark 2.1/small",
@@ -247,3 +248,263 @@ class TestRunnerWorkers:
         grid = _grid("par-ctor", random_factory, repeats=1)
         results = runner.run(grid)  # uses the constructor default
         assert set(results) == set(WORKLOADS)
+
+
+class TestPlanWorkers:
+    """Auto-clamp interacting with the POOL_MIN_CELLS boundary."""
+
+    @pytest.mark.parametrize(
+        "n_cells, expected",
+        [
+            (POOL_MIN_CELLS - 1, 1),  # 3 cells: pool never pays off
+            (POOL_MIN_CELLS, 4),  # 4 cells: pool, capped by the work
+            (POOL_MIN_CELLS + 1, 5),  # 5 cells: pool, capped by the work
+        ],
+    )
+    def test_boundary_grids(self, n_cells, expected):
+        assert plan_workers(8, n_cells, cpu_count=8) == expected
+
+    def test_clamps_to_cpu_count(self):
+        assert plan_workers(8, 6, cpu_count=2) == 2
+
+    def test_clamps_to_cells_not_request(self):
+        assert plan_workers(16, 6, cpu_count=32) == 6
+
+    def test_single_validation_site_rejects_zero(self):
+        with pytest.raises(ValueError, match="workers"):
+            plan_workers(0, 10)
+
+    @pytest.mark.parametrize("n_cells", [3, 4, 5])
+    def test_pool_planned_event_reports_the_decision(self, trace, n_cells):
+        cells = [(WORKLOADS[index % len(WORKLOADS)], index) for index in range(n_cells)]
+        events: list[CellEvent] = []
+        list(
+            run_cells(
+                trace=trace,
+                factory=random_factory,
+                objective=Objective.TIME,
+                cells=cells,
+                workers=4,
+                on_event=events.append,
+            )
+        )
+        planned = [e for e in events if e.kind == "pool_planned"]
+        assert len(planned) == 1
+        assert planned[0].workload_id is None  # grid-scoped, not cell-scoped
+        expected = plan_workers(4, n_cells)
+        assert f"effective={expected}" in planned[0].detail
+
+
+@pytest.mark.skipif(not _fork_available(), reason="requires fork start method")
+class TestSelfHealing:
+    """Real-pool supervision: restarts, poison pinning, deadlines, chaos."""
+
+    def test_worker_death_restarts_pool_before_degrading(self, trace):
+        """One poison cell costs one restart and a pin — the rest of the
+        grid stays on the pool and ``pool_degraded`` never fires."""
+        main_pid = os.getpid()
+        target = run_seed(WORKLOADS[0], 0)
+
+        def one_lethal_factory(environment, objective, seed):
+            if seed == target and os.getpid() != main_pid:
+                os._exit(1)
+            return random_factory(environment, objective, seed)
+
+        cells = [(workload, repeat) for workload in WORKLOADS for repeat in (0, 1)]
+        events: list[CellEvent] = []
+        results = list(
+            run_cells(
+                trace=trace,
+                factory=one_lethal_factory,
+                objective=Objective.TIME,
+                cells=cells,
+                workers=2,
+                on_event=events.append,
+                auto_clamp=False,
+            )
+        )
+        assert [cell for cell, _ in results] == cells
+        kinds = [event.kind for event in events]
+        assert kinds.count("pool_restarted") == 1
+        assert kinds.count("cell_pinned") == 1
+        assert "pool_degraded" not in kinds
+
+    def test_straggler_cancelled_without_stalling_the_grid(self, trace):
+        main_pid = os.getpid()
+        target = run_seed(WORKLOADS[0], 0)
+
+        def straggler_factory(environment, objective, seed):
+            if seed == target and os.getpid() != main_pid:
+                time.sleep(60.0)
+            return random_factory(environment, objective, seed)
+
+        cells = [(workload, repeat) for workload in WORKLOADS for repeat in (0, 1)]
+        events: list[CellEvent] = []
+        start = time.monotonic()
+        results = list(
+            run_cells(
+                trace=trace,
+                factory=straggler_factory,
+                objective=Objective.TIME,
+                cells=cells,
+                workers=2,
+                on_event=events.append,
+                auto_clamp=False,
+                cell_timeout=1.0,
+            )
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed < 30.0  # nowhere near the 60 s straggler sleep
+        assert [cell for cell, _ in results] == cells
+        timeouts = [e for e in events if e.kind == "cell_timeout"]
+        assert [(e.workload_id, e.repeat) for e in timeouts] == [(WORKLOADS[0], 0)]
+
+    def test_chaos_cache_byte_identical_to_clean_serial_run(
+        self, trace, tmp_path, monkeypatch
+    ):
+        """Killing a worker mid-cell must not leave a trace in the cache:
+        the healed/pinned run writes the same bytes as a clean serial one."""
+        # The runner path auto-clamps to the machine; pretend we have
+        # cores so a single-CPU CI box still forms a pool.
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        main_pid = os.getpid()
+        target = run_seed(WORKLOADS[1], 1)
+
+        def chaos_factory(environment, objective, seed):
+            if seed == target and os.getpid() != main_pid:
+                os._exit(1)
+            return random_factory(environment, objective, seed)
+
+        grid_clean = _grid("par-chaos", random_factory)
+        grid_chaos = _grid("par-chaos", chaos_factory)
+        clean = ExperimentRunner(trace, cache_dir=tmp_path / "clean")
+        chaos = ExperimentRunner(trace, cache_dir=tmp_path / "chaos")
+        assert clean.run(grid_clean, workers=1) == chaos.run(grid_chaos, workers=2)
+        clean_bytes = (tmp_path / "clean" / "par-chaos__time.json").read_bytes()
+        chaos_bytes = (tmp_path / "chaos" / "par-chaos__time.json").read_bytes()
+        assert clean_bytes == chaos_bytes
+
+    def test_cell_retried_mirror_round_trips_through_cache(
+        self, trace, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        main_pid = os.getpid()
+
+        def flaky_factory(environment, objective, seed):
+            if os.getpid() != main_pid:
+                raise RuntimeError("worker-side failure")
+            return random_factory(environment, objective, seed)
+
+        runner = ExperimentRunner(trace, cache_dir=tmp_path)
+        grid = _grid("par-mirror", flaky_factory)
+        first = runner.run(grid, workers=2, cell_retries=1)
+        result = first[WORKLOADS[0]][0]
+        mirror = [e for e in result.events if e.kind == "cell_retried"]
+        # One pool retry burned, then the serial fallback: two mirrors.
+        assert len(mirror) == 2
+        assert "pool attempt 2/2" in mirror[0].detail
+        assert "serial fallback" in mirror[1].detail
+        # The cache round-trips them: a second run loads, not recomputes.
+        events: list[CellEvent] = []
+        second = runner.run(grid, workers=2, on_event=events.append)
+        assert {event.kind for event in events} == {"cell_cached"}
+        assert first == second
+
+
+class _InterruptAfter:
+    """Event sink that simulates dying after N completed cells."""
+
+    def __init__(self, after: int) -> None:
+        self.after = after
+        self.finished = 0
+
+    def __call__(self, event: CellEvent) -> None:
+        if event.kind == "cell_finished":
+            self.finished += 1
+            if self.finished >= self.after:
+                raise KeyboardInterrupt
+
+
+class TestResume:
+    def test_interrupted_grid_resumes_from_journal(self, trace, tmp_path):
+        """Only the cells the interrupted run never journaled are
+        recomputed, and the final cache is byte-identical to an
+        uninterrupted run's."""
+        grid = _grid("par-resume", random_factory)
+        clean = ExperimentRunner(trace, cache_dir=tmp_path / "clean")
+        clean.run(grid, workers=1)
+
+        runner = ExperimentRunner(trace, cache_dir=tmp_path / "bumpy")
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(grid, workers=1, on_event=_InterruptAfter(3))
+        journal_path = tmp_path / "bumpy" / "par-resume__time.journal"
+        assert journal_path.exists()
+        journaled = GridCheckpoint(journal_path, cache_key="par-resume__time").load()
+        # The interrupting cell was never yielded back, so it is not
+        # journaled; the two before it are durable.
+        assert len(journaled) == 2
+
+        events: list[CellEvent] = []
+        resumed = runner.run(grid, workers=1, resume=True, on_event=events.append)
+        kinds = [event.kind for event in events]
+        assert kinds.count("cell_resumed") == 2
+        assert kinds.count("cell_scheduled") == 6 - 2
+        assert resumed == clean.run(grid, workers=1)
+        clean_bytes = (tmp_path / "clean" / "par-resume__time.json").read_bytes()
+        bumpy_bytes = (tmp_path / "bumpy" / "par-resume__time.json").read_bytes()
+        assert clean_bytes == bumpy_bytes
+        # A clean completion retires its journal.
+        assert not journal_path.exists()
+
+    def test_resume_false_discards_stale_journal(self, trace, tmp_path):
+        grid = _grid("par-noresume", random_factory)
+        runner = ExperimentRunner(trace, cache_dir=tmp_path)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(grid, workers=1, on_event=_InterruptAfter(3))
+        events: list[CellEvent] = []
+        runner.run(grid, workers=1, on_event=events.append)
+        kinds = [event.kind for event in events]
+        assert "cell_resumed" not in kinds
+        assert kinds.count("cell_scheduled") == 6  # everything recomputed
+
+    def test_fully_journaled_grid_recomputes_nothing(self, trace, tmp_path):
+        grid = _grid("par-full", random_factory)
+        runner = ExperimentRunner(trace, cache_dir=tmp_path)
+        reference = runner.run(grid, workers=1)
+        cache_path = tmp_path / "par-full__time.json"
+        journal_path = tmp_path / "par-full__time.journal"
+        # Rebuild the journal from the consolidated cache, then delete
+        # the cache: the state of a run killed right before its final
+        # consolidation.
+        import json
+
+        cached = json.loads(cache_path.read_text())["results"]
+        with GridCheckpoint(journal_path, cache_key="par-full__time") as journal:
+            for workload_id, per_workload in cached.items():
+                for seed_key, payload in per_workload.items():
+                    journal.record((workload_id, int(seed_key)), payload)
+        cache_path.unlink()
+
+        events: list[CellEvent] = []
+        resumed = runner.run(grid, workers=1, resume=True, on_event=events.append)
+        assert resumed == reference
+        assert {event.kind for event in events} == {"cell_resumed"}
+        # The consolidated cache was rebuilt and the journal retired.
+        assert cache_path.exists()
+        assert not journal_path.exists()
+
+    def test_journal_payloads_tolerate_damage(self, trace, tmp_path):
+        """A malformed journal entry is dropped and its cell recomputed."""
+        grid = _grid("par-damage", random_factory, repeats=1)
+        runner = ExperimentRunner(trace, cache_dir=tmp_path)
+        reference = runner.run(grid, workers=1)
+        (tmp_path / "par-damage__time.json").unlink()
+        journal_path = tmp_path / "par-damage__time.journal"
+        with GridCheckpoint(journal_path, cache_key="par-damage__time") as journal:
+            journal.record((WORKLOADS[0], 0), {"optimizer": "x"})  # invalid shape
+        events: list[CellEvent] = []
+        resumed = runner.run(grid, workers=1, resume=True, on_event=events.append)
+        assert resumed == reference
+        kinds = [event.kind for event in events]
+        assert "cell_resumed" not in kinds
+        assert kinds.count("cell_scheduled") == 3

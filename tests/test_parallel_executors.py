@@ -1,0 +1,218 @@
+"""Cell executors: protocol conformance, crash containment, cancellation."""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.objectives import Objective
+from repro.core.result import SearchResult, SearchStep
+from repro.parallel.executors import (
+    CellExecutor,
+    CellOutcome,
+    ForkPoolExecutor,
+    SerialExecutor,
+)
+from repro.parallel.engine import _fork_available
+
+
+def _result(tag: str) -> SearchResult:
+    return SearchResult(
+        optimizer="scripted",
+        objective=Objective.TIME,
+        workload_id=tag,
+        steps=(SearchStep(step=1, vm_name="vm", objective_value=1.0, best_value=1.0),),
+        stopped_by="budget",
+    )
+
+
+def scripted_cell(cell):
+    """Module-level so forked workers can run it; behaviour rides in the cell."""
+    action, index = cell
+    if action == "ok":
+        return _result(f"ok-{index}")
+    if action == "slow":
+        time.sleep(0.2)
+        return _result(f"slow-{index}")
+    if action == "hang":
+        time.sleep(60.0)
+        return _result(f"hang-{index}")
+    if action == "fail":
+        raise RuntimeError(f"scripted failure {index}")
+    if action == "exit":
+        os._exit(13)
+    raise AssertionError(f"unknown action {action}")
+
+
+def drain(executor, n, deadline_s=30.0):
+    """Poll until ``n`` outcomes arrived (or the deadline passed)."""
+    outcomes: list[CellOutcome] = []
+    deadline = time.monotonic() + deadline_s
+    while len(outcomes) < n and time.monotonic() < deadline:
+        outcomes.extend(executor.poll(0.2))
+    return outcomes
+
+
+class TestSerialExecutor:
+    def test_runs_cells_in_submission_order(self):
+        executor = SerialExecutor(scripted_cell)
+        for index in range(3):
+            executor.submit(("ok", index))
+        outcomes = []
+        while batch := executor.poll():
+            outcomes.extend(batch)
+        assert [o.cell for o in outcomes] == [("ok", 0), ("ok", 1), ("ok", 2)]
+        assert all(o.ok for o in outcomes)
+
+    def test_poll_empty_backlog_returns_nothing(self):
+        assert SerialExecutor(scripted_cell).poll() == []
+
+    def test_exceptions_propagate(self):
+        executor = SerialExecutor(scripted_cell)
+        executor.submit(("fail", 0))
+        with pytest.raises(RuntimeError, match="scripted failure"):
+            executor.poll()
+
+    def test_cancel_withdraws_queued_cell(self):
+        executor = SerialExecutor(scripted_cell)
+        executor.submit(("ok", 0))
+        executor.submit(("ok", 1))
+        assert executor.cancel(("ok", 0))
+        assert not executor.cancel(("ok", 0))
+        assert [o.cell for o in executor.poll()] == [("ok", 1)]
+
+    def test_front_submission_jumps_the_backlog(self):
+        executor = SerialExecutor(scripted_cell)
+        executor.submit(("ok", 0))
+        executor.submit(("ok", 1))
+        executor.submit(("ok", 2), front=True)
+        outcomes = []
+        while batch := executor.poll():
+            outcomes.extend(batch)
+        assert [o.cell for o in outcomes] == [("ok", 2), ("ok", 0), ("ok", 1)]
+
+    def test_protocol_conformance(self):
+        assert isinstance(SerialExecutor(scripted_cell), CellExecutor)
+        assert not SerialExecutor.supports_cancel
+
+
+@pytest.mark.skipif(not _fork_available(), reason="requires fork start method")
+class TestForkPoolExecutor:
+    def test_protocol_conformance(self):
+        executor = ForkPoolExecutor(workers=1, run_cell=scripted_cell)
+        try:
+            assert isinstance(executor, CellExecutor)
+            assert ForkPoolExecutor.supports_cancel
+        finally:
+            executor.shutdown()
+
+    def test_completes_all_cells(self):
+        executor = ForkPoolExecutor(workers=2, run_cell=scripted_cell)
+        try:
+            cells = [("ok", index) for index in range(5)]
+            for cell in cells:
+                executor.submit(cell)
+            outcomes = drain(executor, len(cells))
+            assert sorted(o.cell for o in outcomes) == cells
+            assert all(o.ok for o in outcomes)
+        finally:
+            executor.shutdown()
+
+    def test_application_error_is_an_outcome_not_a_crash(self):
+        executor = ForkPoolExecutor(workers=1, run_cell=scripted_cell)
+        try:
+            executor.submit(("fail", 7))
+            [outcome] = drain(executor, 1)
+            assert outcome.cell == ("fail", 7)
+            assert not outcome.ok and not outcome.crashed
+            assert "scripted failure 7" in outcome.error
+            # The worker survived the error and takes the next cell.
+            executor.submit(("ok", 1))
+            [outcome] = drain(executor, 1)
+            assert outcome.ok
+        finally:
+            executor.shutdown()
+
+    def test_worker_death_is_contained_to_its_cell(self):
+        executor = ForkPoolExecutor(workers=2, run_cell=scripted_cell)
+        try:
+            executor.submit(("exit", 0))
+            for index in range(3):
+                executor.submit(("ok", index))
+            outcomes = drain(executor, 4)
+            crashed = [o for o in outcomes if o.crashed]
+            finished = [o for o in outcomes if o.ok]
+            assert [o.cell for o in crashed] == [("exit", 0)]
+            assert sorted(o.cell for o in finished) == [("ok", i) for i in range(3)]
+        finally:
+            executor.shutdown()
+
+    def test_cancel_kills_only_the_straggler(self):
+        executor = ForkPoolExecutor(workers=2, run_cell=scripted_cell)
+        try:
+            executor.submit(("hang", 0))
+            executor.submit(("slow", 1))
+            deadline = time.monotonic() + 10.0
+            while executor.started_at(("hang", 0)) is None:
+                executor.poll(0.05)
+                assert time.monotonic() < deadline
+            assert executor.cancel(("hang", 0))
+            # The sibling's result still arrives; nothing for the
+            # cancelled cell ever does.
+            outcomes = drain(executor, 1)
+            assert [o.cell for o in outcomes] == [("slow", 1)]
+            assert executor.started_at(("hang", 0)) is None
+        finally:
+            executor.shutdown()
+
+    def test_cancel_withdraws_backlog_without_killing(self):
+        executor = ForkPoolExecutor(workers=1, run_cell=scripted_cell)
+        try:
+            executor.submit(("slow", 0))
+            executor.submit(("ok", 99))  # queued behind the only worker
+            assert executor.cancel(("ok", 99))
+            outcomes = drain(executor, 1)
+            assert [o.cell for o in outcomes] == [("slow", 0)]
+        finally:
+            executor.shutdown()
+
+    def test_front_submission_jumps_the_backlog(self):
+        executor = ForkPoolExecutor(workers=1, run_cell=scripted_cell)
+        try:
+            executor.submit(("slow", 0))  # occupies the only worker
+            executor.submit(("ok", 1))
+            executor.submit(("ok", 2), front=True)
+            outcomes = drain(executor, 3)
+            assert [o.cell for o in outcomes] == [
+                ("slow", 0),
+                ("ok", 2),
+                ("ok", 1),
+            ]
+        finally:
+            executor.shutdown()
+
+    def test_capacity_heals_after_crash(self):
+        executor = ForkPoolExecutor(workers=1, run_cell=scripted_cell)
+        try:
+            executor.submit(("exit", 0))
+            [outcome] = drain(executor, 1)
+            assert outcome.crashed
+            # Resubmitting forks a fresh worker: the pool self-heals.
+            executor.submit(("ok", 1))
+            [outcome] = drain(executor, 1)
+            assert outcome.ok and outcome.cell == ("ok", 1)
+        finally:
+            executor.shutdown()
+
+    def test_shutdown_is_idempotent(self):
+        executor = ForkPoolExecutor(workers=2, run_cell=scripted_cell)
+        executor.submit(("slow", 0))
+        executor.shutdown()
+        executor.shutdown()
+        assert executor.poll(0) == []
+
+    def test_rejects_bad_worker_count(self):
+        with pytest.raises(ValueError, match="workers"):
+            ForkPoolExecutor(workers=0, run_cell=scripted_cell)
