@@ -1,8 +1,10 @@
 #!/usr/bin/env python
-"""End-to-end chaos smoke test for the supervised execution plane.
+"""End-to-end chaos smoke tests for the supervised execution plane.
 
-Drives a real interrupted-grid scenario, outside pytest, the way an
-operator would hit it:
+Drives real interrupted-grid scenarios, outside pytest, the way an
+operator would hit them.
+
+``--scenario pool`` (journal/resume):
 
 1. Computes a clean serial reference cache for a small grid.
 2. Launches a child process running the same grid on a worker pool with
@@ -17,19 +19,37 @@ operator would hit it:
    * the final consolidated cache is byte-identical to the clean
      serial reference.
 
-Timings are appended to ``BENCH_perf.json`` under the ``chaos`` section,
-which ``scripts/check_perf_regression.py`` explicitly exempts from the
-perf gate — chaos runs measure signal latency and recovery, not hot-path
-speed, and must never fail a perf check.
+``--scenario queue`` (durable queue / lease recovery):
+
+1. Computes a clean serial reference cache.
+2. Launches a queue coordinator (``executor="queue"``, no local
+   workers) plus a fleet of three external pull-workers against the
+   shared queue database, then ``SIGKILL``\\ s one worker the moment it
+   holds a lease — mid-cell, no goodbye.
+3. Asserts the grid still completes: the dead worker's lease expires
+   and its cell is requeued to a surviving worker, every cell ends
+   ``done`` exactly once (no lost cells, no double result writes, as
+   witnessed by the queue's durable event log), and the final cache is
+   byte-identical to the serial reference.
+
+Timings are appended to ``BENCH_perf.json`` under the ``chaos`` /
+``chaos_queue`` sections, which ``scripts/check_perf_regression.py``
+explicitly exempts from the perf gate — chaos runs measure signal
+latency and recovery, not hot-path speed, and must never fail a perf
+check.
 
 Usage::
 
-    python scripts/chaos_smoke.py            # full scenario (parent)
-    python scripts/chaos_smoke.py --child D  # internal: interrupted run
+    python scripts/chaos_smoke.py                     # both scenarios
+    python scripts/chaos_smoke.py --scenario queue    # one scenario
+    python scripts/chaos_smoke.py --child D           # internal: pool child
+    python scripts/chaos_smoke.py --queue-coordinator D   # internal
+    python scripts/chaos_smoke.py --queue-worker D OWNER  # internal
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import signal
@@ -44,7 +64,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.analysis.runner import ExperimentRunner, RunGrid, run_seed  # noqa: E402
 from repro.core.baselines import RandomSearch  # noqa: E402
 from repro.core.objectives import Objective  # noqa: E402
-from repro.parallel import GridCheckpoint  # noqa: E402
+from repro.parallel import GridCheckpoint, WorkQueue  # noqa: E402
 from repro.trace.generate import default_trace  # noqa: E402
 
 WORKLOADS = (
@@ -56,7 +76,12 @@ REPEATS = 4
 GRID_KEY = "chaos-smoke"
 CACHE_NAME = f"{GRID_KEY}__time"
 
-#: Worker-side pacing so the parent can SIGTERM the child mid-grid.
+QUEUE_GRID_KEY = "chaos-queue"
+QUEUE_CACHE_NAME = f"{QUEUE_GRID_KEY}__time"
+QUEUE_WORKERS = 3
+QUEUE_LEASE_S = 2.0
+
+#: Worker-side pacing so the parent can signal a worker mid-cell.
 PACE_S = 0.5
 
 #: The cell whose pool attempts kill their worker.  The *first* cell in
@@ -65,19 +90,41 @@ PACE_S = 0.5
 #: sibling and make the journal grow in one burst instead of steadily.
 LETHAL_SEED = run_seed(WORKLOADS[0], 0)
 
+ALL_CELLS = {(w, r) for w in WORKLOADS for r in range(REPEATS)}
+
 
 def clean_factory(environment, objective, seed):
     return RandomSearch(environment, objective=objective, seed=seed, max_measurements=6)
 
 
-def _grid(factory) -> RunGrid:
+def _grid(factory, key: str = GRID_KEY) -> RunGrid:
     return RunGrid(
-        key=GRID_KEY,
+        key=key,
         factory=factory,
         objective=Objective.TIME,
         workload_ids=WORKLOADS,
         repeats=REPEATS,
     )
+
+
+def _load_bench() -> dict:
+    bench_path = REPO_ROOT / "BENCH_perf.json"
+    if bench_path.exists():
+        try:
+            return json.loads(bench_path.read_text())
+        except json.JSONDecodeError:
+            return {}
+    return {}
+
+
+def _store_bench(section: str, payload: dict) -> None:
+    bench_path = REPO_ROOT / "BENCH_perf.json"
+    bench = _load_bench()
+    bench[section] = payload
+    bench_path.write_text(json.dumps(bench, indent=2) + "\n")
+
+
+# -- pool scenario ---------------------------------------------------------
 
 
 def run_child(cache_dir: Path) -> int:
@@ -100,105 +147,301 @@ def run_child(cache_dir: Path) -> int:
     return 0
 
 
+def scenario_pool(work: Path, trace) -> int:
+    ref_dir, chaos_dir = work / "ref", work / "chaos"
+    total = len(ALL_CELLS)
+
+    print(f"chaos-smoke[pool]: clean serial reference ({total} cells)")
+    ExperimentRunner(trace, cache_dir=ref_dir).run(_grid(clean_factory), workers=1)
+    reference = (ref_dir / f"{CACHE_NAME}.json").read_bytes()
+
+    print("chaos-smoke[pool]: launching interrupted pool run")
+    started = time.monotonic()
+    child = subprocess.Popen(
+        [sys.executable, __file__, "--child", str(chaos_dir)],
+        cwd=REPO_ROOT,
+    )
+    journal_path = chaos_dir / f"{CACHE_NAME}.journal"
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        if child.poll() is not None:
+            print("chaos-smoke[pool]: FAIL — child finished before the signal")
+            return 1
+        if journal_path.exists() and len(journal_path.read_bytes().splitlines()) >= 3:
+            break
+        time.sleep(0.05)
+    else:
+        child.kill()
+        print("chaos-smoke[pool]: FAIL — journal never reached 3 cells")
+        return 1
+    child.send_signal(signal.SIGTERM)
+    child.wait(timeout=60.0)
+    interrupted_s = time.monotonic() - started
+    if child.returncode != 128 + signal.SIGTERM:
+        print(f"chaos-smoke[pool]: FAIL — child exit {child.returncode}, wanted 143")
+        return 1
+
+    journaled = GridCheckpoint(journal_path, cache_key=CACHE_NAME).load()
+    print(
+        f"chaos-smoke[pool]: child SIGTERMed after {len(journaled)} journaled cells "
+        f"({interrupted_s:.1f}s)"
+    )
+
+    events = []
+    started = time.monotonic()
+    ExperimentRunner(trace, cache_dir=chaos_dir).run(
+        _grid(clean_factory), workers=1, resume=True, on_event=events.append
+    )
+    resume_s = time.monotonic() - started
+
+    completed = {e.cell for e in events if e.kind in ("cell_cached", "cell_resumed")}
+    scheduled = {e.cell for e in events if e.kind == "cell_scheduled"}
+    recomputed_beyond_in_flight = scheduled & set(journaled)
+    print(
+        f"chaos-smoke[pool]: resume recovered {len(completed)} cells, "
+        f"recomputed {len(scheduled)} ({resume_s:.1f}s)"
+    )
+    failures = []
+    if recomputed_beyond_in_flight:
+        failures.append(
+            f"recomputed journaled cells: {sorted(recomputed_beyond_in_flight)}"
+        )
+    if scheduled | completed != ALL_CELLS or len(scheduled) + len(completed) != total:
+        failures.append("recovered + recomputed cells do not partition the grid")
+    final = (chaos_dir / f"{CACHE_NAME}.json").read_bytes()
+    if final != reference:
+        failures.append("resumed cache differs from the clean serial reference")
+    if journal_path.exists():
+        failures.append("journal not retired after clean completion")
+
+    _store_bench("chaos", {
+        "interrupted_run_s": round(interrupted_s, 3),
+        "resume_run_s": round(resume_s, 3),
+        "journaled_cells": len(journaled),
+        "recovered_cells": len(completed),
+        "recomputed_cells": len(scheduled),
+    })
+
+    if failures:
+        for failure in failures:
+            print(f"chaos-smoke[pool]: FAIL — {failure}")
+        return 1
+    print("chaos-smoke[pool]: passed (byte-identical resume, zero extra recompute)")
+    return 0
+
+
+# -- queue scenario --------------------------------------------------------
+
+
+def run_queue_coordinator(cache_dir: Path) -> int:
+    """The coordinator: owns the queue, forks no local workers — the
+    external fleet does every cell."""
+    runner = ExperimentRunner(default_trace(), cache_dir=cache_dir)
+    runner.run(
+        _grid(clean_factory, key=QUEUE_GRID_KEY),
+        executor="queue",
+        queue_workers=0,
+        queue_lease_s=QUEUE_LEASE_S,
+        queue_stall_timeout_s=300.0,
+    )
+    return 0
+
+
+def run_queue_worker(cache_dir: Path, owner: str) -> int:
+    """One external pull-worker (what ``arrow queue-worker`` does),
+    paced so the parent can SIGKILL it mid-cell."""
+    from repro.parallel import queue_worker_loop
+
+    path = cache_dir / f"{QUEUE_CACHE_NAME}.queue"
+    queue = None
+    deadline = time.monotonic() + 60.0
+    while queue is None:
+        try:
+            queue = WorkQueue.attach(path)
+        except (FileNotFoundError, ValueError):
+            # The coordinator has not created (or finished stamping)
+            # the queue yet.
+            if time.monotonic() >= deadline:
+                print(f"worker {owner}: no queue at {path}", file=sys.stderr)
+                return 1
+            time.sleep(0.05)
+    trace = default_trace()
+
+    def run_lease(lease):
+        time.sleep(PACE_S)
+        environment = trace.environment(lease.workload_id)
+        return clean_factory(environment, Objective.TIME, lease.seed).run()
+
+    try:
+        completed = queue_worker_loop(queue, run_lease, owner=owner)
+    finally:
+        queue.close()
+    print(f"worker {owner}: processed {completed} cell(s)")
+    return 0
+
+
+def scenario_queue(work: Path, trace) -> int:
+    ref_dir, chaos_dir = work / "queue-ref", work / "queue-chaos"
+    total = len(ALL_CELLS)
+
+    print(f"chaos-smoke[queue]: clean serial reference ({total} cells)")
+    ExperimentRunner(trace, cache_dir=ref_dir).run(
+        _grid(clean_factory, key=QUEUE_GRID_KEY), workers=1
+    )
+    reference = (ref_dir / f"{QUEUE_CACHE_NAME}.json").read_bytes()
+
+    print(
+        f"chaos-smoke[queue]: coordinator + {QUEUE_WORKERS} external workers, "
+        f"SIGKILL one mid-cell"
+    )
+    started = time.monotonic()
+    coordinator = subprocess.Popen(
+        [sys.executable, __file__, "--queue-coordinator", str(chaos_dir)],
+        cwd=REPO_ROOT,
+    )
+    victim_owner = "victim"
+    owners = ["w1", victim_owner, "w3"]
+    workers = {
+        owner: subprocess.Popen(
+            [sys.executable, __file__, "--queue-worker", str(chaos_dir), owner],
+            cwd=REPO_ROOT,
+        )
+        for owner in owners
+    }
+
+    queue_path = chaos_dir / f"{QUEUE_CACHE_NAME}.queue"
+    try:
+        # Wait until the victim actually holds a lease, then kill -9:
+        # mid-cell, mid-lease, no cleanup of any kind.
+        deadline = time.monotonic() + 120.0
+        victim_cell = None
+        while victim_cell is None:
+            if time.monotonic() >= deadline:
+                print("chaos-smoke[queue]: FAIL — victim never claimed a lease")
+                return 1
+            if coordinator.poll() is not None:
+                print("chaos-smoke[queue]: FAIL — coordinator exited early")
+                return 1
+            if queue_path.exists():
+                try:
+                    with WorkQueue.attach(queue_path, readonly=True) as queue:
+                        for cell, owner, _attempts, _age, _left in queue.leases():
+                            if owner == victim_owner:
+                                victim_cell = cell
+                except (ValueError, FileNotFoundError):
+                    pass
+            time.sleep(0.02)
+        workers[victim_owner].send_signal(signal.SIGKILL)
+        print(
+            f"chaos-smoke[queue]: SIGKILLed {victim_owner} holding {victim_cell}"
+        )
+
+        coordinator.wait(timeout=300.0)
+        for owner in ("w1", "w3"):
+            workers[owner].wait(timeout=60.0)
+        workers[victim_owner].wait(timeout=60.0)
+    finally:
+        for process in (coordinator, *workers.values()):
+            if process.poll() is None:
+                process.kill()
+    queue_run_s = time.monotonic() - started
+
+    failures = []
+    if coordinator.returncode != 0:
+        failures.append(f"coordinator exit {coordinator.returncode}, wanted 0")
+    if workers[victim_owner].returncode != -signal.SIGKILL:
+        failures.append(
+            f"victim exit {workers[victim_owner].returncode}, wanted -9"
+        )
+    for owner in ("w1", "w3"):
+        if workers[owner].returncode != 0:
+            failures.append(f"worker {owner} exit {workers[owner].returncode}")
+
+    final_path = chaos_dir / f"{QUEUE_CACHE_NAME}.json"
+    if not final_path.exists():
+        failures.append("no final cache written")
+    elif final_path.read_bytes() != reference:
+        failures.append("queue-run cache differs from the clean serial reference")
+
+    requeued = 0
+    if not queue_path.exists():
+        failures.append("queue database missing after the run")
+    else:
+        with WorkQueue.attach(queue_path) as queue:
+            counts = queue.counts()
+            if counts["done"] != total or not queue.drained():
+                failures.append(f"lost cells: counts {counts}")
+            done_cells = {
+                cell for cell, state, _p, _e, _a in queue.terminal_cells()
+                if state == "done"
+            }
+            if done_cells != ALL_CELLS:
+                failures.append(
+                    f"done rows do not cover the grid: missing "
+                    f"{sorted(ALL_CELLS - done_cells)}"
+                )
+            events = queue.events_since(0)
+            kinds = [kind for _id, kind, _cell, _detail in events]
+            requeued = kinds.count("cell_requeued")
+            if kinds.count("lease_expired") < 1 or kinds.count("worker_lost") < 1:
+                failures.append("no lease expired — the kill was not observed")
+            if requeued < 1:
+                failures.append("no cell was requeued after the kill")
+            done_writes: dict = {}
+            for _id, kind, cell, _detail in events:
+                if kind == "cell_done":
+                    done_writes[cell] = done_writes.get(cell, 0) + 1
+            doubled = {cell: n for cell, n in done_writes.items() if n > 1}
+            if doubled:
+                failures.append(f"double result writes: {doubled}")
+
+    _store_bench("chaos_queue", {
+        "queue_run_s": round(queue_run_s, 3),
+        "workers": QUEUE_WORKERS,
+        "lease_s": QUEUE_LEASE_S,
+        "requeued_cells": requeued,
+        "cells": total,
+    })
+
+    if failures:
+        for failure in failures:
+            print(f"chaos-smoke[queue]: FAIL — {failure}")
+        return 1
+    print(
+        "chaos-smoke[queue]: passed (grid survived SIGKILL, zero lost cells, "
+        "no double writes, byte-identical cache)"
+    )
+    return 0
+
+
 def main() -> int:
-    if len(sys.argv) == 3 and sys.argv[1] == "--child":
-        return run_child(Path(sys.argv[2]))
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scenario", choices=("pool", "queue", "all"), default="all")
+    parser.add_argument("--child", metavar="DIR", help=argparse.SUPPRESS)
+    parser.add_argument("--queue-coordinator", metavar="DIR", help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--queue-worker", nargs=2, metavar=("DIR", "OWNER"), help=argparse.SUPPRESS
+    )
+    args = parser.parse_args()
+
+    if args.child:
+        return run_child(Path(args.child))
+    if args.queue_coordinator:
+        return run_queue_coordinator(Path(args.queue_coordinator))
+    if args.queue_worker:
+        return run_queue_worker(Path(args.queue_worker[0]), args.queue_worker[1])
 
     import tempfile
 
+    rc = 0
     with tempfile.TemporaryDirectory(prefix="chaos-smoke-") as tmp:
         work = Path(tmp)
-        ref_dir, chaos_dir = work / "ref", work / "chaos"
         trace = default_trace()
-        total = len(WORKLOADS) * REPEATS
-
-        print(f"chaos-smoke: clean serial reference ({total} cells)")
-        ExperimentRunner(trace, cache_dir=ref_dir).run(_grid(clean_factory), workers=1)
-        reference = (ref_dir / f"{CACHE_NAME}.json").read_bytes()
-
-        print("chaos-smoke: launching interrupted pool run")
-        started = time.monotonic()
-        child = subprocess.Popen(
-            [sys.executable, __file__, "--child", str(chaos_dir)],
-            cwd=REPO_ROOT,
-        )
-        journal_path = chaos_dir / f"{CACHE_NAME}.journal"
-        deadline = time.monotonic() + 120.0
-        while time.monotonic() < deadline:
-            if child.poll() is not None:
-                print("chaos-smoke: FAIL — child finished before the signal")
-                return 1
-            if journal_path.exists() and len(journal_path.read_bytes().splitlines()) >= 3:
-                break
-            time.sleep(0.05)
-        else:
-            child.kill()
-            print("chaos-smoke: FAIL — journal never reached 3 cells")
-            return 1
-        child.send_signal(signal.SIGTERM)
-        child.wait(timeout=60.0)
-        interrupted_s = time.monotonic() - started
-        if child.returncode != 128 + signal.SIGTERM:
-            print(f"chaos-smoke: FAIL — child exit {child.returncode}, wanted 143")
-            return 1
-
-        journaled = GridCheckpoint(journal_path, cache_key=CACHE_NAME).load()
-        print(
-            f"chaos-smoke: child SIGTERMed after {len(journaled)} journaled cells "
-            f"({interrupted_s:.1f}s)"
-        )
-
-        events = []
-        started = time.monotonic()
-        ExperimentRunner(trace, cache_dir=chaos_dir).run(
-            _grid(clean_factory), workers=1, resume=True, on_event=events.append
-        )
-        resume_s = time.monotonic() - started
-
-        completed = {e.cell for e in events if e.kind in ("cell_cached", "cell_resumed")}
-        scheduled = {e.cell for e in events if e.kind == "cell_scheduled"}
-        recomputed_beyond_in_flight = scheduled & set(journaled)
-        print(
-            f"chaos-smoke: resume recovered {len(completed)} cells, "
-            f"recomputed {len(scheduled)} ({resume_s:.1f}s)"
-        )
-        failures = []
-        if recomputed_beyond_in_flight:
-            failures.append(
-                f"recomputed journaled cells: {sorted(recomputed_beyond_in_flight)}"
-            )
-        if scheduled | completed != {
-            (w, r) for w in WORKLOADS for r in range(REPEATS)
-        } or len(scheduled) + len(completed) != total:
-            failures.append("recovered + recomputed cells do not partition the grid")
-        final = (chaos_dir / f"{CACHE_NAME}.json").read_bytes()
-        if final != reference:
-            failures.append("resumed cache differs from the clean serial reference")
-        if journal_path.exists():
-            failures.append("journal not retired after clean completion")
-
-        bench_path = REPO_ROOT / "BENCH_perf.json"
-        bench = {}
-        if bench_path.exists():
-            try:
-                bench = json.loads(bench_path.read_text())
-            except json.JSONDecodeError:
-                bench = {}
-        bench["chaos"] = {
-            "interrupted_run_s": round(interrupted_s, 3),
-            "resume_run_s": round(resume_s, 3),
-            "journaled_cells": len(journaled),
-            "recovered_cells": len(completed),
-            "recomputed_cells": len(scheduled),
-        }
-        bench_path.write_text(json.dumps(bench, indent=2) + "\n")
-
-        if failures:
-            for failure in failures:
-                print(f"chaos-smoke: FAIL — {failure}")
-            return 1
-        print("chaos-smoke: passed (byte-identical resume, zero extra recompute)")
-        return 0
+        if args.scenario in ("pool", "all"):
+            rc = scenario_pool(work, trace) or rc
+        if args.scenario in ("queue", "all"):
+            rc = scenario_queue(work, trace) or rc
+    return rc
 
 
 if __name__ == "__main__":

@@ -37,10 +37,12 @@ TRACKED = (
 )
 
 #: Sections recorded for observability only, never gated.  ``chaos``
-#: holds chaos-smoke timings (scripts/chaos_smoke.py): they measure
-#: signal latency, crash recovery, and deliberate pacing sleeps — not
-#: hot-path speed — so a "regression" there is meaningless by design.
-EXEMPT_SECTIONS = ("chaos",)
+#: (pool interrupt/resume) and ``chaos_queue`` (durable-queue SIGKILL
+#: recovery) hold chaos-smoke timings (scripts/chaos_smoke.py): they
+#: measure signal latency, crash recovery, and deliberate pacing
+#: sleeps — not hot-path speed — so a "regression" there is
+#: meaningless by design.
+EXEMPT_SECTIONS = ("chaos", "chaos_queue")
 
 
 def _load(path: Path) -> dict | None:

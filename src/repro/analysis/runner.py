@@ -225,6 +225,17 @@ def _result_from_json(
     )
 
 
+# Public payload codec.  Queue workers serialize results with the same
+# canonical encoder the cache uses, and the coordinator decodes with the
+# same decoder the cache-read path uses, so a result that crossed the
+# durable queue re-encodes byte-identically: queue runs produce the same
+# cache files as serial runs.  (The underscore names remain for existing
+# importers.)
+result_to_payload = _result_to_json
+result_from_payload = _result_from_json
+valid_payload = _valid_payload
+
+
 class ExperimentRunner:
     """Runs :class:`RunGrid` experiments against one trace, with caching.
 
@@ -303,6 +314,56 @@ class ExperimentRunner:
             return {}
         return payload["results"]
 
+    @staticmethod
+    def _reconcile_queue(
+        queue_path: Path,
+        cache_key: str,
+        results: Mapping[str, Sequence[SearchResult | None]],
+    ) -> None:
+        """Make a resumed queue agree with the cache before any lease.
+
+        The cache (journal folded in) is the source of truth: every
+        cell it holds is marked ``done`` in the queue so it can never
+        be re-leased, whatever state its row was left in by the
+        interrupted run.  A queue file that belongs to a different grid
+        or schema is removed — it must not serve this run.
+        """
+        from repro.parallel.queue import WorkQueue
+
+        if not queue_path.exists():
+            return
+        try:
+            queue = WorkQueue.attach(queue_path)
+        except ValueError as error:
+            logger.warning(
+                "removing unusable queue file %s (%s)", queue_path, error
+            )
+            WorkQueue.remove(queue_path)
+            return
+        try:
+            if queue.cache_key != cache_key:
+                logger.warning(
+                    "removing queue file %s: belongs to grid %r, not %r",
+                    queue_path, queue.cache_key, cache_key,
+                )
+                queue.close()
+                WorkQueue.remove(queue_path)
+                return
+            done = [
+                (workload_id, repeat)
+                for workload_id, slots in results.items()
+                for repeat, slot in enumerate(slots)
+                if slot is not None
+            ]
+            changed = queue.reconcile(done)
+            if changed:
+                logger.info(
+                    "queue %s: reconciled %d cell(s) already held by the cache",
+                    queue_path, changed,
+                )
+        finally:
+            queue.close()
+
     def run(
         self,
         grid: RunGrid,
@@ -313,6 +374,11 @@ class ExperimentRunner:
         cell_retries: int = 0,
         pool_restarts: int | None = None,
         seed_fn: Callable[[str, int], int] | None = None,
+        executor: str = "auto",
+        queue_workers: int | None = None,
+        queue_lease_s: float = 30.0,
+        queue_max_attempts: int = 3,
+        queue_stall_timeout_s: float | None = 60.0,
     ) -> dict[str, list[SearchResult]]:
         """All results of ``grid``, computed or loaded from cache.
 
@@ -348,10 +414,38 @@ class ExperimentRunner:
             seed_fn: maps ``(workload_id, repeat)`` to the optimiser
                 seed (default :func:`run_seed`).  The grid ``key`` must
                 change whenever this changes — seeds determine results.
+            executor: backend selection (``auto`` / ``serial`` /
+                ``pool`` / ``queue``).  ``"queue"`` dispatches cells
+                through a durable :class:`~repro.parallel.queue.
+                WorkQueue` at ``<cache>.queue`` next to the cache file
+                (crash-surviving, at-least-once; external workers can
+                join via ``arrow queue-worker``) and therefore requires
+                a ``cache_dir``.  On ``resume=True`` a reconciliation
+                pass first marks every cell the cache/journal already
+                holds as ``done`` in the queue — the cache is the
+                source of truth; durable results are never re-leased.
+                On ``resume=False`` a leftover queue file is removed,
+                mirroring the journal semantics.  The queue file
+                survives a clean completion: its events table is the
+                run's persisted robustness record.
+            queue_workers: local pull-workers the queue coordinator
+                forks (``None`` = the planned worker count; ``0`` =
+                rely on an external worker fleet).
+            queue_lease_s: heartbeat-free lease lifetime before a queue
+                worker is presumed dead and its cell requeued.
+            queue_max_attempts: attempts per cell before the queue
+                parks it (``poisoned``/``failed``) for the coordinator.
+            queue_stall_timeout_s: coordinator watchdog — with work
+                outstanding but no live workers or queue activity for
+                this long, remaining cells are completed serially
+                (``None`` waits for a fleet forever).
 
         Returns:
             Mapping from workload id to one result per repeat (repeat
             order preserved).
+
+        Raises:
+            ValueError: if ``executor="queue"`` without a ``cache_dir``.
         """
         # Imported lazily: the engine imports this module at top level.
         from repro.parallel.checkpoint import GridCheckpoint, flush_on_signal
@@ -360,15 +454,17 @@ class ExperimentRunner:
 
         n_workers = self.workers if workers is None else workers
         cache_path = self._cache_path(grid)
+        if executor == "queue" and cache_path is None:
+            raise ValueError(
+                'executor="queue" requires a cache_dir: the durable queue '
+                "lives next to the cache file"
+            )
         cache = self._load_cache(cache_path)
 
         journal: GridCheckpoint | None = None
         journaled: dict[tuple[str, int], dict] = {}
         if cache_path is not None:
-            journal = GridCheckpoint(
-                cache_path.with_suffix(".journal"),
-                cache_key=cache_path.stem,
-            )
+            journal = GridCheckpoint.for_cache(cache_path)
             if resume:
                 journaled = journal.load()
             else:
@@ -422,6 +518,26 @@ class ExperimentRunner:
                 missing.append((workload_id, repeat))
             results[workload_id] = slots
 
+        queue_config = None
+        if executor == "queue":
+            from repro.parallel.queue import QueueConfig, WorkQueue
+
+            queue_path = cache_path.with_suffix(".queue")
+            if resume:
+                self._reconcile_queue(queue_path, cache_path.stem, results)
+            else:
+                # A fresh run was asked for: a stale queue must not
+                # serve old leases or results (journal semantics).
+                WorkQueue.remove(queue_path)
+            queue_config = QueueConfig(
+                path=queue_path,
+                cache_key=cache_path.stem,
+                workers=queue_workers,
+                lease_duration_s=queue_lease_s,
+                max_attempts=queue_max_attempts,
+                stall_timeout_s=queue_stall_timeout_s,
+            )
+
         dirty = 0
 
         def flush() -> None:
@@ -450,6 +566,8 @@ class ExperimentRunner:
                             if pool_restarts is None
                             else pool_restarts
                         ),
+                        executor=executor,
+                        queue=queue_config,
                     ):
                         workload_id, repeat = cell
                         payload = _result_to_json(result)

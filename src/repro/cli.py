@@ -6,6 +6,8 @@ Subcommands:
 * ``arrow workloads`` — the 107-workload registry, filterable,
 * ``arrow trace generate|stats`` — build or summarise a benchmark trace,
 * ``arrow search`` — run an optimiser on one workload and show the trace,
+* ``arrow queue-worker`` — pull and execute cells from a durable work queue,
+* ``arrow queue-status`` — inspect a durable work queue (read-only),
 * ``arrow profile`` — simulate a run's sysstat time series on one VM,
 * ``arrow figure`` — render a cached experiment figure in the terminal,
 * ``arrow experiments`` — list the paper's experiment index.
@@ -124,6 +126,65 @@ def _cmd_trace_stats(args: argparse.Namespace) -> int:
 # -- search ----------------------------------------------------------------
 
 
+def _add_optimizer_flags(parser: argparse.ArgumentParser) -> None:
+    """The flags that define *which optimiser runs and how*.
+
+    Shared verbatim between ``arrow search`` (the coordinator) and
+    ``arrow queue-worker`` (the fleet): both feed
+    :func:`_build_optimizer` and :func:`_search_grid_key`, so a worker
+    started with the same flags reproduces the coordinator's grid key —
+    and one started with different flags is refused by the key guard
+    before it can record a result the coordinator never asked for.
+    """
+    parser.add_argument("--method", choices=sorted(_METHODS), default="augmented")
+    parser.add_argument(
+        "--objective", choices=["time", "cost", "product"], default="time"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--refit-fraction", type=float, default=1.0,
+        help="fraction of surrogate trees regrown per step for the "
+        "augmented/hybrid methods (1.0 = full refit, bit-identical "
+        "classic behaviour; smaller = faster warm-start refits)",
+    )
+    parser.add_argument(
+        "--tree-builder", choices=["vectorized", "classic"],
+        default="vectorized",
+        help="surrogate tree-growth strategy for the augmented/hybrid "
+        "methods: level-synchronous batched growth (default) or the "
+        "per-node recursive grower (statistically equivalent)",
+    )
+    parser.add_argument(
+        "--gp-gradient", choices=["analytic", "numeric"], default="analytic",
+        help="likelihood-gradient mode for the naive/hybrid GP surrogate: "
+        "fused analytic value+gradient fits (default, one Cholesky per "
+        "L-BFGS-B step) or the legacy finite-difference path",
+    )
+    parser.add_argument("--stop", choices=["none", "ei", "delta"], default="none")
+    parser.add_argument("--stop-value", type=float, default=None)
+    parser.add_argument("--trace", help="trace JSON (default: canonical)")
+    parser.add_argument(
+        "--measure-retries", type=int, default=0,
+        help="retries per failed measurement (each attempt is charged)",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.0,
+        help="base exponential-backoff delay in seconds between retries",
+    )
+    parser.add_argument(
+        "--quarantine-after", type=int, default=3,
+        help="consecutive failures before a VM is quarantined",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        help='inject faults, e.g. "transient:rate=0.3+outage:vm=c3.large"',
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed for the fault plan's randomness",
+    )
+
+
 def _build_optimizer(args: argparse.Namespace, environment, seed: int | None = None):
     objective = Objective.from_name(args.objective)
     stopping = None
@@ -237,6 +298,11 @@ def _run_repeats(args: argparse.Namespace, trace, objective):
             cell_retries=args.cell_retries,
             pool_restarts=args.pool_restarts,
             seed_fn=seed_fn,
+            executor=args.executor,
+            queue_workers=args.queue_workers,
+            queue_lease_s=args.queue_lease,
+            queue_max_attempts=args.queue_max_attempts,
+            queue_stall_timeout_s=args.queue_stall_timeout,
         )
         return results[args.workload]
 
@@ -252,11 +318,19 @@ def _run_repeats(args: argparse.Namespace, trace, objective):
             cell_timeout=args.cell_timeout,
             cell_retries=args.cell_retries,
             pool_restarts=args.pool_restarts,
+            executor=args.executor,
         )
     ]
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
+    if args.executor == "queue" and not args.cache_dir:
+        print(
+            "error: --executor queue requires --cache-dir (the durable "
+            "queue lives next to the cache file)",
+            file=sys.stderr,
+        )
+        return 1
     trace = _load_trace_arg(args.trace)
     if args.workload not in trace.registry:
         print(f"error: unknown workload {args.workload!r}", file=sys.stderr)
@@ -309,6 +383,142 @@ def _cmd_search(args: argparse.Namespace) -> int:
         )
     print(f"  best-vs-optimum: median {float(np.median(ratios)):.3f}x")
     return 0
+
+
+# -- queue worker / status -------------------------------------------------
+
+
+def _queue_workloads(queue) -> list[str]:
+    """Distinct workload ids currently enqueued (sorted)."""
+    return sorted(
+        row[0]
+        for row in queue._con.execute("SELECT DISTINCT workload FROM cells")
+        if row[0]
+    )
+
+
+def _check_queue_key(args: argparse.Namespace, queue, workloads: list[str]) -> str | None:
+    """Refuse a queue this worker's flags cannot faithfully serve.
+
+    The coordinator recorded its cache key (grid key + objective) in the
+    queue; a worker rebuilding optimisers from CLI flags must reproduce
+    that key exactly, or its results would be values the coordinator's
+    settings never produced.  Returns an error message, or ``None`` when
+    the worker may proceed.
+    """
+    if args.allow_key_mismatch:
+        return None
+    if len(workloads) != 1:
+        return (
+            f"queue {queue.path} holds {len(workloads)} workloads; 'arrow "
+            "queue-worker' can only verify single-workload search campaigns "
+            "(pass --allow-key-mismatch to serve it anyway)"
+        )
+    probe = argparse.Namespace(**vars(args))
+    probe.workload = workloads[0]
+    expected = f"{_search_grid_key(probe)}__{Objective.from_name(args.objective).value}"
+    if queue.cache_key != expected:
+        return (
+            f"queue {queue.path} belongs to grid {queue.cache_key!r} but "
+            f"these flags produce {expected!r}; align the optimiser flags "
+            "with the coordinator's, or pass --allow-key-mismatch"
+        )
+    return None
+
+
+def _cmd_queue_worker(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.parallel.queue import WorkQueue, default_owner, queue_worker_loop
+
+    queue_path = Path(args.queue_db)
+    deadline = _time.monotonic() + args.wait_for_db
+    while not queue_path.exists():
+        if _time.monotonic() >= deadline:
+            print(f"error: no queue database at {queue_path}", file=sys.stderr)
+            return 1
+        _time.sleep(0.1)
+    try:
+        queue = WorkQueue.attach(queue_path)
+    except (ValueError, FileNotFoundError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    try:
+        trace = _load_trace_arg(args.trace)
+        problem = _check_queue_key(args, queue, _queue_workloads(queue))
+        if problem is not None:
+            print(f"error: {problem}", file=sys.stderr)
+            return 1
+
+        def run_lease(lease):
+            environment = _wrap_faults(args, trace.environment(lease.workload_id))
+            # The stored per-cell seed — not this process's --seed —
+            # decides the run, so any worker reproduces any cell.
+            return _build_optimizer(args, environment, seed=lease.seed).run()
+
+        owner = args.owner if args.owner else default_owner()
+        completed = queue_worker_loop(
+            queue,
+            run_lease,
+            owner=owner,
+            poll_interval_s=args.poll_interval,
+            exit_when_drained=not args.follow,
+            max_cells=args.max_cells,
+        )
+        print(f"worker {owner}: processed {completed} cell(s)")
+        return 0
+    finally:
+        queue.close()
+
+
+def _cmd_queue_status(args: argparse.Namespace) -> int:
+    from repro.parallel.queue import WorkQueue
+
+    queue_path = Path(args.queue_db)
+    if not queue_path.exists():
+        print(f"error: no queue database at {queue_path}", file=sys.stderr)
+        return 1
+    try:
+        queue = WorkQueue.attach(queue_path, readonly=True)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    try:
+        counts = queue.counts()
+        total = sum(counts.values())
+        print(f"queue {queue_path}")
+        print(
+            f"grid {queue.cache_key}; lease {queue.lease_duration_s:.0f}s; "
+            f"max attempts {queue.max_attempts}"
+        )
+        print(f"\ncells ({total} total):")
+        for state, count in counts.items():
+            print(f"  {state:<9} {count}")
+        leases = queue.leases()
+        if leases:
+            print("\nactive leases:")
+            print(
+                f"  {'workload':<40} {'rep':>3} {'owner':<28} "
+                f"{'att':>3} {'beat age':>9} {'expires':>8}"
+            )
+            for (workload_id, repeat), owner, attempts, age, left in leases:
+                print(
+                    f"  {workload_id:<40} {repeat:>3} {owner:<28} "
+                    f"{attempts:>3} {age:>8.1f}s {left:>7.1f}s"
+                )
+        histogram = queue.attempt_histogram()
+        if histogram:
+            print("\nattempts histogram:")
+            print(
+                bar_chart(
+                    {f"{attempts} attempt(s)": float(count)
+                     for attempts, count in histogram.items()},
+                    unit=" cells",
+                )
+            )
+        return 0
+    finally:
+        queue.close()
 
 
 # -- profile --------------------------------------------------------------
@@ -485,11 +695,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     search = sub.add_parser("search", help="run an optimiser on one workload")
     search.add_argument("workload", help='e.g. "als/Spark 2.1/medium"')
-    search.add_argument("--method", choices=sorted(_METHODS), default="augmented")
-    search.add_argument(
-        "--objective", choices=["time", "cost", "product"], default="time"
-    )
-    search.add_argument("--seed", type=int, default=0)
+    _add_optimizer_flags(search)
     search.add_argument("--repeats", type=int, default=1)
     search.add_argument(
         "--workers", type=int, default=1,
@@ -522,48 +728,93 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign back in and recompute only the cells it lost in flight",
     )
     search.add_argument(
-        "--refit-fraction", type=float, default=1.0,
-        help="fraction of surrogate trees regrown per step for the "
-        "augmented/hybrid methods (1.0 = full refit, bit-identical "
-        "classic behaviour; smaller = faster warm-start refits)",
+        "--executor", choices=["auto", "serial", "pool", "queue"],
+        default="auto",
+        help="execution backend for --repeats campaigns: auto (serial or "
+        "fork pool from --workers), serial, pool, or queue — a durable "
+        "SQLite work queue next to the cache (requires --cache-dir) that "
+        "survives crashes and admits external 'arrow queue-worker' "
+        "processes",
     )
     search.add_argument(
-        "--tree-builder", choices=["vectorized", "classic"],
-        default="vectorized",
-        help="surrogate tree-growth strategy for the augmented/hybrid "
-        "methods: level-synchronous batched growth (default) or the "
-        "per-node recursive grower (statistically equivalent)",
+        "--queue-workers", type=int, default=None, metavar="N",
+        help="with --executor queue: local pull-workers the coordinator "
+        "forks (default: --workers; 0 = rely on an external fleet)",
     )
     search.add_argument(
-        "--gp-gradient", choices=["analytic", "numeric"], default="analytic",
-        help="likelihood-gradient mode for the naive/hybrid GP surrogate: "
-        "fused analytic value+gradient fits (default, one Cholesky per "
-        "L-BFGS-B step) or the legacy finite-difference path",
-    )
-    search.add_argument("--stop", choices=["none", "ei", "delta"], default="none")
-    search.add_argument("--stop-value", type=float, default=None)
-    search.add_argument("--trace", help="trace JSON (default: canonical)")
-    search.add_argument(
-        "--measure-retries", type=int, default=0,
-        help="retries per failed measurement (each attempt is charged)",
+        "--queue-lease", type=float, default=30.0, metavar="SECONDS",
+        help="with --executor queue: heartbeat-free lease lifetime before "
+        "a worker is presumed dead and its cell requeued",
     )
     search.add_argument(
-        "--retry-backoff", type=float, default=0.0,
-        help="base exponential-backoff delay in seconds between retries",
+        "--queue-max-attempts", type=int, default=3,
+        help="with --executor queue: attempts per cell before it is "
+        "parked for the coordinator to complete serially",
     )
     search.add_argument(
-        "--quarantine-after", type=int, default=3,
-        help="consecutive failures before a VM is quarantined",
-    )
-    search.add_argument(
-        "--fault-plan",
-        help='inject faults, e.g. "transient:rate=0.3+outage:vm=c3.large"',
-    )
-    search.add_argument(
-        "--fault-seed", type=int, default=0,
-        help="seed for the fault plan's randomness",
+        "--queue-stall-timeout", type=float, default=60.0, metavar="SECONDS",
+        help="with --executor queue: with work outstanding but no live "
+        "workers or queue activity for this long, the coordinator "
+        "completes the remaining cells itself",
     )
     search.set_defaults(func=_cmd_search)
+
+    queue_worker = sub.add_parser(
+        "queue-worker",
+        help="pull and execute cells from a durable work queue",
+        description="Join a grid's worker fleet: claim leased cells from "
+        "the queue database an 'arrow search --executor queue' "
+        "coordinator maintains, execute them with their stored "
+        "deterministic seeds, and record results durably.  Safe to run "
+        "many in parallel, on one box or across boxes sharing the "
+        "filesystem; a killed worker's cells are requeued automatically.",
+    )
+    queue_worker.add_argument(
+        "--queue-db", required=True,
+        help="the queue database file (<cache>.queue next to the cache)",
+    )
+    _add_optimizer_flags(queue_worker)
+    queue_worker.add_argument(
+        "--owner", help="worker identity (default: host-pid-token)"
+    )
+    queue_worker.add_argument(
+        "--poll-interval", type=float, default=0.2, metavar="SECONDS",
+        help="idle sleep between claim attempts",
+    )
+    queue_worker.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="stop after this many cells (default: unbounded)",
+    )
+    queue_worker.add_argument(
+        "--follow", action="store_true",
+        help="keep polling after the queue drains instead of exiting "
+        "(serve a campaign that is still enqueueing)",
+    )
+    queue_worker.add_argument(
+        "--wait-for-db", type=float, default=0.0, metavar="SECONDS",
+        help="wait up to this long for the queue database to appear "
+        "(lets workers start before the coordinator)",
+    )
+    queue_worker.add_argument(
+        "--allow-key-mismatch", action="store_true",
+        help="serve a queue whose recorded grid key does not match the "
+        "optimiser flags given here (DANGER: a mismatched worker "
+        "records results the coordinator's settings never produced)",
+    )
+    queue_worker.set_defaults(func=_cmd_queue_worker)
+
+    queue_status = sub.add_parser(
+        "queue-status",
+        help="inspect a durable work queue (read-only)",
+        description="Per-state cell counts, active leases with heartbeat "
+        "ages, and the attempt histogram of one queue database.  Opens "
+        "the file read-only — safe while a grid is running.",
+    )
+    queue_status.add_argument(
+        "--queue-db", required=True,
+        help="the queue database file (<cache>.queue next to the cache)",
+    )
+    queue_status.set_defaults(func=_cmd_queue_status)
 
     profile = sub.add_parser("profile", help="simulate a run's sysstat time series")
     profile.add_argument("workload")

@@ -82,7 +82,19 @@ class RetryPolicy:
         if retry < 1:
             raise ValueError(f"retry must be >= 1, got {retry}")
         scale = 1.0 - self.jitter * float(rng.random())
-        nominal = min(self.backoff_max_s, self.backoff_base_s * self.backoff_factor ** (retry - 1))
+        if self.backoff_base_s == 0.0:
+            # Exponent-first evaluation would overflow for large retry
+            # indices even though the true delay is zero.
+            return 0.0
+        try:
+            grown = self.backoff_base_s * self.backoff_factor ** (retry - 1)
+        except OverflowError:
+            # A float-pow overflow (factor ** ~1000s) means the ungrown
+            # delay already dwarfs any cap: saturate instead of raising.
+            # Queue cells carry unbounded attempt counters, so large
+            # retry indices are reachable, not hypothetical.
+            grown = float("inf")
+        nominal = min(self.backoff_max_s, grown)
         return nominal * scale
 
     def wait(self, retry: int, rng: np.random.Generator) -> float:

@@ -15,12 +15,20 @@ arrays reach workers through one shared-memory segment
 copies, and completed cells are journaled crash-safely by
 :class:`~repro.parallel.checkpoint.GridCheckpoint` so interrupted grids
 resume instead of recomputing.
+
+For campaigns that must survive more than worker deaths, the durable
+work queue (:mod:`repro.parallel.queue`) moves grid state into a SQLite
+file next to the cache: leased cells, heartbeats, at-least-once
+requeue of cells whose worker died, and an external worker fleet via
+``arrow queue-worker`` — all behind the same executor protocol
+(:class:`~repro.parallel.queue.QueueExecutor`).
 """
 
 from repro.parallel.checkpoint import GridCheckpoint, flush_on_signal
 from repro.parallel.dataplane import TraceShare
 from repro.parallel.engine import (
     DEFAULT_POOL_RESTARTS,
+    EXECUTOR_CHOICES,
     POOL_MIN_CELLS,
     build_executor,
     plan_workers,
@@ -33,6 +41,13 @@ from repro.parallel.executors import (
     ForkPoolExecutor,
     SerialExecutor,
 )
+from repro.parallel.queue import (
+    Lease,
+    QueueConfig,
+    QueueExecutor,
+    WorkQueue,
+    queue_worker_loop,
+)
 from repro.parallel.supervisor import SupervisionConfig, Supervisor
 
 __all__ = [
@@ -41,16 +56,22 @@ __all__ = [
     "CellExecutor",
     "CellOutcome",
     "DEFAULT_POOL_RESTARTS",
+    "EXECUTOR_CHOICES",
     "ForkPoolExecutor",
     "GRID_EVENT_KINDS",
     "GridCheckpoint",
+    "Lease",
     "POOL_MIN_CELLS",
+    "QueueConfig",
+    "QueueExecutor",
     "SerialExecutor",
     "SupervisionConfig",
     "Supervisor",
     "TraceShare",
+    "WorkQueue",
     "build_executor",
     "flush_on_signal",
     "plan_workers",
+    "queue_worker_loop",
     "run_cells",
 ]

@@ -62,6 +62,17 @@ class GridCheckpoint:
         self.cache_key = cache_key
         self._handle = None
 
+    @classmethod
+    def for_cache(cls, cache_path: str | Path) -> GridCheckpoint:
+        """The journal shadowing one cache file, under the canonical
+        naming every sibling artefact follows: ``<stem>.journal`` next
+        to the cache, keyed by the cache's stem (the durable work queue
+        derives ``<stem>.queue`` the same way)."""
+        cache_path = Path(cache_path)
+        return cls(
+            cache_path.with_suffix(JOURNAL_SUFFIX), cache_key=cache_path.stem
+        )
+
     # -- writing ----------------------------------------------------------
 
     def record(self, cell: Cell, payload: dict) -> None:

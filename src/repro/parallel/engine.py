@@ -74,8 +74,15 @@ from repro.parallel.executors import (
     ForkPoolExecutor,
     SerialExecutor,
 )
+from repro.parallel.queue import QueueConfig, QueueExecutor
 from repro.parallel.supervisor import SupervisionConfig, Supervisor
 from repro.trace.dataset import BenchmarkTrace
+
+#: Executor backends selectable by name: ``auto`` picks serial or fork
+#: pool from the planned worker count (the historical behaviour);
+#: ``queue`` dispatches through the durable work queue
+#: (:mod:`repro.parallel.queue`).
+EXECUTOR_CHOICES: tuple[str, ...] = ("auto", "serial", "pool", "queue")
 
 #: Maps a cell to its optimiser seed.
 SeedFn = Callable[[str, int], int]
@@ -182,6 +189,8 @@ def run_cells(
     cell_retries: int = 0,
     pool_restarts: int = DEFAULT_POOL_RESTARTS,
     retry_policy: RetryPolicy | None = None,
+    executor: str = "auto",
+    queue: QueueConfig | None = None,
 ) -> Iterator[tuple[Cell, SearchResult]]:
     """Execute grid cells, yielding ``(cell, result)`` in submission order.
 
@@ -214,10 +223,27 @@ def run_cells(
         retry_policy: full backoff schedule for cell retries; defaults
             to ``RetryPolicy.from_retries(cell_retries)``.  When given,
             it overrides ``cell_retries``.
+        executor: backend selection (:data:`EXECUTOR_CHOICES`).
+            ``"auto"`` (default) picks serial or fork pool from the
+            planned worker count; ``"serial"`` / ``"pool"`` force those
+            backends; ``"queue"`` dispatches through the durable
+            :class:`~repro.parallel.queue.WorkQueue` (crash-surviving,
+            external workers welcome) and requires ``queue``.
+        queue: the :class:`~repro.parallel.queue.QueueConfig` for
+            ``executor="queue"`` — must carry an explicit ``path`` and
+            is ignored by the other backends.
 
     Raises:
-        ValueError: if ``workers`` is less than 1.
+        ValueError: if ``workers`` is less than 1, if ``executor`` is
+            unknown, or if ``executor="queue"`` lacks a usable
+            ``queue`` config.
     """
+    if executor not in EXECUTOR_CHOICES:
+        raise ValueError(
+            f"unknown executor {executor!r}; choose from {EXECUTOR_CHOICES}"
+        )
+    if executor == "queue" and (queue is None or queue.path is None):
+        raise ValueError('executor="queue" requires a QueueConfig with a path')
     cells = list(cells)
     # plan_workers validates the request (single site) even when the
     # clamp itself is disabled.
@@ -233,20 +259,48 @@ def run_cells(
         )
     if retry_policy is None:
         retry_policy = RetryPolicy.from_retries(cell_retries)
-    config = SupervisionConfig(
-        cell_timeout_s=cell_timeout,
-        retry_policy=retry_policy,
-        pool_restarts=pool_restarts,
-    )
+    if executor == "queue":
+        # Queue crashes are final verdicts, not transient pool deaths: a
+        # poisoned row already burned max_attempts worker leases, and a
+        # stall takeover means the fleet is gone.  Pin such cells to the
+        # coordinator's serial path on the first report.
+        config = SupervisionConfig(
+            retry_policy=retry_policy,
+            pool_restarts=pool_restarts,
+            poison_threshold=1,
+        )
+    else:
+        config = SupervisionConfig(
+            cell_timeout_s=cell_timeout,
+            retry_policy=retry_policy,
+            pool_restarts=pool_restarts,
+        )
+
+    if executor == "serial":
+        serial = True
+    elif executor == "pool":
+        serial = not _fork_available()
+    elif executor == "queue":
+        serial = False
+    else:
+        serial = effective <= 1 or len(cells) <= 1 or not _fork_available()
+
+    local_queue_workers = 0
+    if executor == "queue":
+        local_queue_workers = (
+            queue.workers if queue.workers is not None else effective
+        )
+        if not _fork_available():  # pragma: no cover - platform-dependent
+            local_queue_workers = 0  # external fleet (or stall takeover) only
 
     global _CELL_CONTEXT
     previous = _CELL_CONTEXT
-    serial = effective <= 1 or len(cells) <= 1 or not _fork_available()
-    # The shared-memory data plane only pays off when a pool forks.  If
+    # The shared-memory data plane only pays off when workers fork.  If
     # the platform can't provide a segment (e.g. no /dev/shm), workers
     # simply fall back to the fork-inherited copy of the trace.
     share = None
-    if not serial:
+    forks_workers = (not serial and executor != "queue") or local_queue_workers > 0
+    if forks_workers:
         try:
             share = TraceShare.export(trace)
         except OSError:  # pragma: no cover - platform-dependent
@@ -259,9 +313,24 @@ def run_cells(
         share=share,
     )
     try:
-        executor = build_executor(1 if serial else min(effective, len(cells)))
+        if executor == "queue":
+            backend: CellExecutor = QueueExecutor(
+                queue.path,
+                queue.cache_key if queue.cache_key is not None else "grid",
+                _execute_cell,
+                objective,
+                seed_fn,
+                workers=local_queue_workers,
+                lease_duration_s=queue.lease_duration_s,
+                max_attempts=queue.max_attempts,
+                stall_timeout_s=queue.stall_timeout_s,
+                poll_tick_s=queue.poll_tick_s,
+                on_event=on_event,
+            )
+        else:
+            backend = build_executor(1 if serial else min(effective, len(cells)))
         supervisor = Supervisor(
-            executor, _execute_cell, config=config, on_event=on_event
+            backend, _execute_cell, config=config, on_event=on_event
         )
         yield from supervisor.run(cells)
     finally:

@@ -35,6 +35,17 @@ from dataclasses import dataclass
 #:   cell*) and is quarantined to serial execution instead of
 #:   re-breaking a fresh pool.
 #:
+#: Durable-queue cell-scoped kinds (``--executor queue``):
+#:
+#: * ``lease_claimed`` — a queue worker atomically leased the cell
+#:   (``detail`` carries the owner and attempt count);
+#: * ``lease_expired`` — a lease passed its heartbeat deadline: the
+#:   worker is presumed dead mid-cell;
+#: * ``worker_lost`` — the companion to ``lease_expired``, naming the
+#:   presumed-dead worker;
+#: * ``cell_requeued`` — the cell went back to ``pending`` for another
+#:   attempt (after a lost lease or a worker-side application error).
+#:
 #: Grid-scoped kinds:
 #:
 #: * ``pool_planned`` — the engine's worker-clamping decision (requested
@@ -42,7 +53,10 @@ from dataclasses import dataclass
 #: * ``pool_restarted`` — a dead worker pool was healed within the
 #:   restart budget;
 #: * ``pool_degraded`` — the restart budget is exhausted; remaining
-#:   cells run serially in the parent.
+#:   cells run serially in the parent;
+#: * ``queue_stalled`` — the queue coordinator saw outstanding work but
+#:   no live workers or queue activity for its stall timeout, and is
+#:   completing the remaining cells itself.
 CELL_EVENT_KINDS: tuple[str, ...] = (
     "cell_scheduled",
     "cell_finished",
@@ -52,9 +66,14 @@ CELL_EVENT_KINDS: tuple[str, ...] = (
     "cell_retried",
     "cell_timeout",
     "cell_pinned",
+    "lease_claimed",
+    "lease_expired",
+    "worker_lost",
+    "cell_requeued",
     "pool_planned",
     "pool_restarted",
     "pool_degraded",
+    "queue_stalled",
 )
 
 #: Kinds that never name a cell.
@@ -62,6 +81,7 @@ GRID_EVENT_KINDS: tuple[str, ...] = (
     "pool_planned",
     "pool_restarted",
     "pool_degraded",
+    "queue_stalled",
 )
 
 

@@ -22,6 +22,13 @@ Two implementations ship here:
   results already sitting in other workers' pipes are always drained —
   nothing finished is ever thrown away because a sibling died.
 
+A third lives in :mod:`repro.parallel.queue`:
+:class:`~repro.parallel.queue.QueueExecutor` dispatches through a
+durable SQLite-backed work queue with leased cells, surviving
+coordinator *and* worker crashes and admitting external worker
+processes (``arrow queue-worker``) — the proof that this protocol is
+the plug point the remote backends were promised.
+
 Outcome semantics: ``poll`` never raises for worker-side problems.  A
 cell that completed returns ``result``; one that raised an application
 error returns ``error`` (the ``"ErrorType: message"`` string); one whose

@@ -1,0 +1,1181 @@
+"""Durable work queue + leased ``QueueExecutor``: crash-surviving grids.
+
+The fork pool keeps a grid alive across *worker* deaths, but the grid
+itself still lives inside one process tree: kill the coordinator, or
+want workers on other boxes, and the campaign is over.  This module
+moves grid state out of process memory into a single SQLite file next to
+the runner cache (WAL mode), so execution survives anything short of
+losing the disk:
+
+* :class:`WorkQueue` — the durable queue itself.  One row per grid
+  cell, with states ``pending → leased → done`` (or ``failed`` /
+  ``poisoned``), a monotonic ``attempts`` counter against
+  ``max_attempts``, per-lease deadlines refreshed by worker heartbeats,
+  and every transition mirrored into an append-only ``events`` table so
+  the run's robustness history is part of the persisted record.
+  Lease claims are a *single guarded* ``UPDATE … RETURNING`` statement,
+  so two workers racing for the same cell can never both win — SQLite's
+  write lock serialises them and the ``state='pending'`` guard stops
+  the loser.
+* :func:`queue_worker_loop` — the pull-loop a worker runs: claim a
+  lease, start a heartbeat thread, execute the cell with its *stored*
+  deterministic seed, then write the result and mark the cell ``done``
+  in one guarded transaction.  A worker killed with ``SIGKILL``
+  mid-cell simply stops heartbeating; once its lease deadline passes,
+  any sweep (a sibling worker's next claim, or the coordinator's poll)
+  requeues the cell with ``attempts + 1`` — *at-least-once* execution.
+  The completion guard (``state='leased' AND lease_owner=me``) makes
+  result *recording* effectively once: a worker that lost its lease
+  cannot overwrite the rightful result.
+* :class:`QueueExecutor` — the coordinator side, implementing the
+  four-method :class:`~repro.parallel.executors.CellExecutor` protocol,
+  so :class:`~repro.parallel.supervisor.Supervisor` policy and the
+  runner's journal/cache machinery apply unchanged.  ``submit``
+  enqueues durable rows; ``poll`` sweeps expired leases (emitting
+  ``lease_expired`` / ``worker_lost`` / ``cell_requeued``
+  :class:`~repro.parallel.events.CellEvent`\\ s), forwards fleet
+  activity from the events table, and returns terminal cells as
+  outcomes.  It can fork local pull-workers (``workers > 0``) and/or
+  serve an external fleet started with ``arrow queue-worker``.  A cell
+  whose attempts exhaust ``max_attempts`` through worker deaths is
+  parked ``poisoned`` and reported as a crash, which the engine's
+  queue-mode supervision config (``poison_threshold=1``) turns into
+  exactly one serial completion by the coordinator.
+
+Results cross the queue as the runner's canonical JSON payloads
+(:func:`~repro.analysis.runner.result_to_payload`), which round-trip
+byte-identically, so the consolidated cache of a queue run — however
+many workers died along the way — is byte-identical to a serial run.
+Requeue delays after application errors reuse the one backoff
+implementation in the codebase, :class:`~repro.faults.retry.RetryPolicy`
+(exponential with seeded jitter), via each cell's ``not_before`` column.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import secrets
+import sqlite3
+import threading
+import time
+from collections.abc import Callable, Iterable
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.objectives import Objective
+from repro.core.result import SearchResult
+from repro.faults.retry import RetryPolicy
+from repro.parallel.events import CellEvent
+from repro.parallel.executors import Cell, CellFn, CellOutcome
+
+#: Queue DB files live next to the cache file they feed.
+QUEUE_SUFFIX = ".queue"
+
+#: Bump when the queue schema changes; mismatching files are refused.
+QUEUE_SCHEMA_VERSION = 1
+
+#: The cell-state vocabulary (one row per grid cell).
+CELL_STATES = ("pending", "leased", "done", "failed", "poisoned")
+
+#: Default total attempts per cell before it is parked.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Default lease lifetime without a heartbeat before a worker is
+#: presumed dead and its cell requeued.
+DEFAULT_LEASE_S = 30.0
+
+#: Default requeue-backoff schedule for cells whose execution raised an
+#: application error in a worker (worker deaths requeue immediately —
+#: the failure was the worker's, not the cell's).
+DEFAULT_REQUEUE_POLICY = RetryPolicy(
+    max_attempts=DEFAULT_MAX_ATTEMPTS,
+    backoff_base_s=0.1,
+    backoff_factor=2.0,
+    backoff_max_s=30.0,
+    jitter=0.5,
+)
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS cells (
+    workload      TEXT    NOT NULL,
+    repeat        INTEGER NOT NULL,
+    seed          INTEGER NOT NULL,
+    state         TEXT    NOT NULL DEFAULT 'pending'
+                  CHECK (state IN ('pending','leased','done','failed','poisoned')),
+    attempts      INTEGER NOT NULL DEFAULT 0,
+    priority      INTEGER NOT NULL DEFAULT 0,
+    seq           INTEGER NOT NULL DEFAULT 0,
+    not_before    REAL    NOT NULL DEFAULT 0.0,
+    lease_owner   TEXT,
+    lease_expires REAL,
+    heartbeat_at  REAL,
+    error         TEXT,
+    result        TEXT,
+    PRIMARY KEY (workload, repeat)
+);
+CREATE INDEX IF NOT EXISTS cells_by_state ON cells (state, priority, seq);
+CREATE TABLE IF NOT EXISTS events (
+    id       INTEGER PRIMARY KEY AUTOINCREMENT,
+    at       REAL    NOT NULL,
+    kind     TEXT    NOT NULL,
+    workload TEXT,
+    repeat   INTEGER,
+    detail   TEXT    NOT NULL DEFAULT ''
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+@dataclass(frozen=True, slots=True)
+class Lease:
+    """One claimed cell: the worker's contract until deadline or done.
+
+    Attributes:
+        workload_id: the cell's workload.
+        repeat: the cell's repeat index.
+        seed: the deterministic optimiser seed *stored at enqueue time*,
+            so every worker — local fork or remote CLI — computes the
+            byte-identical result regardless of who runs the cell or
+            how many times it was requeued.
+        attempts: 1-based attempt number this lease represents.
+        owner: the claiming worker's identity.
+        deadline: wall-clock instant the lease expires without a
+            heartbeat.
+    """
+
+    workload_id: str
+    repeat: int
+    seed: int
+    attempts: int
+    owner: str
+    deadline: float
+
+    @property
+    def cell(self) -> Cell:
+        """The ``(workload_id, repeat)`` pair."""
+        return (self.workload_id, self.repeat)
+
+
+#: Executes one leased cell to a result (seed comes from the lease).
+LeaseFn = Callable[[Lease], SearchResult]
+
+
+class WorkQueue:
+    """SQLite-backed durable queue of grid cells with leased items.
+
+    One file (WAL mode) next to the runner cache holds every cell's
+    state, attempt count, lease, result payload, and transition history.
+    All mutations are short guarded transactions, safe under concurrent
+    workers in other processes (or boxes sharing a filesystem with
+    POSIX locking).
+
+    Args:
+        path: the queue database file (conventionally the cache path
+            with :data:`QUEUE_SUFFIX`).
+        cache_key: identity of the grid this queue belongs to — stored
+            in ``meta`` and checked on every open, so a queue pointed at
+            the wrong grid refuses to serve.
+        max_attempts: total attempts per cell before it is parked
+            (``failed`` for application errors, ``poisoned`` for worker
+            deaths).
+        lease_duration_s: heartbeat-free lease lifetime before the
+            worker is presumed dead.
+        clock: wall-clock source (injectable for deterministic tests).
+
+    Raises:
+        ValueError: if the file belongs to a different grid or schema.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        cache_key: str,
+        *,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        lease_duration_s: float = DEFAULT_LEASE_S,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if lease_duration_s <= 0:
+            raise ValueError(
+                f"lease_duration_s must be positive, got {lease_duration_s}"
+            )
+        self.path = Path(path)
+        self.cache_key = cache_key
+        self.max_attempts = max_attempts
+        self.lease_duration_s = lease_duration_s
+        self._clock = clock
+        self.readonly = False
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._con = sqlite3.connect(self.path, timeout=30.0, isolation_level=None)
+        self._con.execute("PRAGMA journal_mode=WAL")
+        self._con.execute("PRAGMA synchronous=NORMAL")
+        self._con.execute("PRAGMA busy_timeout=30000")
+        self._con.executescript(_SCHEMA)
+        with self._tx():
+            self._check_meta(write=True)
+
+    @classmethod
+    def attach(
+        cls,
+        path: str | Path,
+        *,
+        readonly: bool = False,
+        clock: Callable[[], float] = time.time,
+    ) -> WorkQueue:
+        """Open an existing queue, adopting its recorded parameters.
+
+        Workers and status tools attach instead of constructing, so the
+        whole fleet agrees on ``cache_key`` / ``max_attempts`` /
+        ``lease_duration_s`` — whatever the coordinator recorded wins.
+
+        Args:
+            path: the queue database file (must exist).
+            readonly: open without write access (safe while a grid
+                runs — ``arrow queue-status`` uses this).
+            clock: wall-clock source.
+
+        Raises:
+            FileNotFoundError: if the file does not exist.
+            ValueError: if the file is not a (current-schema) queue.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"no queue database at {path}")
+        queue = cls.__new__(cls)
+        queue.path = path
+        queue._clock = clock
+        queue.readonly = readonly
+        if readonly:
+            queue._con = sqlite3.connect(
+                f"file:{path}?mode=ro", uri=True, timeout=30.0, isolation_level=None
+            )
+        else:
+            queue._con = sqlite3.connect(path, timeout=30.0, isolation_level=None)
+        queue._con.execute("PRAGMA busy_timeout=30000")
+        meta = dict(queue._con.execute("SELECT key, value FROM meta"))
+        if meta.get("schema") != str(QUEUE_SCHEMA_VERSION):
+            queue._con.close()
+            raise ValueError(
+                f"{path} is not a schema-{QUEUE_SCHEMA_VERSION} work queue "
+                f"(found {meta.get('schema')!r})"
+            )
+        queue.cache_key = meta["cache_key"]
+        queue.max_attempts = int(meta["max_attempts"])
+        queue.lease_duration_s = float(meta["lease_duration_s"])
+        return queue
+
+    def _check_meta(self, write: bool) -> None:
+        meta = dict(self._con.execute("SELECT key, value FROM meta"))
+        if meta:
+            if meta.get("schema") != str(QUEUE_SCHEMA_VERSION):
+                raise ValueError(
+                    f"{self.path} has queue schema {meta.get('schema')!r}, "
+                    f"expected {QUEUE_SCHEMA_VERSION}"
+                )
+            if meta.get("cache_key") != self.cache_key:
+                raise ValueError(
+                    f"{self.path} belongs to grid {meta.get('cache_key')!r}, "
+                    f"not {self.cache_key!r}"
+                )
+        if write:
+            # The coordinator is authoritative for queue parameters; the
+            # fleet reads them back through attach().
+            self._con.executemany(
+                "INSERT INTO meta (key, value) VALUES (?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET value=excluded.value",
+                [
+                    ("schema", str(QUEUE_SCHEMA_VERSION)),
+                    ("cache_key", self.cache_key),
+                    ("max_attempts", str(self.max_attempts)),
+                    ("lease_duration_s", repr(self.lease_duration_s)),
+                ],
+            )
+
+    @staticmethod
+    def remove(path: str | Path) -> None:
+        """Delete a queue database and its WAL sidecar files."""
+        path = Path(path)
+        for candidate in (path, path.with_name(path.name + "-wal"),
+                          path.with_name(path.name + "-shm")):
+            candidate.unlink(missing_ok=True)
+
+    # -- transactions -----------------------------------------------------
+
+    @contextmanager
+    def _tx(self):
+        """A short IMMEDIATE transaction (write lock up front, no
+        deferred-upgrade deadlocks between concurrent workers)."""
+        self._con.execute("BEGIN IMMEDIATE")
+        try:
+            yield
+        except BaseException:
+            self._con.execute("ROLLBACK")
+            raise
+        self._con.execute("COMMIT")
+
+    def _event(self, kind: str, cell: Cell | None, detail: str = "") -> None:
+        workload_id, repeat = cell if cell is not None else (None, None)
+        self._con.execute(
+            "INSERT INTO events (at, kind, workload, repeat, detail) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (self._clock(), kind, workload_id, repeat, detail),
+        )
+
+    # -- producing --------------------------------------------------------
+
+    def enqueue(self, items: Iterable[tuple[Cell, int]], front: bool = False) -> int:
+        """Insert (or revive) cells as ``pending``; returns rows touched.
+
+        Each item is ``((workload_id, repeat), seed)`` — the seed is
+        stored so any worker reproduces the cell deterministically.
+        Conflicting rows are reset to ``pending`` *except*:
+
+        * ``done`` rows with a stored result — finished work survives a
+          coordinator restart; ``poll`` serves it without recomputing;
+        * live (unexpired) leases — a worker is actively computing the
+          cell; its completion will land normally.
+
+        ``front=True`` queues ahead of the existing backlog (the
+        supervisor resubmits retried cells this way).
+        """
+        now = self._clock()
+        touched = 0
+        with self._tx():
+            priority = 0
+            if front:
+                row = self._con.execute("SELECT MIN(priority) FROM cells").fetchone()
+                priority = (row[0] if row[0] is not None else 0) - 1
+            row = self._con.execute("SELECT MAX(seq) FROM cells").fetchone()
+            seq = row[0] if row[0] is not None else 0
+            for (workload_id, repeat), seed in items:
+                seq += 1
+                cursor = self._con.execute(
+                    """
+                    INSERT INTO cells (workload, repeat, seed, state, attempts,
+                                       priority, seq, not_before)
+                    VALUES (?, ?, ?, 'pending', 0, ?, ?, 0.0)
+                    ON CONFLICT(workload, repeat) DO UPDATE SET
+                        state='pending', seed=excluded.seed, attempts=0,
+                        priority=excluded.priority, seq=excluded.seq,
+                        not_before=0.0, lease_owner=NULL, lease_expires=NULL,
+                        heartbeat_at=NULL, error=NULL, result=NULL
+                    WHERE NOT (cells.state = 'done' AND cells.result IS NOT NULL)
+                      AND NOT (cells.state = 'leased' AND cells.lease_expires > ?)
+                    """,
+                    (workload_id, repeat, seed, priority, seq, now),
+                )
+                touched += cursor.rowcount
+        return touched
+
+    # -- claiming / worker side -------------------------------------------
+
+    def claim(self, owner: str) -> Lease | None:
+        """Atomically lease the oldest claimable cell, or ``None``.
+
+        Sweeps expired leases first (any participant can recover a dead
+        sibling's cell — the fleet needs no coordinator to make
+        progress), then claims via one guarded ``UPDATE … RETURNING``:
+        concurrent claimers are serialised by SQLite's write lock and
+        the ``state='pending'`` guard, so two workers can never hold
+        the same cell.
+        """
+        self.sweep_expired()
+        now = self._clock()
+        deadline = now + self.lease_duration_s
+        with self._tx():
+            row = self._con.execute(
+                """
+                UPDATE cells SET
+                    state='leased', lease_owner=?, lease_expires=?,
+                    heartbeat_at=?, attempts=attempts + 1
+                WHERE (workload, repeat) IN (
+                    SELECT workload, repeat FROM cells
+                    WHERE state='pending' AND not_before <= ?
+                    ORDER BY priority, seq LIMIT 1
+                )
+                RETURNING workload, repeat, seed, attempts
+                """,
+                (owner, deadline, now, now),
+            ).fetchone()
+            if row is None:
+                return None
+            workload_id, repeat, seed, attempts = row
+            self._event(
+                "lease_claimed",
+                (workload_id, repeat),
+                f"owner={owner} attempt={attempts}/{self.max_attempts}",
+            )
+        return Lease(
+            workload_id=workload_id,
+            repeat=repeat,
+            seed=seed,
+            attempts=attempts,
+            owner=owner,
+            deadline=deadline,
+        )
+
+    def heartbeat(self, cell: Cell, owner: str) -> bool:
+        """Refresh ``owner``'s lease on ``cell``; False = lease lost."""
+        now = self._clock()
+        cursor = self._con.execute(
+            "UPDATE cells SET heartbeat_at=?, lease_expires=? "
+            "WHERE workload=? AND repeat=? AND state='leased' AND lease_owner=?",
+            (now, now + self.lease_duration_s, cell[0], cell[1], owner),
+        )
+        return cursor.rowcount == 1
+    def complete(self, cell: Cell, owner: str, payload: dict) -> bool:
+        """Record ``cell``'s result and mark it ``done``, atomically.
+
+        The guard (``state='leased' AND lease_owner=owner``) is what
+        makes recording effectively-once under at-least-once execution:
+        a worker whose lease expired (and whose cell was re-run
+        elsewhere) gets ``False`` and must discard its result.
+        """
+        with self._tx():
+            cursor = self._con.execute(
+                """
+                UPDATE cells SET
+                    state='done', result=?, error=NULL,
+                    lease_owner=NULL, lease_expires=NULL, heartbeat_at=NULL
+                WHERE workload=? AND repeat=? AND state='leased' AND lease_owner=?
+                """,
+                (json.dumps(payload), cell[0], cell[1], owner),
+            )
+            if cursor.rowcount != 1:
+                return False
+            self._event("cell_done", cell, f"owner={owner}")
+        return True
+
+    def fail(
+        self, cell: Cell, owner: str, error: str, requeue_delay_s: float = 0.0
+    ) -> bool:
+        """Report an application error for a leased cell.
+
+        Under ``max_attempts`` the cell returns to ``pending`` with
+        ``not_before = now + requeue_delay_s`` (the caller computes the
+        delay from :class:`~repro.faults.retry.RetryPolicy`); at the
+        budget it is parked ``failed`` with the error recorded.
+        Returns False if ``owner`` no longer held the lease.
+        """
+        now = self._clock()
+        with self._tx():
+            row = self._con.execute(
+                "SELECT attempts FROM cells WHERE workload=? AND repeat=? "
+                "AND state='leased' AND lease_owner=?",
+                (cell[0], cell[1], owner),
+            ).fetchone()
+            if row is None:
+                return False
+            (attempts,) = row
+            if attempts >= self.max_attempts:
+                self._con.execute(
+                    "UPDATE cells SET state='failed', error=?, lease_owner=NULL, "
+                    "lease_expires=NULL, heartbeat_at=NULL "
+                    "WHERE workload=? AND repeat=?",
+                    (error, cell[0], cell[1]),
+                )
+                self._event(
+                    "cell_failed", cell,
+                    f"attempt {attempts}/{self.max_attempts}: {error}",
+                )
+            else:
+                self._con.execute(
+                    "UPDATE cells SET state='pending', error=?, not_before=?, "
+                    "lease_owner=NULL, lease_expires=NULL, heartbeat_at=NULL "
+                    "WHERE workload=? AND repeat=?",
+                    (error, now + max(0.0, requeue_delay_s), cell[0], cell[1]),
+                )
+                self._event(
+                    "cell_requeued", cell,
+                    f"attempt {attempts}/{self.max_attempts} failed ({error}); "
+                    f"backoff {max(0.0, requeue_delay_s):.2f}s",
+                )
+        return True
+
+    # -- lease expiry ------------------------------------------------------
+
+    def sweep_expired(self) -> list[tuple[Cell, str, int, str]]:
+        """Requeue (or poison) every cell whose lease deadline passed.
+
+        A worker killed with ``SIGKILL`` never reports — it just stops
+        heartbeating.  This sweep is how its cells come back: each one
+        is returned to ``pending`` with its ``attempts`` already
+        counted by the claim, or parked ``poisoned`` once attempts
+        reached ``max_attempts`` (a cell that keeps killing workers
+        must not eat the whole fleet).
+
+        Returns ``(cell, new_state, attempts, owner)`` transitions.
+        """
+        now = self._clock()
+        transitions: list[tuple[Cell, str, int, str]] = []
+        with self._tx():
+            rows = self._con.execute(
+                "SELECT workload, repeat, attempts, lease_owner FROM cells "
+                "WHERE state='leased' AND lease_expires <= ?",
+                (now,),
+            ).fetchall()
+            for workload_id, repeat, attempts, owner in rows:
+                cell = (workload_id, repeat)
+                self._event(
+                    "lease_expired", cell,
+                    f"owner={owner} attempt={attempts}/{self.max_attempts}",
+                )
+                self._event("worker_lost", cell, f"owner={owner}")
+                if attempts >= self.max_attempts:
+                    new_state = "poisoned"
+                    self._con.execute(
+                        "UPDATE cells SET state='poisoned', lease_owner=NULL, "
+                        "lease_expires=NULL, heartbeat_at=NULL "
+                        "WHERE workload=? AND repeat=?",
+                        cell,
+                    )
+                    self._event(
+                        "cell_poisoned", cell,
+                        f"{attempts} attempts lost their workers",
+                    )
+                else:
+                    new_state = "pending"
+                    self._con.execute(
+                        "UPDATE cells SET state='pending', not_before=?, "
+                        "lease_owner=NULL, lease_expires=NULL, heartbeat_at=NULL "
+                        "WHERE workload=? AND repeat=?",
+                        (now, workload_id, repeat),
+                    )
+                    self._event(
+                        "cell_requeued", cell,
+                        f"lease of {owner} expired; "
+                        f"attempt {attempts}/{self.max_attempts} lost",
+                    )
+                transitions.append((cell, new_state, attempts, owner or ""))
+        return transitions
+
+    def expire_owner(self, owner: str) -> list[tuple[Cell, str, int, str]]:
+        """Expire ``owner``'s leases immediately (its process is known
+        dead — e.g. the coordinator reaped a local worker), without
+        waiting out the lease deadline."""
+        self._con.execute(
+            "UPDATE cells SET lease_expires=? WHERE state='leased' AND lease_owner=?",
+            (self._clock() - 1.0, owner),
+        )
+        return self.sweep_expired()
+
+    # -- coordinator reads -------------------------------------------------
+
+    def terminal_cells(self) -> list[tuple[Cell, str, dict | None, str | None, int]]:
+        """Every ``done`` / ``failed`` / ``poisoned`` row:
+        ``(cell, state, payload, error, attempts)``.  A stored payload
+        that fails to parse is surfaced as an error instead."""
+        rows = self._con.execute(
+            "SELECT workload, repeat, state, result, error, attempts FROM cells "
+            "WHERE state IN ('done','failed','poisoned') ORDER BY seq"
+        ).fetchall()
+        out: list[tuple[Cell, str, dict | None, str | None, int]] = []
+        for workload_id, repeat, state, result, error, attempts in rows:
+            payload: dict | None = None
+            if result is not None:
+                try:
+                    payload = json.loads(result)
+                except json.JSONDecodeError as exc:
+                    state, error = "failed", f"QueuePayloadError: {exc}"
+            out.append(((workload_id, repeat), state, payload, error, attempts))
+        return out
+
+    def counts(self) -> dict[str, int]:
+        """Cell count per state (states with no cells included as 0)."""
+        counts = dict.fromkeys(CELL_STATES, 0)
+        for state, count in self._con.execute(
+            "SELECT state, COUNT(*) FROM cells GROUP BY state"
+        ):
+            counts[state] = count
+        return counts
+
+    def leases(self) -> list[tuple[Cell, str, int, float, float]]:
+        """Active leases: ``(cell, owner, attempts, heartbeat_age_s,
+        expires_in_s)`` — the live view ``arrow queue-status`` prints."""
+        now = self._clock()
+        return [
+            ((w, r), owner, attempts, now - heartbeat, expires - now)
+            for w, r, owner, attempts, heartbeat, expires in self._con.execute(
+                "SELECT workload, repeat, lease_owner, attempts, heartbeat_at, "
+                "lease_expires FROM cells WHERE state='leased' ORDER BY seq"
+            )
+        ]
+
+    def attempt_histogram(self) -> dict[int, int]:
+        """``{attempts: cells}`` over every row that was ever claimed."""
+        return {
+            attempts: count
+            for attempts, count in self._con.execute(
+                "SELECT attempts, COUNT(*) FROM cells WHERE attempts > 0 "
+                "GROUP BY attempts ORDER BY attempts"
+            )
+        }
+
+    def drained(self) -> bool:
+        """True when no cell is ``pending`` or ``leased`` (workers that
+        exit-when-drained use this as their stop condition)."""
+        row = self._con.execute(
+            "SELECT COUNT(*) FROM cells WHERE state IN ('pending','leased')"
+        ).fetchone()
+        return row[0] == 0
+
+    def last_event_id(self) -> int:
+        """The newest event row id (0 for an empty table)."""
+        row = self._con.execute("SELECT MAX(id) FROM events").fetchone()
+        return row[0] or 0
+
+    def events_since(self, after_id: int) -> list[tuple[int, str, Cell | None, str]]:
+        """Events newer than ``after_id``: ``(id, kind, cell, detail)``."""
+        out: list[tuple[int, str, Cell | None, str]] = []
+        for event_id, kind, workload_id, repeat, detail in self._con.execute(
+            "SELECT id, kind, workload, repeat, detail FROM events "
+            "WHERE id > ? ORDER BY id",
+            (after_id,),
+        ):
+            cell = None if workload_id is None else (workload_id, repeat)
+            out.append((event_id, kind, cell, detail))
+        return out
+
+    # -- reconciliation ----------------------------------------------------
+
+    def reconcile(self, done_cells: Iterable[Cell]) -> int:
+        """Mark cells the cache already holds as ``done`` — never re-lease
+        work whose result is durable elsewhere.
+
+        The journal/cache is the source of truth on resume: a cell it
+        holds must not be claimable, whatever state a stale queue row is
+        in.  Rows are upserted (a queue predating this grid's cells gets
+        ``done`` markers), existing stored results are kept, and only
+        rows that actually changed state are counted and evented.
+        """
+        changed = 0
+        with self._tx():
+            row = self._con.execute("SELECT MAX(seq) FROM cells").fetchone()
+            seq = row[0] if row[0] is not None else 0
+            for workload_id, repeat in done_cells:
+                seq += 1
+                cursor = self._con.execute(
+                    """
+                    INSERT INTO cells (workload, repeat, seed, state, seq)
+                    VALUES (?, ?, 0, 'done', ?)
+                    ON CONFLICT(workload, repeat) DO UPDATE SET
+                        state='done', lease_owner=NULL, lease_expires=NULL,
+                        heartbeat_at=NULL, not_before=0.0
+                    WHERE cells.state != 'done'
+                    """,
+                    (workload_id, repeat, seq),
+                )
+                if cursor.rowcount:
+                    changed += 1
+                    self._event(
+                        "cell_reconciled", (workload_id, repeat),
+                        "cache holds this cell's result",
+                    )
+        return changed
+
+    def record_external(self, cell: Cell, payload: dict | None, detail: str) -> None:
+        """Mark ``cell`` ``done`` with a result produced outside the
+        fleet (the coordinator's serial fallback for parked cells)."""
+        with self._tx():
+            row = self._con.execute("SELECT MAX(seq) FROM cells").fetchone()
+            seq = (row[0] if row[0] is not None else 0) + 1
+            self._con.execute(
+                """
+                INSERT INTO cells (workload, repeat, seed, state, result, seq)
+                VALUES (?, ?, 0, 'done', ?, ?)
+                ON CONFLICT(workload, repeat) DO UPDATE SET
+                    state='done', result=excluded.result, error=NULL,
+                    lease_owner=NULL, lease_expires=NULL, heartbeat_at=NULL
+                """,
+                (cell[0], cell[1],
+                 None if payload is None else json.dumps(payload), seq),
+            )
+            self._event("cell_done", cell, detail)
+
+    def close(self) -> None:
+        """Close the connection (the file and its state are durable)."""
+        self._con.close()
+
+    def __enter__(self) -> WorkQueue:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- worker side -----------------------------------------------------------
+
+
+class _HeartbeatPump(threading.Thread):
+    """Refreshes one lease in the background until stopped or lost.
+
+    Owns its own database connection (SQLite connections are
+    single-thread); a heartbeat that comes back False (the lease
+    expired under us and the cell moved on) stops the pump and raises
+    the ``lost`` flag so the worker discards its in-flight result.
+    """
+
+    def __init__(self, path: Path, lease: Lease, interval_s: float) -> None:
+        super().__init__(daemon=True, name=f"heartbeat-{lease.owner}")
+        self._path = path
+        self._lease = lease
+        self._interval_s = interval_s
+        # Not named ``_stop``: threading.Thread owns that internally.
+        self._halt = threading.Event()
+        self.lost = threading.Event()
+
+    def run(self) -> None:
+        queue = WorkQueue.attach(self._path)
+        try:
+            while not self._halt.wait(self._interval_s):
+                if not queue.heartbeat(self._lease.cell, self._lease.owner):
+                    self.lost.set()
+                    return
+        finally:
+            queue.close()
+
+    def stop(self) -> None:
+        self._halt.set()
+        self.join(timeout=10.0)
+
+
+def default_owner() -> str:
+    """A collision-resistant worker identity: host, pid, random token."""
+    return f"{os.uname().nodename}-{os.getpid()}-{secrets.token_hex(3)}"
+
+
+def queue_worker_loop(
+    queue: WorkQueue,
+    run_lease: LeaseFn,
+    *,
+    owner: str | None = None,
+    poll_interval_s: float = 0.2,
+    exit_when_drained: bool = True,
+    heartbeat_interval_s: float | None = None,
+    requeue_policy: RetryPolicy | None = None,
+    requeue_seed: int = 0,
+    max_cells: int | None = None,
+    should_stop: Callable[[], bool] | None = None,
+) -> int:
+    """The pull-loop a queue worker runs; returns cells completed.
+
+    Claim a lease → heartbeat in a background thread → execute the cell
+    (deterministically, from the lease's stored seed) → record the
+    result and mark ``done`` in one guarded transaction.  An
+    application error requeues the cell with
+    :class:`~repro.faults.retry.RetryPolicy` backoff+jitter (seeded —
+    schedules are reproducible) until the queue's ``max_attempts``.
+    The loop never dies for cell-side reasons; only ``SIGKILL``-class
+    events stop it, and those are exactly what lease expiry recovers.
+
+    Args:
+        queue: an attached :class:`WorkQueue`.
+        run_lease: executes one leased cell to a
+            :class:`~repro.core.result.SearchResult`.
+        owner: worker identity (default: host-pid-token).
+        poll_interval_s: idle sleep between claim attempts.
+        exit_when_drained: return once no cell is pending or leased
+            (False = keep polling until ``should_stop`` or killed).
+        heartbeat_interval_s: lease-refresh period (default: a quarter
+            of the lease duration).
+        requeue_policy: backoff schedule for application-error requeues
+            (default: :data:`DEFAULT_REQUEUE_POLICY`).
+        requeue_seed: seed of the backoff-jitter stream.
+        max_cells: stop after completing/failing this many cells
+            (``None`` = unbounded); tests and drain scripts use it.
+        should_stop: optional callable polled between cells.
+    """
+    # Imported here: runner imports the parallel package lazily, and the
+    # payload helpers live beside the cache code they must match.
+    from repro.analysis.runner import result_to_payload
+
+    owner = owner if owner is not None else default_owner()
+    policy = requeue_policy if requeue_policy is not None else DEFAULT_REQUEUE_POLICY
+    rng = np.random.default_rng(requeue_seed)
+    interval = (
+        heartbeat_interval_s
+        if heartbeat_interval_s is not None
+        else max(0.05, queue.lease_duration_s / 4.0)
+    )
+    processed = 0
+    while max_cells is None or processed < max_cells:
+        if should_stop is not None and should_stop():
+            break
+        lease = queue.claim(owner)
+        if lease is None:
+            if exit_when_drained and queue.drained():
+                break
+            time.sleep(poll_interval_s)
+            continue
+        pump = _HeartbeatPump(queue.path, lease, interval)
+        pump.start()
+        try:
+            result = run_lease(lease)
+        except BaseException as error:  # noqa: BLE001 - report, keep pulling
+            pump.stop()
+            delay = policy.delay_for(min(lease.attempts, policy.max_attempts), rng)
+            queue.fail(
+                lease.cell, owner,
+                f"{type(error).__name__}: {error}", requeue_delay_s=delay,
+            )
+        else:
+            pump.stop()
+            # A lost lease means the cell was requeued and may be (or
+            # have been) run elsewhere; complete()'s guard would refuse
+            # anyway, but skipping the call keeps the event log honest.
+            if not pump.lost.is_set():
+                queue.complete(lease.cell, owner, result_to_payload(result))
+        processed += 1
+    return processed
+
+
+def _local_worker_main(
+    path: str,
+    run_cell: CellFn,
+    owner: str,
+    poll_interval_s: float,
+) -> None:
+    """Entry point of a coordinator-forked local pull-worker.
+
+    ``run_cell`` (the engine's ``_execute_cell``) arrives through fork
+    inheritance, exactly like fork-pool workers — the queue only ever
+    stores cells and JSON payloads, never closures.
+    """
+    queue = WorkQueue.attach(path)
+    try:
+        queue_worker_loop(
+            queue,
+            lambda lease: run_cell(lease.cell),
+            owner=owner,
+            poll_interval_s=poll_interval_s,
+            exit_when_drained=True,
+        )
+    finally:
+        queue.close()
+
+
+# -- coordinator side ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Where and how a grid's durable queue runs.
+
+    Attributes:
+        path: the queue database file (``None`` lets the runner derive
+            ``<cache>.queue`` next to its cache file).
+        cache_key: grid identity recorded in the queue's ``meta`` table
+            (``None`` lets the runner supply its cache stem).
+        workers: local pull-workers the coordinator forks (``None`` =
+            the engine's planned worker count; ``0`` = none — an
+            external fleet started with ``arrow queue-worker`` does the
+            work).
+        lease_duration_s: heartbeat-free lease lifetime.
+        max_attempts: attempts per cell before parking it.
+        stall_timeout_s: coordinator watchdog — with work outstanding
+            but no live leases, no live local workers, and no queue
+            activity for this long, the coordinator presumes the fleet
+            gone and reports the stranded cells as crashes, which
+            supervision completes serially.  ``None`` disables (wait
+            for a fleet forever).
+        poll_tick_s: coordinator sweep/poll granularity.
+    """
+
+    path: str | Path | None = None
+    cache_key: str | None = None
+    workers: int | None = None
+    lease_duration_s: float = DEFAULT_LEASE_S
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    stall_timeout_s: float | None = 60.0
+    poll_tick_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.workers is not None and self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.stall_timeout_s is not None and self.stall_timeout_s <= 0:
+            raise ValueError(
+                f"stall_timeout_s must be positive, got {self.stall_timeout_s}"
+            )
+
+
+class QueueExecutor:
+    """Grid dispatch over a durable :class:`WorkQueue`.
+
+    Implements the four-method :class:`~repro.parallel.executors.
+    CellExecutor` protocol, so the :class:`~repro.parallel.supervisor.
+    Supervisor` and everything above it (journal, cache, resume) treat
+    a crash-surviving multi-process fleet exactly like the in-process
+    backends.  ``supports_cancel`` is falsy — a remote worker cannot be
+    killed through a database file; stragglers are bounded by lease
+    expiry instead of coordinator deadlines.
+
+    ``poll`` is the coordinator heartbeat: it respawns dead local
+    workers (expiring their leases immediately rather than waiting out
+    the deadline), sweeps expired leases, forwards fleet transitions
+    from the durable events table to ``on_event``, and returns terminal
+    cells — ``done`` rows as results (deserialised from the stored
+    canonical payload), ``failed`` rows as application errors,
+    ``poisoned`` rows as crashes.
+
+    Args:
+        path: the queue database file.
+        cache_key: grid identity recorded in the queue.
+        run_cell: executes one cell (forked local workers inherit it).
+        objective: deserialisation context for stored result payloads.
+        seed_fn: maps a cell to the deterministic seed stored at
+            enqueue time.
+        workers: local pull-workers to fork (0 = external fleet only).
+        on_event: optional :class:`~repro.parallel.events.CellEvent`
+            sink for queue transitions.
+        lease_duration_s / max_attempts / stall_timeout_s / poll_tick_s:
+            see :class:`QueueConfig`.
+    """
+
+    supports_cancel = False
+
+    def __init__(
+        self,
+        path: str | Path,
+        cache_key: str,
+        run_cell: CellFn,
+        objective: Objective,
+        seed_fn: Callable[[str, int], int],
+        *,
+        workers: int = 0,
+        lease_duration_s: float = DEFAULT_LEASE_S,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        stall_timeout_s: float | None = 60.0,
+        poll_tick_s: float = 0.05,
+        on_event: Callable[[CellEvent], None] | None = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.queue = WorkQueue(
+            path, cache_key,
+            max_attempts=max_attempts, lease_duration_s=lease_duration_s,
+        )
+        self._run_cell = run_cell
+        self._objective = objective
+        self._seed_fn = seed_fn
+        self._target = workers
+        self._poll_tick_s = poll_tick_s
+        self._stall_timeout_s = stall_timeout_s
+        self._on_event = on_event
+        self._submitted: list[Cell] = []
+        self._delivered: set[Cell] = set()
+        self._workers: dict[str, multiprocessing.process.BaseProcess] = {}
+        self._worker_serial = 0
+        # Only *new* queue activity is forwarded; a resumed campaign's
+        # history stays in the file, not in this run's event stream.
+        self._seen_event_id = self.queue.last_event_id()
+        self._last_activity = time.monotonic()
+        self._stalled = False
+        if workers > 0 and "fork" not in multiprocessing.get_all_start_methods():
+            raise RuntimeError("local queue workers require the fork start method")
+        self._ctx = multiprocessing.get_context("fork") if workers > 0 else None
+
+    # -- local fleet ------------------------------------------------------
+
+    def _spawn_worker(self) -> None:
+        self._worker_serial += 1
+        owner = f"local-{os.getpid()}-{self._worker_serial}"
+        process = self._ctx.Process(
+            target=_local_worker_main,
+            args=(str(self.queue.path), self._run_cell, owner, self._poll_tick_s),
+            daemon=True,
+        )
+        process.start()
+        self._workers[owner] = process
+
+    def _tend_fleet(self) -> None:
+        """Reap dead local workers (expiring their leases now) and
+        respawn up to target while claimable work remains."""
+        for owner, process in list(self._workers.items()):
+            if process.is_alive():
+                continue
+            process.join(timeout=1.0)
+            process.close()
+            del self._workers[owner]
+            for (cell, state, attempts, _owner) in self.queue.expire_owner(owner):
+                self._note_activity()
+        if self._target and not self.queue.drained():
+            while len(self._workers) < self._target:
+                self._spawn_worker()
+
+    # -- events -----------------------------------------------------------
+
+    def _note_activity(self) -> None:
+        self._last_activity = time.monotonic()
+
+    def _forward_events(self) -> None:
+        """Mirror new queue transitions into the coordinator's event
+        stream (covers local *and* external workers — the durable table
+        is the one channel everyone writes)."""
+        rows = self.queue.events_since(self._seen_event_id)
+        if rows:
+            self._note_activity()
+        for event_id, kind, cell, detail in rows:
+            self._seen_event_id = event_id
+            if self._on_event is None or cell is None:
+                continue
+            if kind in ("lease_claimed", "lease_expired", "worker_lost",
+                        "cell_requeued"):
+                self._on_event(CellEvent.for_cell(kind, cell, detail))
+
+    # -- protocol ---------------------------------------------------------
+
+    def submit(self, cell: Cell, front: bool = False) -> None:
+        workload_id, repeat = cell
+        self.queue.enqueue(
+            [((workload_id, repeat), self._seed_fn(workload_id, repeat))],
+            front=front,
+        )
+        if cell not in self._submitted:
+            self._submitted.append(cell)
+        # A resubmission expects a fresh outcome.
+        self._delivered.discard(cell)
+        self._note_activity()
+
+    def _collect(self) -> list[CellOutcome]:
+        wanted = [c for c in self._submitted if c not in self._delivered]
+        if not wanted:
+            return []
+        terminal = {
+            cell: (state, payload, error)
+            for cell, state, payload, error, _attempts in self.queue.terminal_cells()
+        }
+        outcomes: list[CellOutcome] = []
+        for cell in wanted:
+            row = terminal.get(cell)
+            if row is None:
+                continue
+            state, payload, error = row
+            self._delivered.add(cell)
+            if state == "done":
+                if payload is None:
+                    outcomes.append(CellOutcome(
+                        cell=cell,
+                        error="QueuePayloadError: done row without a payload",
+                    ))
+                    continue
+                from repro.analysis.runner import result_from_payload
+
+                try:
+                    result = result_from_payload(payload, self._objective, cell[0])
+                except (KeyError, TypeError, ValueError) as exc:
+                    outcomes.append(CellOutcome(
+                        cell=cell, error=f"QueuePayloadError: {exc}",
+                    ))
+                    continue
+                outcomes.append(CellOutcome(cell=cell, result=result))
+            elif state == "failed":
+                outcomes.append(CellOutcome(cell=cell, error=error or "failed"))
+            else:  # poisoned
+                outcomes.append(CellOutcome(cell=cell, crashed=True))
+        return outcomes
+
+    def _stall_check(self) -> list[CellOutcome]:
+        """The fleet-vanished watchdog: with work outstanding but no
+        sign of life for ``stall_timeout_s``, report every undelivered
+        cell as crashed so supervision can finish the grid serially.
+        The durable rows stay put — ``resolve_serial`` marks them done
+        as the coordinator completes each one."""
+        if self._stall_timeout_s is None or self._stalled:
+            return []
+        if any(p.is_alive() for p in self._workers.values()):
+            return []
+        if self.queue.leases():
+            self._note_activity()
+            return []
+        if time.monotonic() - self._last_activity < self._stall_timeout_s:
+            return []
+        self._stalled = True
+        if self._on_event is not None:
+            self._on_event(CellEvent.for_grid(
+                "queue_stalled",
+                f"no queue activity for {self._stall_timeout_s:.0f}s and no "
+                "live workers; completing remaining cells in the coordinator",
+            ))
+        outcomes = []
+        for cell in self._submitted:
+            if cell not in self._delivered:
+                self._delivered.add(cell)
+                outcomes.append(CellOutcome(cell=cell, crashed=True))
+        return outcomes
+
+    def poll(self, timeout: float | None = None) -> list[CellOutcome]:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            self._tend_fleet()
+            if self.queue.sweep_expired():
+                self._note_activity()
+            self._forward_events()
+            outcomes = self._collect()
+            if outcomes:
+                self._note_activity()
+                return outcomes
+            outcomes = self._stall_check()
+            if outcomes:
+                return outcomes
+            if deadline is not None and time.monotonic() >= deadline:
+                return []
+            remaining = (
+                self._poll_tick_s
+                if deadline is None
+                else min(self._poll_tick_s, max(0.0, deadline - time.monotonic()))
+            )
+            time.sleep(remaining)
+
+    def cancel(self, cell: Cell) -> bool:
+        # Withdrawing a *pending* row is possible; a leased cell belongs
+        # to a worker no database write can interrupt.
+        cursor = self.queue._con.execute(
+            "UPDATE cells SET state='failed', error='cancelled by coordinator' "
+            "WHERE workload=? AND repeat=? AND state='pending'",
+            cell,
+        )
+        return cursor.rowcount == 1
+
+    def started_at(self, cell: Cell) -> float | None:
+        # Lease timestamps are wall-clock across machines; the
+        # coordinator's monotonic deadline math cannot use them.
+        return None
+
+    def resolve_serial(self, cell: Cell, result: SearchResult) -> None:
+        """Supervision hook: the coordinator completed ``cell`` itself
+        (poisoned/parked path); persist that into the queue so its
+        durable record matches the cache."""
+        from repro.analysis.runner import result_to_payload
+
+        self._delivered.add(cell)
+        self.queue.record_external(
+            cell, result_to_payload(result), "coordinator-serial"
+        )
+
+    def shutdown(self) -> None:
+        for process in self._workers.values():
+            if process.is_alive():
+                process.terminate()
+        for process in self._workers.values():
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - stuck after SIGTERM
+                process.kill()
+                process.join(timeout=5.0)
+            process.close()
+        self._workers.clear()
+        self.queue.close()
+
+    @property
+    def capacity(self) -> int:
+        """The local pull-worker target (external workers add to it)."""
+        return self._target

@@ -167,9 +167,18 @@ class Supervisor:
             pending.discard(cell)
             self._emit(CellEvent.for_cell("cell_finished", cell))
 
+        resolve_serial = getattr(self.executor, "resolve_serial", None)
+
         def run_serially(cell: Cell) -> None:
             in_pool.discard(cell)
-            finish(cell, self.serial_run(cell))
+            result = self.serial_run(cell)
+            if resolve_serial is not None:
+                # Durable executors persist results outside this process
+                # (e.g. the work queue's database); telling them about a
+                # coordinator-side completion keeps that record matching
+                # the cache.
+                resolve_serial(cell, result)
+            finish(cell, result)
 
         def resubmit(cell: Cell) -> None:
             # A resubmitted cell is by definition the oldest in flight;

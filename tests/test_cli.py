@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.cli import main
+from repro.parallel.engine import _fork_available
 
 
 class TestCatalog:
@@ -253,3 +254,78 @@ class TestExperiments:
         out = capsys.readouterr().out
         assert out.count("\n") == 16
         assert "fig13" in out
+
+
+class TestQueueCommands:
+    WORKLOAD = "kmeans/Spark 2.1/small"
+
+    def test_search_queue_requires_cache_dir(self, capsys):
+        assert main(
+            ["search", self.WORKLOAD, "--method", "random", "--executor", "queue"]
+        ) == 1
+        assert "--cache-dir" in capsys.readouterr().err
+
+    def test_queue_status_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(
+            ["queue-status", "--queue-db", str(tmp_path / "absent.queue")]
+        ) == 1
+        assert "no queue database" in capsys.readouterr().err
+
+    def test_queue_worker_missing_db_fails_cleanly(self, tmp_path, capsys):
+        assert main(
+            ["queue-worker", "--queue-db", str(tmp_path / "absent.queue")]
+        ) == 1
+        assert "no queue database" in capsys.readouterr().err
+
+    @pytest.mark.skipif(
+        not _fork_available(), reason="requires fork start method"
+    )
+    def test_queue_campaign_matches_serial_and_serves_tools(self, tmp_path, capsys):
+        argv = [
+            "search", self.WORKLOAD, "--method", "random", "--repeats", "4",
+        ]
+        assert main(argv + ["--cache-dir", str(tmp_path / "serial")]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(
+            argv + [
+                "--cache-dir", str(tmp_path / "queued"),
+                "--executor", "queue", "--queue-workers", "1",
+            ]
+        ) == 0
+        queued_out = capsys.readouterr().out
+        assert serial_out == queued_out
+
+        [serial_cache] = list((tmp_path / "serial").glob("*.json"))
+        [queued_cache] = list((tmp_path / "queued").glob("*.json"))
+        assert serial_cache.read_bytes() == queued_cache.read_bytes()
+
+        [queue_db] = list((tmp_path / "queued").glob("*.queue"))
+        assert main(["queue-status", "--queue-db", str(queue_db)]) == 0
+        status_out = capsys.readouterr().out
+        assert "done      4" in status_out
+        assert "attempts histogram" in status_out
+
+        # A worker with matching flags joins a drained queue and exits.
+        assert main(
+            ["queue-worker", "--queue-db", str(queue_db), "--method", "random"]
+        ) == 0
+        assert "processed 0 cell(s)" in capsys.readouterr().out
+
+    def test_queue_worker_refuses_foreign_grid_key(self, tmp_path, capsys):
+        from repro.parallel.queue import WorkQueue
+
+        queue_db = tmp_path / "foreign.queue"
+        with WorkQueue(queue_db, "some-other-campaign__time") as queue:
+            queue.enqueue([((self.WORKLOAD, 0), 5)])
+        assert main(
+            ["queue-worker", "--queue-db", str(queue_db), "--method", "random"]
+        ) == 1
+        assert "belongs to grid" in capsys.readouterr().err
+        # The explicit override serves the queue anyway.
+        assert main(
+            [
+                "queue-worker", "--queue-db", str(queue_db),
+                "--method", "random", "--allow-key-mismatch",
+            ]
+        ) == 0
+        assert "processed 1 cell(s)" in capsys.readouterr().out

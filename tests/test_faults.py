@@ -221,6 +221,56 @@ class TestRetryPolicy:
         with pytest.raises(ValueError, match="measure_retries"):
             RetryPolicy.from_retries(-1)
 
+    def test_delay_never_negative_never_above_cap(self):
+        """The queue trusts these bounds for its requeue delays: a
+        negative ``not_before`` would reorder claims, an uncapped one
+        would park a cell effectively forever."""
+        policy = RetryPolicy(
+            max_attempts=10, backoff_base_s=0.5, backoff_factor=3.0,
+            backoff_max_s=7.0, jitter=1.0,
+        )
+        rng = np.random.default_rng(42)
+        for retry in list(range(1, 50)) + [500, 5000]:
+            delay = policy.delay_for(retry, rng)
+            assert 0.0 <= delay <= 7.0
+
+    def test_huge_retry_index_saturates_at_cap_not_overflow(self):
+        """float-pow overflow (factor ** ~1000s) must saturate at the
+        cap, not raise: queue cells carry unbounded attempt counters."""
+        policy = RetryPolicy(
+            max_attempts=2, backoff_base_s=1.0, backoff_factor=10.0,
+            backoff_max_s=30.0, jitter=0.0,
+        )
+        rng = np.random.default_rng(0)
+        assert policy.delay_for(10_000, rng) == pytest.approx(30.0)
+
+    def test_huge_retry_with_zero_base_stays_zero(self):
+        policy = RetryPolicy(
+            max_attempts=2, backoff_base_s=0.0, backoff_factor=10.0,
+            backoff_max_s=30.0, jitter=0.0,
+        )
+        assert policy.delay_for(10_000, np.random.default_rng(0)) == 0.0
+
+    def test_deterministic_under_fixed_seed(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_base_s=1.0, backoff_factor=2.0,
+            backoff_max_s=60.0, jitter=0.5,
+        )
+        a = [policy.delay_for(k, np.random.default_rng(7)) for k in range(1, 5)]
+        b = [policy.delay_for(k, np.random.default_rng(7)) for k in range(1, 5)]
+        assert a == b
+
+    def test_zero_base_still_consumes_the_jitter_stream(self):
+        """Configurations with and without backoff must stay aligned on
+        the shared jitter stream."""
+        rng = np.random.default_rng(3)
+        RetryPolicy(backoff_base_s=0.0).delay_for(1, rng)
+        after_zero = rng.random()
+        rng = np.random.default_rng(3)
+        RetryPolicy(backoff_base_s=1.0).delay_for(1, rng)
+        after_one = rng.random()
+        assert after_zero == after_one
+
     def test_validation(self):
         with pytest.raises(ValueError, match="max_attempts"):
             RetryPolicy(max_attempts=0)
