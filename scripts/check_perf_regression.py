@@ -13,6 +13,12 @@ and it skips cleanly (exit 0 with a notice) when either file is missing
 or the baseline predates the tracked metric, so the check never blocks
 unrelated work.
 
+Two kinds of absolute floors ride along: the ``batch`` section's
+wall-clock reduction for q-point suggestions must stay >= 1.8x, and a
+section marked ``clamped`` (the engine collapsed to one effective
+worker, or the runner has a single core) is skipped rather than judged —
+a clamped run measures pool overhead, not performance.
+
 Usage::
 
     python scripts/check_perf_regression.py \
@@ -43,6 +49,17 @@ TRACKED = (
 #: sleeps — not hot-path speed — so a "regression" there is
 #: meaningless by design.
 EXEMPT_SECTIONS = ("chaos", "chaos_queue")
+
+#: Higher-is-better floors: (section, key, minimum, human label).  A
+#: floored metric is skipped when its section (current *or* baseline)
+#: is marked ``clamped`` — the run had no parallelism to measure.
+FLOORS = (
+    ("batch", "reduction", 1.8, "batched-suggestion wall-clock reduction"),
+)
+
+
+def _clamped(bench: dict | None, section: str) -> bool:
+    return bool((bench or {}).get(section, {}).get("clamped"))
 
 
 def _load(path: Path) -> dict | None:
@@ -80,6 +97,9 @@ def main(argv: list[str] | None = None) -> int:
 
     failures = []
     for section, key, label in TRACKED:
+        if _clamped(current, section) or _clamped(baseline, section):
+            print(f"perf gate: {label}: section '{section}' clamped, skipping")
+            continue
         now = current.get(section, {}).get(key)
         before = baseline.get(section, {}).get(key)
         if not isinstance(now, (int, float)) or not isinstance(
@@ -97,6 +117,24 @@ def main(argv: list[str] | None = None) -> int:
             f"({ratio:.2f}x, limit {args.max_ratio:.1f}x) {verdict}"
         )
         if ratio > args.max_ratio:
+            failures.append(label)
+
+    for section, key, minimum, label in FLOORS:
+        value = current.get(section, {}).get(key)
+        if not isinstance(value, (int, float)):
+            print(f"perf gate: {label}: metric missing, skipping")
+            continue
+        if _clamped(current, section):
+            print(
+                f"perf gate: {label}: {value:.2f}x recorded but section "
+                f"'{section}' clamped (single effective worker), skipping"
+            )
+            continue
+        verdict = "OK" if value >= minimum else "REGRESSION"
+        print(
+            f"perf gate: {label}: {value:.2f}x (floor {minimum:.1f}x) {verdict}"
+        )
+        if value < minimum:
             failures.append(label)
 
     if failures:

@@ -160,6 +160,24 @@ def _add_optimizer_flags(parser: argparse.ArgumentParser) -> None:
         "fused analytic value+gradient fits (default, one Cholesky per "
         "L-BFGS-B step) or the legacy finite-difference path",
     )
+    parser.add_argument(
+        "--batch-size", type=int, default=1,
+        help="suggestions measured per acquisition round (1 = classic "
+        "sequential loop, bit-identical; q > 1 = constant-liar q-EI on "
+        "GP methods, top-q prediction delta on tree methods)",
+    )
+    parser.add_argument(
+        "--liar", choices=["min", "mean", "max"], default="min",
+        help="constant-liar strategy for GP batch suggestion: fantasize "
+        "picked points at the min (optimistic, spreads the batch), mean, "
+        "or max (pessimistic, clusters) of the observed values",
+    )
+    parser.add_argument(
+        "--batch-workers", type=int, default=1,
+        help="processes measuring one batch concurrently (1 = inline; "
+        "results are identical for any value — each measurement is "
+        "seeded from (search seed, iteration, catalog index))",
+    )
     parser.add_argument("--stop", choices=["none", "ei", "delta"], default="none")
     parser.add_argument("--stop-value", type=float, default=None)
     parser.add_argument("--trace", help="trace JSON (default: canonical)")
@@ -202,6 +220,12 @@ def _build_optimizer(args: argparse.Namespace, environment, seed: int | None = N
         extra["tree_builder"] = args.tree_builder
     if args.method in ("naive", "hybrid"):
         extra["gp_gradient"] = args.gp_gradient
+    batch_size = getattr(args, "batch_size", 1)
+    fanout = None
+    if batch_size > 1 and getattr(args, "batch_workers", 1) > 1:
+        from repro.parallel.batch import MeasurementFanout
+
+        fanout = MeasurementFanout("pool", workers=args.batch_workers)
     cls = _METHODS[args.method]
     return cls(
         environment,
@@ -210,6 +234,9 @@ def _build_optimizer(args: argparse.Namespace, environment, seed: int | None = N
         seed=args.seed if seed is None else seed,
         retry_policy=retry_policy,
         quarantine_after=args.quarantine_after,
+        batch_size=batch_size,
+        liar=getattr(args, "liar", "min"),
+        measurement_fanout=fanout,
         **extra,
     )
 
@@ -257,6 +284,12 @@ def _search_grid_key(args: argparse.Namespace) -> str:
         args.fault_plan, args.fault_seed, args.refit_fraction,
         args.tree_builder, args.gp_gradient,
     )
+    # Batched searches produce different measurement sequences, so the
+    # batch shape joins the key — but only when batching is on, which
+    # keeps every pre-existing q=1 digest stable.  --batch-workers is
+    # deliberately excluded: results are identical for any worker count.
+    if getattr(args, "batch_size", 1) > 1:
+        relevant = (*relevant, args.batch_size, args.liar)
     digest = zlib.crc32(repr(relevant).encode()) & 0xFFFFFFFF
     return f"search-{args.method}-{slug}-{digest:08x}"
 
@@ -339,7 +372,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
     optimum = trace.objective_values(args.workload, objective.trace_key).min()
     try:
         if args.repeats == 1:
-            result = _build_optimizer(args, _search_environment(args, trace)).run()
+            optimizer = _build_optimizer(args, _search_environment(args, trace))
+            try:
+                result = optimizer.run()
+            finally:
+                if optimizer._fanout is not None:
+                    optimizer._fanout.close()
             print(f"{'step':>4}  {'VM type':<12} {'value':>12} {'best':>12}")
             for step in result.steps:
                 retried = f"  ({step.attempts} attempts)" if step.attempts > 1 else ""

@@ -12,6 +12,12 @@ candidate with the highest score next.
   is meaningless when the surrogate's uncertainty estimate is (kernel-)
   misspecified; prediction delta needs only a point prediction and
   doubles as a stopping signal.
+
+Batch (q-point) helpers: :func:`top_q_indices` turns one score vector
+into the q distinct best candidates (top-q prediction delta when the
+scores are ``prediction_delta`` — one batched ensemble predict, q
+argmins), and :func:`liar_value` maps a constant-liar strategy name to
+the fantasy observation value used by the GP path's q-EI.
 """
 
 from __future__ import annotations
@@ -87,6 +93,51 @@ def prediction_delta(mean: np.ndarray) -> np.ndarray:
     """Negated point prediction: the candidate with the best estimate wins."""
     mean, _ = _validate(mean)
     return -mean
+
+
+#: Constant-liar strategies for batched q-EI (Ginsbourger et al.):
+#: the fantasy value assumed for a picked-but-unmeasured point is the
+#: min (optimistic, spreads the batch), mean, or max (pessimistic,
+#: clusters the batch) of the values observed so far.
+LIAR_STRATEGIES = ("min", "mean", "max")
+
+
+def liar_value(values: np.ndarray, strategy: str) -> float:
+    """The constant-liar fantasy observation for ``strategy``.
+
+    Raises:
+        ValueError: on an unknown strategy or no observed values.
+    """
+    values = np.asarray(values, dtype=float).ravel()
+    if values.size == 0:
+        raise ValueError("liar_value needs at least one observed value")
+    if strategy == "min":
+        return float(values.min())
+    if strategy == "mean":
+        return float(values.mean())
+    if strategy == "max":
+        return float(values.max())
+    raise ValueError(
+        f"unknown liar strategy {strategy!r}; known: {LIAR_STRATEGIES}"
+    )
+
+
+def top_q_indices(scores: np.ndarray, q: int) -> list[int]:
+    """Positions of the ``q`` highest scores, best first.
+
+    Ties resolve to the lowest position (stable sort), so the first
+    element always equals ``argmax(scores)`` — a q=1 batch picks exactly
+    what the sequential loop would.  Returns fewer than ``q`` positions
+    when there are fewer candidates.
+
+    Raises:
+        ValueError: if ``q`` is not positive.
+    """
+    if q < 1:
+        raise ValueError(f"q must be >= 1, got {q}")
+    scores = np.asarray(scores, dtype=float).ravel()
+    order = np.argsort(-scores, kind="stable")
+    return [int(i) for i in order[: min(q, scores.size)]]
 
 
 def _sample_min_values(

@@ -28,6 +28,12 @@ from dataclasses import dataclass
 #: ``cell_retried`` when the parallel engine's supervisor had to retry
 #: the whole cell this result came from (a worker-side failure preceded
 #: it; the mirror makes the retry visible in the persisted record).
+#: Batched searches (``batch_size > 1``) additionally emit
+#: ``batch_suggested`` once per round, when the acquisition picks its
+#: q-point batch (detail carries the picked VM names in pick order), and
+#: ``batch_measured`` once the round's measurements are committed
+#: (detail carries the success count); the per-measurement lifecycle
+#: events between them are replayed in catalog-index order.
 EVENT_KINDS: tuple[str, ...] = (
     "measurement_started",
     "measurement_finished",
@@ -36,6 +42,8 @@ EVENT_KINDS: tuple[str, ...] = (
     "surrogate_fitted",
     "stopping_rule_fired",
     "cell_retried",
+    "batch_suggested",
+    "batch_measured",
 )
 
 

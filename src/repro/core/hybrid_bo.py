@@ -79,3 +79,15 @@ class HybridBO(SequentialOptimizer):
             self.measured_measurements,
             unmeasured,
         )
+
+    def _suggest_batch(
+        self, unmeasured: list[int], q: int
+    ) -> tuple[AcquisitionScores, list[int]]:
+        # Early phase batches like Naive BO (constant-liar q-EI); the
+        # late-phase tree surrogate batches via the base top-q
+        # prediction delta (one batched ensemble predict, q argmins).
+        if len(self.measured_indices) < self.switch_at:
+            return self._gp_scorer.suggest_batch(
+                self.measured_indices, self.measured_values, unmeasured, q, self.liar
+            )
+        return super()._suggest_batch(unmeasured, q)

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.acquisition import (
     expected_improvement,
+    liar_value,
     lower_confidence_bound,
     max_value_entropy_search,
     probability_of_improvement,
@@ -119,16 +120,83 @@ class GPScorer:
             # Numeric mode preserves the legacy behaviour bit for bit.
             gp.fit(self._scaled_design[measured], values)
             mean, std = gp.predict(self._scaled_design[unmeasured], return_std=True)
-        ei = expected_improvement(mean, std, float(values.min()))
+        scores, ei = self._scores_from_posterior(mean, std, float(values.min()))
+        return AcquisitionScores(scores=scores, predicted=mean, expected_improvements=ei)
+
+    def _scores_from_posterior(
+        self, mean: np.ndarray, std: np.ndarray, incumbent: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Acquisition scores (and EI) from one posterior over candidates."""
+        ei = expected_improvement(mean, std, incumbent)
         if self.acquisition == "ei":
             scores = ei
         elif self.acquisition == "pi":
-            scores = probability_of_improvement(mean, std, float(values.min()))
+            scores = probability_of_improvement(mean, std, incumbent)
         elif self.acquisition == "lcb":
             scores = lower_confidence_bound(mean, std)
         else:
             scores = max_value_entropy_search(mean, std, self._rng)
-        return AcquisitionScores(scores=scores, predicted=mean, expected_improvements=ei)
+        return scores, ei
+
+    def suggest_batch(
+        self,
+        measured: list[int],
+        values: np.ndarray,
+        unmeasured: list[int],
+        q: int,
+        liar: str = "min",
+    ) -> tuple[AcquisitionScores, list[int]]:
+        """Constant-liar q-point suggestion (Ginsbourger et al.).
+
+        The first pick is the plain acquisition argmax — bit-identical
+        to :meth:`score` (q=1 returns before any fantasy work).  Each
+        further pick fantasizes the previous one at the liar value and
+        re-conditions the GP on *warm* hyperparameters (``optimise`` is
+        suspended, so no likelihood refit per fantasy); the analytic
+        path rescores the shrinking candidate set through the same
+        incremental distance geometry as :meth:`score`, appending one
+        fantasy column per pick instead of rebuilding distances.
+        """
+        acquisition = self.score(measured, values, unmeasured)
+        picked = [unmeasured[int(np.argmax(acquisition.scores))]]
+        if q <= 1 or len(unmeasured) <= 1:
+            return acquisition, picked
+        gp = self._gp
+        lie = liar_value(values, liar)
+        fant_measured = list(measured)
+        fant_values = np.asarray(values, dtype=float).ravel()
+        remaining = [i for i in unmeasured if i != picked[0]]
+        saved_optimise = gp.optimise
+        gp.optimise = False
+        try:
+            while len(picked) < q and remaining:
+                fant_measured.append(picked[-1])
+                fant_values = np.append(fant_values, lie)
+                if gp.gradient == "analytic":
+                    gp.fit(
+                        self._scaled_design[fant_measured],
+                        fant_values,
+                        geometry=self._geometry.fit_geometry(fant_measured),
+                    )
+                    mean, std = gp.predict(
+                        self._scaled_design[remaining],
+                        return_std=True,
+                        geometry=self._geometry.cross_geometry(
+                            remaining, fant_measured
+                        ),
+                    )
+                else:
+                    gp.fit(self._scaled_design[fant_measured], fant_values)
+                    mean, std = gp.predict(
+                        self._scaled_design[remaining], return_std=True
+                    )
+                scores, _ = self._scores_from_posterior(
+                    mean, std, float(fant_values.min())
+                )
+                picked.append(remaining.pop(int(np.argmax(scores))))
+        finally:
+            gp.optimise = saved_optimise
+        return acquisition, picked
 
 
 class NaiveBO(SequentialOptimizer):
@@ -164,3 +232,10 @@ class NaiveBO(SequentialOptimizer):
 
     def _score_candidates(self, unmeasured: list[int]) -> AcquisitionScores:
         return self._scorer.score(self.measured_indices, self.measured_values, unmeasured)
+
+    def _suggest_batch(
+        self, unmeasured: list[int], q: int
+    ) -> tuple[AcquisitionScores, list[int]]:
+        return self._scorer.suggest_batch(
+            self.measured_indices, self.measured_values, unmeasured, q, self.liar
+        )

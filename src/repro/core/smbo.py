@@ -23,16 +23,38 @@ jitter), and a per-VM :class:`~repro.faults.retry.CircuitBreaker`
 quarantines a VM after repeated failures so the search continues over
 the remaining catalog instead of aborting.  :class:`MeasurementError`
 is raised only when *nothing* could be measured at all.
+
+Batched suggestions (``batch_size=q > 1``): each round the optimiser
+asks its :meth:`SequentialOptimizer._suggest_batch` hook for ``q``
+distinct candidates (constant-liar q-EI on GP scorers, top-q prediction
+delta by default), measures them — concurrently, when a measurement
+fan-out is injected — and commits the outcomes in catalog-index order.
+Every batch measurement draws its randomness from the spawn key
+``(search stream seed, 2, iteration, catalog index)``, so results and
+fault-injection streams are independent of completion order and worker
+count.  ``batch_size=1`` takes the literally unchanged sequential path
+and is bit-identical to it.
+
+Two accounting edges are inherent to batching and documented rather
+than hidden: the charge budget is capped *before* a batch launches (one
+charge reserved per pick), so in-batch retries can overshoot
+``max_measurements`` by at most ``q * (max_attempts - 1)`` charges
+where the serial loop would have stopped mid-retry; and a VM that the
+commit quarantines has already run (and been billed for) its full retry
+schedule, where the serial loop would have abandoned the remaining
+attempts.
 """
 
 from __future__ import annotations
 
 import abc
+from collections.abc import Callable
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.cloud.encoding import InstanceEncoder
+from repro.core.acquisition import LIAR_STRATEGIES, top_q_indices
 from repro.core.events import SearchEvent
 from repro.core.objectives import Objective
 from repro.core.result import FailureEvent, SearchResult, SearchStep
@@ -44,6 +66,11 @@ from repro.simulator.cluster import Measurement, MeasurementEnvironment
 
 #: CherryPick's initial-design size, used by default throughout the paper.
 DEFAULT_N_INITIAL = 3
+
+#: Stream tag for per-batch-measurement randomness (tag 1 is the serial
+#: retry-jitter stream; using a distinct tag means batch mode consumes
+#: nothing from any pre-existing stream).
+BATCH_STREAM_TAG = 2
 
 
 class MeasurementError(RuntimeError):
@@ -68,6 +95,56 @@ class AcquisitionScores:
     expected_improvements: np.ndarray | None = None
 
 
+@dataclass(frozen=True, slots=True)
+class BatchMeasurement:
+    """The outcome of one batched measurement task.
+
+    Produced by :meth:`SequentialOptimizer.batch_measure_task` —
+    possibly in a worker process — and folded into search state at
+    batch-commit time, in catalog-index order.
+
+    Attributes:
+        index: catalog index of the measured VM.
+        iteration: 1-based batch round the task belongs to.
+        measurement: the successful measurement, or ``None`` when every
+            attempt failed.
+        value: the validated objective value (``None`` on failure).
+        attempts: charged attempts this task made (the successful one
+            included, when there was one).
+        failures: ``(attempt, "ErrorType: message")`` per failed attempt.
+        wait_s: total retry backoff the task accounted.
+    """
+
+    index: int
+    iteration: int
+    measurement: Measurement | None
+    value: float | None
+    attempts: int
+    failures: tuple[tuple[int, str], ...] = ()
+    wait_s: float = 0.0
+
+
+#: One batch-measurement work item: ``(iteration, catalog index)``.
+BatchCell = tuple[int, int]
+
+#: A within-search measurement fan-out: runs every cell through
+#: ``run_task`` (in any order, on any backend) and returns all outcomes.
+#: Injected — rather than imported — so the core loop stays free of the
+#: execution plane; :class:`repro.parallel.batch.MeasurementFanout`
+#: implements it over the pluggable cell executors.
+BatchFanout = Callable[
+    [list[BatchCell], Callable[[BatchCell], BatchMeasurement]],
+    list[BatchMeasurement],
+]
+
+
+def _inline_fanout(
+    cells: list[BatchCell], run_task: Callable[[BatchCell], BatchMeasurement]
+) -> list[BatchMeasurement]:
+    """The default fan-out: run the batch's tasks inline, in pick order."""
+    return [run_task(cell) for cell in cells]
+
+
 class SequentialOptimizer(abc.ABC):
     """Base class implementing the SMBO loop over a finite VM catalog.
 
@@ -90,6 +167,18 @@ class SequentialOptimizer(abc.ABC):
             charged like any other measurement (the cloud billed it).
         quarantine_after: consecutive failures after which a VM is
             quarantined for the rest of the search.
+        batch_size: suggestions measured per acquisition round.  ``1``
+            (the default) is the classic sequential loop, bit for bit;
+            ``q > 1`` suggests q distinct VMs per surrogate fit via
+            :meth:`_suggest_batch` and commits their measurements in
+            catalog-index order.
+        liar: constant-liar strategy (``"min"``/``"mean"``/``"max"``)
+            for GP-based batch suggestion; ignored by scorers that
+            batch via top-q prediction delta.
+        measurement_fanout: optional callable running one batch's
+            measurement tasks (see :data:`BatchFanout`); ``None`` runs
+            them inline.  Results are identical for any fan-out because
+            each task reseeds from its spawn key.
     """
 
     #: Display name; subclasses override.
@@ -107,6 +196,9 @@ class SequentialOptimizer(abc.ABC):
         measure_retries: int = 0,
         retry_policy: RetryPolicy | None = None,
         quarantine_after: int = 3,
+        batch_size: int = 1,
+        liar: str = "min",
+        measurement_fanout: BatchFanout | None = None,
     ) -> None:
         if n_initial < 1:
             raise ValueError(f"n_initial must be at least 1, got {n_initial}")
@@ -114,6 +206,12 @@ class SequentialOptimizer(abc.ABC):
             raise ValueError("max_measurements must be at least n_initial")
         if measure_retries < 0:
             raise ValueError(f"measure_retries must be >= 0, got {measure_retries}")
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        if liar not in LIAR_STRATEGIES:
+            raise ValueError(
+                f"unknown liar strategy {liar!r}; known: {LIAR_STRATEGIES}"
+            )
         self.measure_retries = measure_retries
         self.retry_policy = (
             retry_policy
@@ -127,6 +225,9 @@ class SequentialOptimizer(abc.ABC):
         self.n_initial = n_initial
         self.stopping = stopping
         self.max_measurements = max_measurements
+        self.batch_size = batch_size
+        self.liar = liar
+        self._fanout = measurement_fanout
         self._rng = np.random.default_rng(seed)
         # The initial design gets its own stream, split off before any
         # subclass draws: optimisers with the same seed then share the
@@ -139,7 +240,7 @@ class SequentialOptimizer(abc.ABC):
         self._stream_seed = stream_seed
         self._encoder = InstanceEncoder(tuple(environment.catalog))
         self._design = self._encoder.encode_all()
-        self._observations: list[tuple[int, Measurement, float, int]] = []
+        self._reset_observations()
         self._failure_events: list[FailureEvent] = []
         self._events: list[SearchEvent] = []
         self._failed_charges = 0
@@ -149,6 +250,23 @@ class SequentialOptimizer(abc.ABC):
 
     # -- state exposed to subclasses ----------------------------------------
 
+    def _reset_observations(self) -> None:
+        """(Re)initialise the incrementally-grown observation buffers.
+
+        A search never re-measures a VM, so successful observations are
+        bounded by the catalog size and the value buffer is allocated
+        once; every property below is then a view or a live reference
+        instead of a per-access rebuild (the old properties reconstructed
+        lists/arrays from a tuple log on every hot-loop access).
+        """
+        self._obs_count = 0
+        self._obs_indices: list[int] = []
+        self._obs_measurements: list[Measurement] = []
+        self._obs_attempts: list[int] = []
+        self._value_buf = np.empty(max(len(self._env.catalog), 1), dtype=float)
+        self._measured_set: set[int] = set()
+        self._best = np.inf
+
     @property
     def design_matrix(self) -> np.ndarray:
         """The full encoded instance space, one row per catalog VM."""
@@ -156,18 +274,31 @@ class SequentialOptimizer(abc.ABC):
 
     @property
     def measured_indices(self) -> list[int]:
-        """Catalog indices measured so far, in measurement order."""
-        return [index for index, _, _, _ in self._observations]
+        """Catalog indices measured so far, in measurement order.
+
+        The returned list is live internal state — treat it as
+        read-only.
+        """
+        return self._obs_indices
 
     @property
     def measured_values(self) -> np.ndarray:
-        """Objective values measured so far, aligned with indices."""
-        return np.array([value for _, _, value, _ in self._observations])
+        """Objective values measured so far, aligned with indices.
+
+        A read-only view of the incrementally-grown value buffer.
+        """
+        view = self._value_buf[: self._obs_count]
+        view.flags.writeable = False
+        return view
 
     @property
     def measured_measurements(self) -> list[Measurement]:
-        """Full measurements so far (low-level metrics included)."""
-        return [measurement for _, measurement, _, _ in self._observations]
+        """Full measurements so far (low-level metrics included).
+
+        The returned list is live internal state — treat it as
+        read-only.
+        """
+        return self._obs_measurements
 
     @property
     def quarantined_vm_names(self) -> frozenset[str]:
@@ -181,15 +312,46 @@ class SequentialOptimizer(abc.ABC):
         Raises:
             RuntimeError: before any measurement.
         """
-        if not self._observations:
+        if not self._obs_count:
             raise RuntimeError("no measurements yet")
-        return float(min(value for _, _, value, _ in self._observations))
+        return float(self._best)
+
+    def _record_observation(
+        self, index: int, measurement: Measurement, value: float, attempt: int
+    ) -> None:
+        """Append one successful observation to the grown buffers."""
+        if self._obs_count == len(self._value_buf):  # pragma: no cover - guard
+            self._value_buf = np.concatenate([self._value_buf, self._value_buf])
+        self._value_buf[self._obs_count] = value
+        self._obs_count += 1
+        self._obs_indices.append(index)
+        self._obs_measurements.append(measurement)
+        self._obs_attempts.append(attempt)
+        self._measured_set.add(index)
+        if value < self._best:
+            self._best = value
 
     # -- subclass hooks ------------------------------------------------------
 
     @abc.abstractmethod
     def _score_candidates(self, unmeasured: list[int]) -> AcquisitionScores:
         """Fit the surrogate and score the ``unmeasured`` catalog indices."""
+
+    def _suggest_batch(
+        self, unmeasured: list[int], q: int
+    ) -> tuple[AcquisitionScores, list[int]]:
+        """Pick up to ``q`` distinct candidates to measure this round.
+
+        Returns the first-round acquisition (consumed by the stopping
+        rule, exactly like the sequential loop's single fit) and the
+        picked catalog indices in pick order.  The default is top-q on
+        one score vector — for prediction-delta scorers this *is* top-q
+        prediction delta: one batched ensemble predict, q distinct
+        argmins.  GP scorers override it with constant-liar q-EI.
+        """
+        acquisition = self._score_candidates(unmeasured)
+        picked = [unmeasured[i] for i in top_q_indices(acquisition.scores, q)]
+        return acquisition, picked
 
     def _initial_indices(self) -> list[int]:
         """Catalog indices of the initial design (quasi-random distinct)."""
@@ -202,7 +364,7 @@ class SequentialOptimizer(abc.ABC):
 
     def _charged(self) -> int:
         """Charged attempts so far: successful observations + failures."""
-        return len(self._observations) + self._failed_charges
+        return self._obs_count + self._failed_charges
 
     def _budget_exhausted(self) -> bool:
         return (
@@ -219,7 +381,7 @@ class SequentialOptimizer(abc.ABC):
         """
         vm = self._env.catalog[index]
         policy = self.retry_policy
-        step = len(self._observations) + 1
+        step = self._obs_count + 1
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
                 self._retry_wait_s += policy.wait(attempt - 1, self._retry_rng)
@@ -272,7 +434,7 @@ class SequentialOptimizer(abc.ABC):
                     return False
                 continue
             self._breaker.record_success(vm.name)
-            self._observations.append((index, measurement, value, attempt))
+            self._record_observation(index, measurement, value, attempt)
             self._events.append(
                 SearchEvent(
                     kind="measurement_finished",
@@ -286,7 +448,7 @@ class SequentialOptimizer(abc.ABC):
 
     def _reachable_unmeasured(self) -> list[int]:
         """Unmeasured catalog indices whose VM is not quarantined."""
-        measured = set(self.measured_indices)
+        measured = self._measured_set
         return [
             i
             for i, vm in enumerate(self._env.catalog)
@@ -305,7 +467,7 @@ class SequentialOptimizer(abc.ABC):
             MeasurementError: if not even one VM could be measured.
         """
         self._env.reset()
-        self._observations = []
+        self._reset_observations()
         self._failure_events = []
         self._events = []
         self._failed_charges = 0
@@ -327,32 +489,37 @@ class SequentialOptimizer(abc.ABC):
         # If every initial VM failed, fall back to the remaining reachable
         # catalog (in order) so one bad initial design cannot kill the
         # search while measurable VMs exist.
-        while not self._observations and not self._budget_exhausted():
+        while not self._obs_count and not self._budget_exhausted():
             candidates = self._reachable_unmeasured()
             if not candidates:
                 break
             self._observe(candidates[0])
-        if not self._observations:
+        if not self._obs_count:
             raise MeasurementError(
                 "no initial measurement succeeded "
                 f"({self._failed_charges} charged attempts; "
                 f"quarantined: {sorted(self._breaker.quarantined)})"
             )
 
-        stopped_by = "exhausted"
+        if self.batch_size == 1:
+            stopped_by = self._sequential_loop()
+        else:
+            stopped_by = self._batched_loop()
+        return self._build_result(stopped_by)
+
+    def _sequential_loop(self) -> str:
+        """The classic one-VM-per-round loop (``batch_size=1``)."""
         while True:
             candidates = self._reachable_unmeasured()
             if not candidates:
-                stopped_by = "exhausted"
-                break
+                return "exhausted"
             if self._budget_exhausted():
-                stopped_by = "budget"
-                break
+                return "budget"
             acquisition = self._score_candidates(candidates)
             self._events.append(
                 SearchEvent(
                     kind="surrogate_fitted",
-                    step=len(self._observations) + 1,
+                    step=self._obs_count + 1,
                     detail=f"scored {len(candidates)} candidates",
                 )
             )
@@ -363,7 +530,7 @@ class SequentialOptimizer(abc.ABC):
                 )
             if self.stopping is not None and self.stopping.should_stop(
                 SearchState(
-                    measurement_count=len(self._observations),
+                    measurement_count=self._obs_count,
                     best_observed=self.best_observed,
                     predicted=acquisition.predicted,
                     expected_improvements=acquisition.expected_improvements,
@@ -372,27 +539,220 @@ class SequentialOptimizer(abc.ABC):
                 self._events.append(
                     SearchEvent(
                         kind="stopping_rule_fired",
-                        step=len(self._observations) + 1,
+                        step=self._obs_count + 1,
                         detail=self.stopping.describe(),
                     )
                 )
-                stopped_by = "criterion"
-                break
+                return "criterion"
             self._observe(candidates[int(np.argmax(acquisition.scores))])
 
-        return self._build_result(stopped_by)
+    # -- batched rounds ------------------------------------------------------
+
+    def batch_measure_task(self, cell: BatchCell) -> BatchMeasurement:
+        """Run one batch measurement to completion, self-seeded.
+
+        Safe to run in any order, on any worker: the task derives every
+        random stream it touches — environment noise, fault rules, retry
+        jitter — from its spawn key ``(stream seed, 2, iteration,
+        catalog index)`` (environments expose an optional ``arm_for``
+        hook for the first two).  Global concerns (circuit breaker,
+        budget, events) are deliberately absent; they are applied when
+        the batch commits.
+        """
+        iteration, index = cell
+        vm = self._env.catalog[index]
+        spawn_key = (self._stream_seed, BATCH_STREAM_TAG, iteration, index)
+        arm = getattr(self._env, "arm_for", None)
+        if arm is not None:
+            arm(spawn_key)
+        retry_rng = np.random.default_rng([*spawn_key, 1])
+        policy = self.retry_policy
+        failures: list[tuple[int, str]] = []
+        wait_s = 0.0
+        for attempt in range(1, policy.max_attempts + 1):
+            if attempt > 1:
+                wait_s += policy.wait(attempt - 1, retry_rng)
+            try:
+                measurement = self._env.measure(vm)
+                value = self.objective.value_of(measurement)
+                if not np.isfinite(value) or value <= 0.0:
+                    raise CorruptedMeasurementError(
+                        f"{vm.name} returned unusable {self.objective.value} "
+                        f"value {value!r}"
+                    )
+            except Exception as error:  # noqa: BLE001 - cloud errors are diverse
+                failures.append((attempt, f"{type(error).__name__}: {error}"))
+                continue
+            return BatchMeasurement(
+                index=index,
+                iteration=iteration,
+                measurement=measurement,
+                value=value,
+                attempts=attempt,
+                failures=tuple(failures),
+                wait_s=wait_s,
+            )
+        return BatchMeasurement(
+            index=index,
+            iteration=iteration,
+            measurement=None,
+            value=None,
+            attempts=policy.max_attempts,
+            failures=tuple(failures),
+            wait_s=wait_s,
+        )
+
+    def _commit_batch(self, outcomes: list[BatchMeasurement]) -> None:
+        """Fold one round's outcomes into search state.
+
+        Commits in catalog-index order regardless of completion order,
+        so events, failure records, breaker state and step numbering are
+        identical for any fan-out backend and worker count.
+        """
+        for outcome in sorted(outcomes, key=lambda o: o.index):
+            vm = self._env.catalog[outcome.index]
+            step = self._obs_count + 1
+            self._retry_wait_s += outcome.wait_s
+            quarantined = False
+            for attempt, error_text in outcome.failures:
+                self._events.append(
+                    SearchEvent(
+                        kind="measurement_started",
+                        step=step,
+                        vm_name=vm.name,
+                        detail=f"attempt {attempt}",
+                    )
+                )
+                self._failed_charges += 1
+                self._failure_events.append(
+                    FailureEvent(
+                        step=step,
+                        vm_name=vm.name,
+                        attempt=attempt,
+                        error=error_text,
+                    )
+                )
+                self._events.append(
+                    SearchEvent(
+                        kind="measurement_failed",
+                        step=step,
+                        vm_name=vm.name,
+                        detail=error_text,
+                    )
+                )
+                if self._breaker.record_failure(vm.name) and not quarantined:
+                    quarantined = True
+                    self._events.append(
+                        SearchEvent(
+                            kind="vm_quarantined",
+                            step=step,
+                            vm_name=vm.name,
+                            detail=f"after {attempt} failed attempts this round",
+                        )
+                    )
+            if outcome.measurement is not None and outcome.value is not None:
+                self._events.append(
+                    SearchEvent(
+                        kind="measurement_started",
+                        step=step,
+                        vm_name=vm.name,
+                        detail=f"attempt {outcome.attempts}",
+                    )
+                )
+                self._breaker.record_success(vm.name)
+                self._record_observation(
+                    outcome.index, outcome.measurement, outcome.value, outcome.attempts
+                )
+                self._events.append(
+                    SearchEvent(
+                        kind="measurement_finished",
+                        step=step,
+                        vm_name=vm.name,
+                        detail=f"{self.objective.value}={outcome.value!r}",
+                    )
+                )
+
+    def _batched_loop(self) -> str:
+        """The q-point loop (``batch_size > 1``): suggest, fan out, commit."""
+        fanout = self._fanout if self._fanout is not None else _inline_fanout
+        iteration = 0
+        while True:
+            candidates = self._reachable_unmeasured()
+            if not candidates:
+                return "exhausted"
+            if self._budget_exhausted():
+                return "budget"
+            iteration += 1
+            acquisition, picked = self._suggest_batch(candidates, self.batch_size)
+            step = self._obs_count + 1
+            self._events.append(
+                SearchEvent(
+                    kind="surrogate_fitted",
+                    step=step,
+                    detail=f"scored {len(candidates)} candidates",
+                )
+            )
+            if acquisition.scores.shape != (len(candidates),):
+                raise RuntimeError(
+                    f"{self.name}: expected {len(candidates)} scores, "
+                    f"got shape {acquisition.scores.shape}"
+                )
+            if self.stopping is not None and self.stopping.should_stop(
+                SearchState(
+                    measurement_count=self._obs_count,
+                    best_observed=self.best_observed,
+                    predicted=acquisition.predicted,
+                    expected_improvements=acquisition.expected_improvements,
+                )
+            ):
+                self._events.append(
+                    SearchEvent(
+                        kind="stopping_rule_fired",
+                        step=step,
+                        detail=self.stopping.describe(),
+                    )
+                )
+                return "criterion"
+            if self.max_measurements is not None:
+                # Reserve one charge per pick up front; the batch cannot
+                # pause mid-flight the way the serial loop checks the
+                # budget between retries (overshoot is bounded, see the
+                # module docstring).
+                picked = picked[: self.max_measurements - self._charged()]
+            if not picked:
+                return "budget"
+            self._events.append(
+                SearchEvent(
+                    kind="batch_suggested",
+                    step=step,
+                    detail=f"q={len(picked)}: "
+                    + ", ".join(self._env.catalog[i].name for i in picked),
+                )
+            )
+            cells: list[BatchCell] = [(iteration, index) for index in picked]
+            outcomes = fanout(cells, self.batch_measure_task)
+            self._commit_batch(outcomes)
+            succeeded = sum(1 for o in outcomes if o.measurement is not None)
+            self._events.append(
+                SearchEvent(
+                    kind="batch_measured",
+                    step=step,
+                    detail=f"{succeeded}/{len(picked)} succeeded",
+                )
+            )
 
     def _build_result(self, stopped_by: str) -> SearchResult:
         steps = []
         best = np.inf
-        for step, (index, _, value, attempts) in enumerate(self._observations, start=1):
+        observations = zip(self._obs_indices, self._value_buf, self._obs_attempts)
+        for step, (index, value, attempts) in enumerate(observations, start=1):
             best = min(best, value)
             steps.append(
                 SearchStep(
                     step=step,
                     vm_name=self._env.catalog[index].name,
-                    objective_value=value,
-                    best_value=best,
+                    objective_value=float(value),
+                    best_value=float(best),
                     attempts=attempts,
                 )
             )

@@ -214,6 +214,20 @@ class FaultInjector:
         for index, rule in enumerate(self.plan.rules):
             rule.reset(np.random.default_rng([self.plan.seed, index]))
 
+    def arm_for(self, spawn_key: tuple[int, ...]) -> None:
+        """Re-seed every rule for one batched measurement task.
+
+        Each rule's stream becomes a pure function of ``(plan seed, rule
+        index, *spawn_key)``, so the fault sequence a task sees is
+        independent of which worker runs it and in what order.  The hook
+        is forwarded to the inner environment when it has one.
+        """
+        for index, rule in enumerate(self.plan.rules):
+            rule.reset(np.random.default_rng([self.plan.seed, index, *spawn_key]))
+        inner_arm = getattr(self._inner, "arm_for", None)
+        if inner_arm is not None:
+            inner_arm(spawn_key)
+
     @property
     def catalog(self):
         return self._inner.catalog

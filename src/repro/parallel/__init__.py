@@ -24,6 +24,7 @@ requeue of cells whose worker died, and an external worker fleet via
 (:class:`~repro.parallel.queue.QueueExecutor`).
 """
 
+from repro.parallel.batch import BATCH_BACKENDS, MeasurementFanout
 from repro.parallel.checkpoint import GridCheckpoint, flush_on_signal
 from repro.parallel.dataplane import TraceShare
 from repro.parallel.engine import (
@@ -51,6 +52,7 @@ from repro.parallel.queue import (
 from repro.parallel.supervisor import SupervisionConfig, Supervisor
 
 __all__ = [
+    "BATCH_BACKENDS",
     "CELL_EVENT_KINDS",
     "CellEvent",
     "CellExecutor",
@@ -61,6 +63,7 @@ __all__ = [
     "GRID_EVENT_KINDS",
     "GridCheckpoint",
     "Lease",
+    "MeasurementFanout",
     "POOL_MIN_CELLS",
     "QueueConfig",
     "QueueExecutor",

@@ -123,6 +123,14 @@ class SimulatedCloud:
     def reset(self) -> None:
         self._count = 0
 
+    def arm_for(self, spawn_key: tuple[int, ...]) -> None:
+        """Re-seed the interference stream for one batched measurement task.
+
+        Makes the noise a task draws a pure function of its spawn key,
+        independent of completion order and worker count.
+        """
+        self._noise.reseed(np.random.default_rng(list(spawn_key)))
+
     def measure_all(self) -> list[Measurement]:
         """Measure every VM in the catalog once (a brute-force sweep)."""
         return [self.measure(vm) for vm in self._catalog]

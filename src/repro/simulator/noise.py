@@ -43,6 +43,10 @@ class InterferenceModel:
         self.metric_sigma = metric_sigma
         self._rng = np.random.default_rng(seed)
 
+    def reseed(self, rng: int | np.random.Generator | None) -> None:
+        """Replace the noise stream (batched measurements re-seed per task)."""
+        self._rng = np.random.default_rng(rng)
+
     def perturb_time(self, execution_time_s: float) -> float:
         """Return ``execution_time_s`` with one draw of interference noise."""
         if self.time_sigma == 0.0:

@@ -1,0 +1,238 @@
+"""Batched-suggestion equivalence and determinism guarantees.
+
+The contract under test:
+
+* ``batch_size=1`` is the classic sequential loop, bit for bit — same
+  :class:`~repro.core.result.SearchResult`, same cache payload bytes —
+  on the GP path, the tree path, and under fault plans with quarantine
+  active.
+* ``batch_size=q`` commits outcomes in catalog-index order with
+  per-measurement spawn-key seeding, so results are independent of the
+  order the fan-out runs the tasks in.
+* The incrementally-grown observation buffers expose exactly the same
+  state the per-access rebuilds used to.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.runner import result_to_payload, valid_payload
+from repro.core.acquisition import liar_value, top_q_indices
+from repro.core.augmented_bo import AugmentedBO
+from repro.core.baselines import RandomSearch
+from repro.core.hybrid_bo import HybridBO
+from repro.core.naive_bo import NaiveBO
+from repro.core.stopping import EIThreshold
+from repro.faults.models import FaultInjector, parse_fault_plan
+from repro.faults.retry import RetryPolicy
+
+OPTIMIZERS = (NaiveBO, AugmentedBO, HybridBO)
+
+FAULT_SPEC = "transient:rate=0.4+outage:vm=c4.large"
+
+
+def _payload_bytes(result) -> bytes:
+    return json.dumps(result_to_payload(result), sort_keys=True).encode()
+
+
+def _faulty_env(trace, workload_id, seed=3):
+    plan = parse_fault_plan(FAULT_SPEC, seed=seed)
+    return FaultInjector(trace.environment(workload_id), plan)
+
+
+@pytest.mark.parametrize("cls", OPTIMIZERS)
+def test_q1_bit_identical_clean(trace, cls):
+    workload_id = next(iter(trace.registry)).workload_id
+    baseline = cls(trace.environment(workload_id), seed=11).run()
+    batched = cls(trace.environment(workload_id), seed=11, batch_size=1).run()
+    assert batched == baseline
+    assert _payload_bytes(batched) == _payload_bytes(baseline)
+    # q=1 takes the sequential path: no batch events at all.
+    assert not any(e.kind.startswith("batch_") for e in batched.events)
+
+
+@pytest.mark.parametrize("cls", OPTIMIZERS)
+def test_q1_bit_identical_under_faults(trace, cls):
+    """q=1 equivalence with retries running and the breaker quarantining."""
+    workload_id = next(iter(trace.registry)).workload_id
+    kwargs = dict(
+        seed=11,
+        retry_policy=RetryPolicy(max_attempts=3, backoff_base_s=0.1),
+        quarantine_after=2,
+    )
+    baseline = cls(_faulty_env(trace, workload_id), **kwargs).run()
+    batched = cls(_faulty_env(trace, workload_id), batch_size=1, **kwargs).run()
+    assert batched == baseline
+    assert _payload_bytes(batched) == _payload_bytes(baseline)
+    # The scenario must actually exercise the fault machinery.
+    assert baseline.failure_events
+    assert "c4.large" in baseline.quarantined_vms
+
+
+@pytest.mark.parametrize("cls", OPTIMIZERS)
+def test_q4_exhausts_catalog_with_batch_events(trace, cls):
+    workload_id = next(iter(trace.registry)).workload_id
+    result = cls(trace.environment(workload_id), seed=7, batch_size=4).run()
+    names = [step.vm_name for step in result.steps]
+    assert result.stopped_by == "exhausted"
+    assert len(names) == len(set(names)) == 18
+    suggested = [e for e in result.events if e.kind == "batch_suggested"]
+    measured = [e for e in result.events if e.kind == "batch_measured"]
+    # 3 initial + 4 rounds of (4, 4, 4, 3).
+    assert len(suggested) == len(measured) == 4
+    assert suggested[0].detail.startswith("q=4: ")
+    # The batch events survive the cache's payload codec.
+    assert valid_payload(result_to_payload(result))
+
+
+def test_q4_deterministic_and_order_independent(trace):
+    """Identical results when the fan-out runs tasks in any order."""
+    workload_id = next(iter(trace.registry)).workload_id
+    kwargs = dict(
+        seed=5,
+        batch_size=4,
+        retry_policy=RetryPolicy(max_attempts=2, backoff_base_s=0.1),
+        quarantine_after=2,
+    )
+
+    def reversed_fanout(cells, run_task):
+        outcomes = [run_task(cell) for cell in reversed(cells)]
+        outcomes.reverse()
+        return outcomes
+
+    inline = AugmentedBO(_faulty_env(trace, workload_id), **kwargs).run()
+    again = AugmentedBO(_faulty_env(trace, workload_id), **kwargs).run()
+    shuffled = AugmentedBO(
+        _faulty_env(trace, workload_id),
+        measurement_fanout=reversed_fanout,
+        **kwargs,
+    ).run()
+    assert inline == again
+    assert shuffled == inline
+    assert _payload_bytes(shuffled) == _payload_bytes(inline)
+    assert inline.failure_events  # the plan really injected faults
+
+
+def test_q4_respects_measurement_budget(trace):
+    workload_id = next(iter(trace.registry)).workload_id
+    result = AugmentedBO(
+        trace.environment(workload_id), seed=7, batch_size=4, max_measurements=8
+    ).run()
+    assert result.stopped_by == "budget"
+    # 3 initial + one full round of 4 + a 1-pick truncated round.
+    assert len(result.steps) == 8
+
+
+def test_q4_stopping_criterion_fires(trace):
+    workload_id = next(iter(trace.registry)).workload_id
+    result = NaiveBO(
+        trace.environment(workload_id),
+        seed=7,
+        batch_size=4,
+        stopping=EIThreshold(fraction=10.0),
+    ).run()
+    assert result.stopped_by == "criterion"
+    assert any(e.kind == "stopping_rule_fired" for e in result.events)
+
+
+def test_default_batch_hook_covers_baselines(trace):
+    workload_id = next(iter(trace.registry)).workload_id
+    result = RandomSearch(
+        trace.environment(workload_id), seed=7, batch_size=3
+    ).run()
+    names = [step.vm_name for step in result.steps]
+    assert result.stopped_by == "exhausted"
+    assert len(names) == len(set(names)) == 18
+
+
+def test_batch_constructor_validation(trace):
+    workload_id = next(iter(trace.registry)).workload_id
+    env = trace.environment(workload_id)
+    with pytest.raises(ValueError, match="batch_size"):
+        AugmentedBO(env, batch_size=0)
+    with pytest.raises(ValueError, match="liar"):
+        AugmentedBO(env, liar="median")
+
+
+def test_liar_strategies_follow_batch_choice(trace):
+    """All liar strategies run the GP batch path and cover the catalog."""
+    workload_id = next(iter(trace.registry)).workload_id
+    picks = {}
+    for liar in ("min", "mean", "max"):
+        result = NaiveBO(
+            trace.environment(workload_id), seed=7, batch_size=4, liar=liar
+        ).run()
+        assert result.stopped_by == "exhausted"
+        picks[liar] = tuple(step.vm_name for step in result.steps)
+    # Strategies fantasize different values, so at least one ordering
+    # should differ (all three agreeing would mean the liar is inert).
+    assert len(set(picks.values())) > 1
+
+
+# -- observation-buffer equivalence (the incremental-state refactor) ---------
+
+
+@pytest.mark.parametrize("cls", OPTIMIZERS)
+def test_observation_buffers_match_result(trace, cls):
+    workload_id = next(iter(trace.registry)).workload_id
+    optimizer = cls(trace.environment(workload_id), seed=11)
+    result = optimizer.run()
+    values = optimizer.measured_values
+    assert isinstance(values, np.ndarray)
+    assert not values.flags.writeable
+    np.testing.assert_array_equal(
+        values, [step.objective_value for step in result.steps]
+    )
+    assert optimizer.best_observed == min(step.objective_value for step in result.steps)
+    catalog = list(optimizer._env.catalog)
+    assert [catalog[i].name for i in optimizer.measured_indices] == [
+        step.vm_name for step in result.steps
+    ]
+    assert [m is not None for m in optimizer.measured_measurements] == [True] * len(
+        result.steps
+    )
+    assert len(optimizer.measured_indices) == len(values)
+
+
+def test_buffers_reset_between_runs(trace):
+    """A second run() starts from empty buffers, not stale state.
+
+    (Back-to-back runs draw a fresh initial design from the advancing
+    init stream, so the *results* legitimately differ — the invariant is
+    that the buffers describe exactly the latest run.)
+    """
+    workload_id = next(iter(trace.registry)).workload_id
+    optimizer = AugmentedBO(trace.environment(workload_id), seed=11)
+    optimizer.run()
+    second = optimizer.run()
+    assert len(optimizer.measured_values) == len(second.steps)
+    np.testing.assert_array_equal(
+        optimizer.measured_values, [step.objective_value for step in second.steps]
+    )
+
+
+# -- acquisition helper units ------------------------------------------------
+
+
+def test_liar_value_strategies():
+    values = np.array([3.0, 1.0, 2.0])
+    assert liar_value(values, "min") == 1.0
+    assert liar_value(values, "mean") == 2.0
+    assert liar_value(values, "max") == 3.0
+    with pytest.raises(ValueError, match="liar"):
+        liar_value(values, "median")
+    with pytest.raises(ValueError, match="at least one"):
+        liar_value(np.array([]), "min")
+
+
+def test_top_q_indices_is_stable_and_argmax_first():
+    scores = np.array([0.3, 0.9, 0.9, 0.1])
+    assert top_q_indices(scores, 1) == [int(np.argmax(scores))]
+    assert top_q_indices(scores, 3) == [1, 2, 0]
+    assert top_q_indices(scores, 10) == [1, 2, 0, 3]
+    with pytest.raises(ValueError, match="q"):
+        top_q_indices(scores, 0)

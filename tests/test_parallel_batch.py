@@ -1,0 +1,104 @@
+"""The within-search measurement fan-out over the executor plane.
+
+Exercises :class:`repro.parallel.batch.MeasurementFanout` both directly
+(backend plumbing, crash recovery) and end-to-end under a batched
+search, asserting the plane's core promise: any backend, any worker
+count, bit-identical results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.analysis.runner import result_to_payload
+from repro.core.augmented_bo import AugmentedBO
+from repro.faults.models import FaultInjector, parse_fault_plan
+from repro.faults.retry import RetryPolicy
+from repro.parallel.batch import BATCH_BACKENDS, MeasurementFanout
+
+_MAIN_PID = os.getpid()
+
+
+def test_backend_validation():
+    with pytest.raises(ValueError, match="backend"):
+        MeasurementFanout("threads")
+    with pytest.raises(ValueError, match="workers"):
+        MeasurementFanout("pool", workers=0)
+    assert set(BATCH_BACKENDS) == {"serial", "pool"}
+
+
+def test_serial_backend_runs_inline_in_order():
+    fanout = MeasurementFanout("serial")
+    seen = []
+
+    def task(cell):
+        seen.append(cell)
+        return cell * 10
+
+    assert fanout((1, 2, 3), task) == [10, 20, 30]
+    assert seen == [1, 2, 3]
+
+
+def test_pool_backend_returns_every_outcome():
+    with MeasurementFanout("pool", workers=2) as fanout:
+        outcomes = fanout([1, 2, 3, 4, 5], lambda cell: cell * 10)
+    assert sorted(outcomes) == [10, 20, 30, 40, 50]
+
+
+def test_pool_crash_reruns_inline():
+    """A cell whose worker dies is re-run in the parent, not lost."""
+
+    def task(cell):
+        if cell == 2 and os.getpid() != _MAIN_PID:
+            os._exit(1)  # simulate a worker crash mid-cell
+        return cell * 10
+
+    with MeasurementFanout("pool", workers=2) as fanout:
+        outcomes = fanout([1, 2, 3], task)
+    assert sorted(outcomes) == [10, 20, 30]
+
+
+def test_pool_error_reruns_inline():
+    """A worker-side exception falls back to the parent's inline run."""
+
+    def task(cell):
+        if cell == 2 and os.getpid() != _MAIN_PID:
+            raise RuntimeError("worker-side failure")
+        return cell * 10
+
+    with MeasurementFanout("pool", workers=2) as fanout:
+        outcomes = fanout([1, 2, 3], task)
+    assert sorted(outcomes) == [10, 20, 30]
+
+
+def test_single_worker_pool_short_circuits_to_inline():
+    fanout = MeasurementFanout("pool", workers=1)
+    assert fanout([1, 2], lambda cell: cell + 1) == [2, 3]
+    assert fanout._executor is None  # never forked
+
+
+def _search(trace, workload_id, fanout):
+    plan = parse_fault_plan("transient:rate=0.3", seed=3)
+    return AugmentedBO(
+        FaultInjector(trace.environment(workload_id), plan),
+        seed=5,
+        batch_size=3,
+        retry_policy=RetryPolicy(max_attempts=2, backoff_base_s=0.1),
+        measurement_fanout=fanout,
+    ).run()
+
+
+def test_pool_search_bit_identical_to_serial(trace):
+    """End-to-end: a forked 2-worker batch search equals the inline one."""
+    workload_id = next(iter(trace.registry)).workload_id
+    serial = _search(trace, workload_id, MeasurementFanout("serial"))
+    with MeasurementFanout("pool", workers=2) as fanout:
+        pooled = _search(trace, workload_id, fanout)
+    assert pooled == serial
+    assert json.dumps(result_to_payload(pooled), sort_keys=True) == json.dumps(
+        result_to_payload(serial), sort_keys=True
+    )
+    assert serial.failure_events  # the plan really injected faults
