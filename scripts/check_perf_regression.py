@@ -14,10 +14,12 @@ or the baseline predates the tracked metric, so the check never blocks
 unrelated work.
 
 Two kinds of absolute floors ride along: the ``batch`` section's
-wall-clock reduction for q-point suggestions must stay >= 1.8x, and a
-section marked ``clamped`` (the engine collapsed to one effective
-worker, or the runner has a single core) is skipped rather than judged —
-a clamped run measures pool overhead, not performance.
+wall-clock reduction for q-point suggestions must stay >= 1.8x, the
+``catalog`` section's incremental query-assembly speedup at 200+
+candidates must stay >= 2x, and a section marked ``clamped`` (the
+engine collapsed to one effective worker, or the runner has a single
+core) is skipped rather than judged — a clamped run measures pool
+overhead, not performance.
 
 Usage::
 
@@ -55,6 +57,11 @@ EXEMPT_SECTIONS = ("chaos", "chaos_queue")
 #: is marked ``clamped`` — the run had no parallelism to measure.
 FLOORS = (
     ("batch", "reduction", 1.8, "batched-suggestion wall-clock reduction"),
+    # Pure single-thread arithmetic (buffer gather vs repeat/tile), so
+    # no clamped exemption applies in practice: the section never sets
+    # ``clamped``.
+    ("catalog", "large_query_speedup", 2.0, "incremental query speedup @210 types"),
+    ("catalog", "multi_query_speedup", 2.0, "incremental query speedup @390 types"),
 )
 
 

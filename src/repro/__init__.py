@@ -12,7 +12,8 @@ Quickstart::
 
 Package layout:
 
-* :mod:`repro.cloud` — the 18-VM instance space, prices, encoding,
+* :mod:`repro.cloud` — the VM instance space (the paper's 18 types plus
+  registered large catalogs), prices, encoding,
 * :mod:`repro.workloads` — the 107 workloads and their latent profiles,
 * :mod:`repro.simulator` — the performance model and low-level metrics,
 * :mod:`repro.trace` — the recorded measurement matrix and replay,

@@ -54,7 +54,10 @@ PAGERANK_WORKLOAD = "pagerank/Hadoop 2.7/small"
 LR_WORKLOAD = "lr/Spark 1.5/medium"
 REGRESSION_WORKLOAD = "regression/Spark 1.5/medium"
 
-#: Catalog size: searches are exhausted after this many measurements.
+#: Default-catalog size (``aws-2017``, the paper's 18 types): the
+#: figures replay searches that exhaust after this many measurements.
+#: Large-catalog runs (``--catalog aws-large``/``multicloud``) are
+#: bench/CLI territory, not paper figures, so this stays fixed.
 MAX_STEPS = 18
 
 

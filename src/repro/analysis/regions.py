@@ -22,7 +22,9 @@ from collections.abc import Iterable, Mapping
 
 import numpy as np
 
-#: Catalog size the thresholds are derived from.
+#: Catalog size the paper's thresholds are derived from (the default
+#: ``aws-2017`` catalog; pass ``catalog_size`` to rescale for larger
+#: catalogs).
 CATALOG_SIZE = 18
 
 #: Region I upper bound: 33% of the search space.
@@ -30,6 +32,21 @@ REGION_I_MAX = 6
 
 #: Region II upper bound: 66% of the search space.
 REGION_II_MAX = 12
+
+
+def region_bounds(catalog_size: int = CATALOG_SIZE) -> tuple[int, int]:
+    """(Region I, Region II) upper bounds for a catalog of ``catalog_size``.
+
+    The paper's 6/12 cut-offs are 33% and 66% of its 18-type space; the
+    same fractions applied to any catalog, with the defaults preserved
+    exactly (``region_bounds(18) == (6, 12)``).
+
+    Raises:
+        ValueError: if ``catalog_size`` is not positive.
+    """
+    if catalog_size < 1:
+        raise ValueError(f"catalog_size must be positive, got {catalog_size}")
+    return round(catalog_size / 3), round(2 * catalog_size / 3)
 
 
 class Region(enum.Enum):
@@ -43,35 +60,45 @@ class Region(enum.Enum):
         return self.value
 
 
-def classify_region(search_costs: Iterable[int | None]) -> Region:
+def classify_region(
+    search_costs: Iterable[int | None], catalog_size: int = CATALOG_SIZE
+) -> Region:
     """Region of one workload from its per-repeat search costs.
 
     Args:
         search_costs: measurements-to-optimum per repeat; ``None`` means
             the optimum was never found and counts as a full sweep.
+        catalog_size: size of the searched instance space; the paper's
+            18 by default, and the 33%/66% region cut-offs scale with it.
 
     Raises:
         ValueError: if ``search_costs`` is empty.
     """
-    costs = [CATALOG_SIZE if cost is None else cost for cost in search_costs]
+    region_i_max, region_ii_max = region_bounds(catalog_size)
+    costs = [catalog_size if cost is None else cost for cost in search_costs]
     if not costs:
         raise ValueError("search_costs must not be empty")
     median = float(np.median(costs))
-    if median <= REGION_I_MAX:
+    if median <= region_i_max:
         return Region.I
-    if median <= REGION_II_MAX:
+    if median <= region_ii_max:
         return Region.II
     return Region.III
 
 
 def region_counts(
-    costs_by_workload: Mapping[str, Iterable[int | None]]
+    costs_by_workload: Mapping[str, Iterable[int | None]],
+    catalog_size: int = CATALOG_SIZE,
 ) -> dict[Region, int]:
     """Number of workloads in each region.
 
     Args:
         costs_by_workload: per-workload search costs (as for
             :func:`classify_region`).
+        catalog_size: size of the searched instance space.
     """
-    counts = Counter(classify_region(costs) for costs in costs_by_workload.values())
+    counts = Counter(
+        classify_region(costs, catalog_size)
+        for costs in costs_by_workload.values()
+    )
     return {region: counts.get(region, 0) for region in Region}

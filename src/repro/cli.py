@@ -2,7 +2,8 @@
 
 Subcommands:
 
-* ``arrow catalog`` — the 18 VM types with hardware attributes and prices,
+* ``arrow catalog`` — VM catalogs: the paper's 18 types (default), plus
+  ``list``/``show <name>`` over the registered large catalogs,
 * ``arrow workloads`` — the 107-workload registry, filterable,
 * ``arrow trace generate|stats`` — build or summarise a benchmark trace,
 * ``arrow search`` — run an optimiser on one workload and show the trace,
@@ -26,8 +27,8 @@ from pathlib import Path
 import numpy as np
 
 from repro.analysis.ascii_plots import bar_chart, line_chart
-from repro.cloud.pricing import default_price_list
-from repro.cloud.vmtypes import default_catalog, get_vm_type
+from repro.cloud.catalog import DEFAULT_CATALOG_NAME, catalog_names, get_catalog
+from repro.cloud.vmtypes import get_vm_type
 from repro.core.augmented_bo import AugmentedBO
 from repro.core.baselines import ExhaustiveSearch, RandomSearch
 from repro.core.hybrid_bo import HybridBO
@@ -38,7 +39,7 @@ from repro.core.stopping import EIThreshold, PredictionDeltaThreshold
 from repro.faults import FaultInjector, RetryPolicy, parse_fault_plan
 from repro.simulator.perfmodel import PerformanceModel
 from repro.simulator.sar import record_sar_trace
-from repro.trace.generate import default_trace, generate_trace
+from repro.trace.generate import canonical_trace, generate_trace
 from repro.trace.io import load_trace, save_trace
 from repro.workloads.registry import default_registry
 from repro.workloads.spec import Category, Framework, InputSize
@@ -55,18 +56,51 @@ _METHODS = {
 # -- catalog -------------------------------------------------------------
 
 
-def _cmd_catalog(args: argparse.Namespace) -> int:
-    prices = default_price_list()
+def _print_catalog_table(catalog) -> None:
     print(
-        f"{'name':<12} {'vCPU':>4} {'RAM GiB':>8} {'clock':>6} "
+        f"{'name':<16} {'vCPU':>4} {'RAM GiB':>8} {'clock':>6} "
         f"{'disk MB/s':>10} {'local SSD':>9} {'$/hour':>8}"
     )
-    for vm in default_catalog():
+    for vm in catalog:
         print(
-            f"{vm.name:<12} {vm.vcpus:>4} {vm.ram_gb:>8.2f} {vm.clock_factor:>6.2f} "
+            f"{vm.name:<16} {vm.vcpus:>4} {vm.ram_gb:>8.2f} {vm.clock_factor:>6.2f} "
             f"{vm.disk_mbps:>10.0f} {'yes' if vm.local_ssd else 'no':>9} "
-            f"{prices.price_per_hour(vm):>8.3f}"
+            f"{catalog.prices.price_per_hour(vm):>8.3f}"
         )
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        print(f"{'catalog':<12} {'types':>5} {'families':>8}  providers")
+        for name in catalog_names():
+            catalog = get_catalog(name)
+            print(
+                f"{name:<12} {len(catalog):>5} {len(catalog.families):>8}  "
+                f"{', '.join(catalog.providers)}"
+            )
+        return 0
+    if args.action == "show":
+        if not args.name:
+            print("error: 'arrow catalog show' needs a catalog name", file=sys.stderr)
+            return 1
+        try:
+            catalog = get_catalog(args.name)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        print(f"{catalog.name}: {catalog.description}")
+        print(
+            f"{len(catalog)} types, {len(catalog.families)} families, "
+            f"providers: {', '.join(catalog.providers)}"
+        )
+        for provider in catalog.providers:
+            low, high = catalog.price_range(provider)
+            print(f"  {provider}: ${low:.4f}-{high:.4f}/hour")
+        print()
+        _print_catalog_table(catalog)
+        return 0
+    # Bare "arrow catalog": the paper's 18 types, as always.
+    _print_catalog_table(get_catalog(DEFAULT_CATALOG_NAME))
     return 0
 
 
@@ -94,14 +128,24 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace_generate(args: argparse.Namespace) -> int:
-    trace = generate_trace(seed=args.seed)
+    try:
+        catalog = get_catalog(args.catalog)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    trace = generate_trace(seed=args.seed, catalog=catalog)
     save_trace(trace, args.out)
-    print(f"wrote trace (seed {args.seed}) to {args.out}")
+    print(f"wrote trace (catalog {args.catalog}, seed {args.seed}) to {args.out}")
     return 0
 
 
-def _load_trace_arg(path: str | None):
-    return load_trace(path) if path else default_trace()
+def _load_trace_arg(path: str | None, catalog: str = DEFAULT_CATALOG_NAME):
+    """A trace to search over: a file, or the named catalog's canonical trace.
+
+    A trace file records its own catalog, so ``--catalog`` only selects
+    which canonical trace to synthesise when no ``--trace`` is given.
+    """
+    return load_trace(path) if path else canonical_trace(catalog)
 
 
 def _cmd_trace_stats(args: argparse.Namespace) -> int:
@@ -180,7 +224,18 @@ def _add_optimizer_flags(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--stop", choices=["none", "ei", "delta"], default="none")
     parser.add_argument("--stop-value", type=float, default=None)
+    parser.add_argument(
+        "--max-measurements", type=int, default=None, metavar="N",
+        help="hard budget on charged measurements per run (default: "
+        "exhaust the catalog; mainly for large catalogs and smoke runs)",
+    )
     parser.add_argument("--trace", help="trace JSON (default: canonical)")
+    parser.add_argument(
+        "--catalog", choices=catalog_names(), default=DEFAULT_CATALOG_NAME,
+        help="VM catalog to search over when no --trace is given (the "
+        "named catalog's canonical trace is synthesised on the fly); a "
+        "--trace file carries its own catalog and wins",
+    )
     parser.add_argument(
         "--measure-retries", type=int, default=0,
         help="retries per failed measurement (each attempt is charged)",
@@ -234,6 +289,7 @@ def _build_optimizer(args: argparse.Namespace, environment, seed: int | None = N
         seed=args.seed if seed is None else seed,
         retry_policy=retry_policy,
         quarantine_after=args.quarantine_after,
+        max_measurements=getattr(args, "max_measurements", None),
         batch_size=batch_size,
         liar=getattr(args, "liar", "min"),
         measurement_fanout=fanout,
@@ -290,6 +346,13 @@ def _search_grid_key(args: argparse.Namespace) -> str:
     # deliberately excluded: results are identical for any worker count.
     if getattr(args, "batch_size", 1) > 1:
         relevant = (*relevant, args.batch_size, args.liar)
+    # Same stability rule for the catalog axis and measurement budget:
+    # they join the key only when set off their defaults, so every
+    # pre-existing default-catalog digest is unchanged.
+    if getattr(args, "catalog", DEFAULT_CATALOG_NAME) != DEFAULT_CATALOG_NAME:
+        relevant = (*relevant, args.catalog)
+    if getattr(args, "max_measurements", None) is not None:
+        relevant = (*relevant, args.max_measurements)
     digest = zlib.crc32(repr(relevant).encode()) & 0xFFFFFFFF
     return f"search-{args.method}-{slug}-{digest:08x}"
 
@@ -364,7 +427,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    trace = _load_trace_arg(args.trace)
+    trace = _load_trace_arg(args.trace, args.catalog)
     if args.workload not in trace.registry:
         print(f"error: unknown workload {args.workload!r}", file=sys.stderr)
         return 1
@@ -482,7 +545,7 @@ def _cmd_queue_worker(args: argparse.Namespace) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     try:
-        trace = _load_trace_arg(args.trace)
+        trace = _load_trace_arg(args.trace, args.catalog)
         problem = _check_queue_key(args, queue, _queue_workloads(queue))
         if problem is not None:
             print(f"error: {problem}", file=sys.stderr)
@@ -708,7 +771,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    catalog = sub.add_parser("catalog", help="list the 18 VM types")
+    catalog = sub.add_parser(
+        "catalog",
+        help="show VM catalogs (bare: the paper's 18 types)",
+        description="Bare 'arrow catalog' prints the paper's 18-type "
+        "default catalog.  'arrow catalog list' enumerates every "
+        "registered catalog; 'arrow catalog show NAME' prints one "
+        "catalog's summary (type count, families, per-provider price "
+        "ranges) and full table.",
+    )
+    catalog.add_argument(
+        "action", nargs="?", choices=["list", "show"],
+        help="list registered catalogs, or show one by name",
+    )
+    catalog.add_argument(
+        "name", nargs="?",
+        help="catalog name for 'show', e.g. 'aws-large'",
+    )
     catalog.set_defaults(func=_cmd_catalog)
 
     workloads = sub.add_parser("workloads", help="list the 107 workloads")
@@ -722,6 +801,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     trace_gen = trace_sub.add_parser("generate", help="sweep all workloads and save")
     trace_gen.add_argument("--seed", type=int, default=2018)
+    trace_gen.add_argument(
+        "--catalog", choices=catalog_names(), default=DEFAULT_CATALOG_NAME,
+        help="VM catalog to sweep (default: the paper's 18 types)",
+    )
     trace_gen.add_argument("--out", required=True)
     trace_gen.set_defaults(func=_cmd_trace_generate)
     trace_stats = trace_sub.add_parser("stats", help="summarise a trace")

@@ -3,22 +3,29 @@
 The optimisers never see hardware ground truth; they see four published
 characteristics encoded as numbers, exactly as the paper prescribes:
 
-1. **CPU type** — the family, encoded 1..6 in the order
-   ``c3, c4, m3, m4, r3, r4``,
-2. **core count** — the actual vCPU count ``{2, 4, 8}``,
-3. **RAM per core** — the coarse class ``{2, 4, 8}`` GiB/core,
-4. **EBS bandwidth class** — ``{1, 2, 3}`` by size.
+1. **CPU type** — the family, encoded ``1..n_families`` in catalog
+   first-appearance order (``c3, c4, m3, m4, r3, r4`` -> 1..6 for the
+   default ``aws-2017`` catalog, exactly the paper's order),
+2. **core count** — the actual vCPU count (``{2, 4, 8}`` in the paper),
+3. **RAM per core** — the coarse power-of-two class (``{2, 4, 8}``
+   GiB/core in the paper),
+4. **EBS bandwidth class** — the size-ladder class (``{1, 2, 3}`` in the
+   paper).
 
 This encoding is deliberately imperfect — e.g. adjacent CPU-type codes can
 have wildly different memory capacity — which is precisely the source of the
-fragility the paper studies.
+fragility the paper studies.  The encoder works for any catalog
+(:mod:`repro.cloud.catalog`), including >6 families and multiple
+providers; the family code space simply grows with the catalog.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 import numpy as np
 
-from repro.cloud.vmtypes import VM_FAMILIES, VMType, default_catalog
+from repro.cloud.vmtypes import VMType, default_catalog
 
 #: Names of the four encoded features, in column order.
 FEATURE_NAMES: tuple[str, ...] = (
@@ -37,11 +44,15 @@ class InstanceEncoder:
     (VM -> vector for the surrogate, row index -> VM for acquisition argmax).
     """
 
-    def __init__(self, catalog: tuple[VMType, ...] | None = None) -> None:
+    def __init__(self, catalog: Iterable[VMType] | None = None) -> None:
         self._catalog: tuple[VMType, ...] = (
-            catalog if catalog is not None else default_catalog()
+            tuple(catalog) if catalog is not None else default_catalog()
         )
         self._index_by_name = {vm.name: i for i, vm in enumerate(self._catalog)}
+        # Family codes 1..n in catalog first-appearance order; for the
+        # default catalog this is exactly the paper's c3..r4 -> 1..6.
+        self._families = tuple(dict.fromkeys(vm.family for vm in self._catalog))
+        self._family_code = {family: i + 1 for i, family in enumerate(self._families)}
         self._matrix = np.array([self.encode(vm) for vm in self._catalog], dtype=float)
 
     @property
@@ -50,15 +61,30 @@ class InstanceEncoder:
         return self._catalog
 
     @property
+    def families(self) -> tuple[str, ...]:
+        """Families in encoding order (code ``i+1`` is ``families[i]``)."""
+        return self._families
+
+    @property
     def n_features(self) -> int:
         """Number of encoded features (always 4)."""
         return len(FEATURE_NAMES)
 
     def encode(self, vm: VMType) -> np.ndarray:
-        """Encode a single VM type as a length-4 float vector."""
+        """Encode a single VM type as a length-4 float vector.
+
+        Raises:
+            ValueError: if ``vm``'s family is not in this encoder's catalog.
+        """
+        code = self._family_code.get(vm.family)
+        if code is None:
+            raise ValueError(
+                f"family {vm.family!r} is not in this encoder's catalog "
+                f"(families: {', '.join(self._families)})"
+            )
         return np.array(
             [
-                float(VM_FAMILIES.index(vm.family) + 1),
+                float(code),
                 float(vm.vcpus),
                 float(vm.ram_per_core_class),
                 float(vm.ebs_class),

@@ -19,6 +19,8 @@ between published characteristics and actual behaviour.
 
 from __future__ import annotations
 
+import difflib
+import math
 from dataclasses import dataclass
 
 #: Family order used throughout the paper's encoding (CPU types 1..6).
@@ -26,6 +28,17 @@ VM_FAMILIES: tuple[str, ...] = ("c3", "c4", "m3", "m4", "r3", "r4")
 
 #: Size order; vCPU count doubles at each step.
 VM_SIZES: tuple[str, ...] = ("large", "xlarge", "2xlarge")
+
+#: Canonical size ladder for generated catalogs; the paper's three sizes
+#: are its prefix, so size-derived encodings stay bit-identical for them.
+SIZE_LADDER: tuple[str, ...] = (
+    "large",
+    "xlarge",
+    "2xlarge",
+    "4xlarge",
+    "8xlarge",
+    "16xlarge",
+)
 
 _VCPUS_BY_SIZE = {"large": 2, "xlarge": 4, "2xlarge": 8}
 
@@ -82,6 +95,7 @@ class VMType:
     ebs_mbps: float
     local_ssd: bool
     local_ssd_mbps: float
+    provider: str = "aws"
 
     @property
     def ram_per_core_gb(self) -> float:
@@ -92,15 +106,31 @@ class VMType:
     def ram_per_core_class(self) -> int:
         """Coarse RAM-per-core class used by the paper's encoding.
 
-        Compute-optimised families encode as 2 GiB/core, general purpose as
-        4 GiB/core and memory-optimised as 8 GiB/core.
+        The paper's AWS families map by archetype letter: compute-optimised
+        encode as 2 GiB/core, general purpose as 4 GiB/core and
+        memory-optimised as 8 GiB/core.  Families outside that naming
+        scheme (generated and non-AWS catalogs) fall back to the nearest
+        power of two of the *actual* RAM per core, which reproduces the
+        paper's 2/4/8 classes exactly for all six original families.
         """
-        return {"c": 2, "m": 4, "r": 8}[self.family[0]]
+        by_letter = {"c": 2, "m": 4, "r": 8}
+        klass = by_letter.get(self.family[0])
+        if klass is not None:
+            return klass
+        return max(1, 2 ** round(math.log2(max(self.ram_per_core_gb, 1.0))))
 
     @property
     def ebs_class(self) -> int:
-        """EBS bandwidth class (1..3) used by the paper's encoding."""
-        return VM_SIZES.index(self.size) + 1
+        """I/O bandwidth class used by the paper's encoding.
+
+        Derived from the size ladder (``large`` -> 1, ``xlarge`` -> 2, …),
+        which is 1..3 for the paper's three sizes; sizes outside the
+        ladder fall back to ``log2(vcpus)``, the same 1..3 values for the
+        original 2/4/8-vCPU types.
+        """
+        if self.size in SIZE_LADDER:
+            return SIZE_LADDER.index(self.size) + 1
+        return max(1, round(math.log2(max(self.vcpus, 2))))
 
     @property
     def disk_mbps(self) -> float:
@@ -141,14 +171,30 @@ def default_catalog() -> tuple[VMType, ...]:
     return _CATALOG
 
 
+def unknown_vm_message(name: str, catalog_name: str, known: tuple[str, ...] | list[str]) -> str:
+    """Error message for an unknown VM type: names the catalog, suggests
+    the closest known types, and (for small catalogs) lists everything."""
+    close = difflib.get_close_matches(name, known, n=3, cutoff=0.4)
+    message = f"unknown VM type {name!r} in catalog {catalog_name!r}"
+    if close:
+        message += f"; closest matches: {', '.join(close)}"
+    if len(known) <= 24:
+        message += f"; known types: {', '.join(sorted(known))}"
+    else:
+        message += f" ({len(known)} types; see `arrow catalog show {catalog_name}`)"
+    return message
+
+
 def get_vm_type(name: str) -> VMType:
-    """Look up a VM type by its AWS name, e.g. ``"c4.2xlarge"``.
+    """Look up a VM type in the default catalog by its AWS name.
 
     Raises:
-        KeyError: if ``name`` is not one of the 18 catalog types.
+        KeyError: if ``name`` is not one of the 18 ``aws-2017`` types; the
+            message names the catalog and the closest known names.
     """
     try:
         return _CATALOG_BY_NAME[name]
     except KeyError:
-        known = ", ".join(sorted(_CATALOG_BY_NAME))
-        raise KeyError(f"unknown VM type {name!r}; known types: {known}") from None
+        raise KeyError(
+            unknown_vm_message(name, "aws-2017", tuple(_CATALOG_BY_NAME))
+        ) from None

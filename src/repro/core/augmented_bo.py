@@ -42,9 +42,18 @@ optimisations keep it fast without changing seeded results:
   one source row and one destination column instead of re-enumerating all
   ``m^2`` pairs in Python (the reshape to the canonical source-major 2-D
   layout is a single C-level copy, bit-identical to the old enumeration);
-* candidate x source query rows are assembled with ``repeat``/``tile``
-  and scored by a single ensemble predict, which itself is one flat-array
-  traversal over all trees (:func:`repro.ml.tree.predict_packed`);
+* candidate x source query rows live in a second preallocated
+  ``(n_vms, n_vms, d)`` buffer keyed ``[destination, source slot]``
+  holding *already-scaled* rows: each new observation writes one source
+  block (and the scaler transform of the static candidate design is
+  cached, refreshed only when the scaler statistics move), so a scoring
+  step gathers ``buffer[candidates, :m]`` instead of reassembling and
+  re-transforming all ``u * m`` rows with ``repeat``/``tile``
+  (``query_mode="rebuild"`` keeps the legacy assembly for comparison;
+  both modes produce bit-identical predictions);
+* the gathered rows are scored by a single ensemble predict — one
+  flat-array traversal over all trees, chunked over rows at large
+  ``u * m`` (:func:`repro.ml.tree.predict_packed`);
 * ``refit_fraction`` (default 1.0 = full refit, bit-identical) enables
   the ensemble's warm-start mode: only a seeded subset of trees is
   regrown per step, cutting fit time roughly proportionally.
@@ -74,6 +83,12 @@ DEFAULT_N_ESTIMATORS = 24
 #: Tree ensembles the surrogate can use; the paper picks Extra-Trees,
 #: the CART random forest is its classic sibling (for the ablation).
 ENSEMBLES = ("extra_trees", "random_forest")
+
+#: How candidate query rows are produced per scoring step:
+#: ``"incremental"`` (default) gathers from the scaled query buffer,
+#: ``"rebuild"`` reassembles and re-transforms all rows (the legacy
+#: path, kept as the benchmark baseline).  Both are bit-identical.
+QUERY_MODES = ("incremental", "rebuild")
 
 
 class PairwiseTreeScorer:
@@ -105,6 +120,11 @@ class PairwiseTreeScorer:
             ``"vectorized"`` (default, level-synchronous batched growth)
             or ``"classic"`` (per-node recursion); see
             :mod:`repro.ml.tree_builder`.
+        query_mode: ``"incremental"`` (default) serves candidate query
+            rows from the scaled query buffer, extended one source block
+            per observation; ``"rebuild"`` reassembles them from scratch
+            every step (the legacy path, kept as the perf baseline).
+            Predictions are bit-identical either way.
     """
 
     def __init__(
@@ -116,9 +136,14 @@ class PairwiseTreeScorer:
         seed: int | None = None,
         refit_fraction: float = 1.0,
         tree_builder: str = "vectorized",
+        query_mode: str = "incremental",
     ) -> None:
         if ensemble not in ENSEMBLES:
             raise ValueError(f"unknown ensemble {ensemble!r}; known: {ENSEMBLES}")
+        if query_mode not in QUERY_MODES:
+            raise ValueError(
+                f"unknown query_mode {query_mode!r}; known: {QUERY_MODES}"
+            )
         if not 0.0 < refit_fraction <= 1.0:
             raise ValueError(
                 f"refit_fraction must be in (0, 1], got {refit_fraction}"
@@ -138,9 +163,11 @@ class PairwiseTreeScorer:
         self.ensemble = ensemble
         self.refit_fraction = refit_fraction
         self.tree_builder = tree_builder
+        self.query_mode = query_mode
         self._rng = np.random.default_rng(seed)
         #: Per-call wall-clock breakdown, appended by :meth:`score`:
-        #: dicts with n_measured / n_candidates / build_s / fit_s / predict_s.
+        #: dicts with n_measured / n_candidates / build_s / fit_s /
+        #: query_s (candidate-row assembly) / predict_s (whole phase).
         self.step_timings: list[dict] = []
         # Pair-matrix cache.  The buffer is indexed [source, destination]
         # so buffer[:m, :m].reshape(m * m, d) is exactly the source-major
@@ -152,6 +179,18 @@ class PairwiseTreeScorer:
         self._cached_indices = np.empty(n_vms, dtype=np.int64)
         self._cached_values = np.empty(n_vms, dtype=float)
         self._cached_metrics: np.ndarray | None = None
+        # Scaled query-row buffer, indexed [destination, source slot]:
+        # row (dest, t) is the scaler transform of
+        # [design[dest], design[index[t]], metrics[t]].  Source blocks
+        # are appended per observation and fully re-scaled only when the
+        # scaler statistics change (every step under full refit, once
+        # under warm refit).  _scaled_design caches the transform of the
+        # static candidate design for the current scaler.
+        self._qbuf: np.ndarray | None = None
+        self._qbuf_len = 0
+        self._qbuf_mean: np.ndarray | None = None
+        self._qbuf_scale: np.ndarray | None = None
+        self._scaled_design: np.ndarray | None = None
         # Warm-start state (refit_fraction < 1 only).
         self._model = None
         self._scaler: StandardScaler | None = None
@@ -205,8 +244,13 @@ class PairwiseTreeScorer:
 
     def _sync_pair_cache(
         self, index: np.ndarray, values: np.ndarray, metrics: np.ndarray
-    ) -> None:
-        """Extend (or rebuild) the cached pair buffer to cover ``index``."""
+    ) -> int:
+        """Extend (or rebuild) the cached pair buffer to cover ``index``.
+
+        Returns the slot the write started from: slots below it were
+        verified consistent with the new history (0 means the history
+        diverged and everything was rebuilt).
+        """
         m = index.size
         d = self._design.shape[1]
         n_vms = self._design.shape[0]
@@ -239,6 +283,53 @@ class PairwiseTreeScorer:
         self._cached_values[:m] = values
         self._cached_metrics[:m] = metrics
         self._cache_len = m
+        return start
+
+    def _sync_query_buffer(
+        self,
+        index: np.ndarray,
+        metrics: np.ndarray,
+        scaler: StandardScaler,
+        valid_len: int,
+    ) -> None:
+        """Bring the scaled query buffer up to date for ``index``.
+
+        ``valid_len`` is how many leading source slots are known to match
+        the current history (the pair cache's verified prefix).  When the
+        scaler statistics are unchanged only the new source blocks are
+        written — one ``(n_vms, width)`` block per new observation; when
+        they moved (full-refit mode refits the scaler every step) the
+        cached scaled design is recomputed and every block is re-scaled.
+        """
+        m = index.size
+        d = self._design.shape[1]
+        n_vms = self._design.shape[0]
+        width = 2 * d + metrics.shape[1]
+        mean, scale = scaler.mean_, scaler.scale_
+        if self._qbuf is None or self._qbuf.shape[2] != width:
+            self._qbuf = np.empty((n_vms, n_vms, width))
+            self._qbuf_len = 0
+            valid_len = 0
+        scaler_moved = (
+            self._qbuf_mean is None
+            or not np.array_equal(mean, self._qbuf_mean)
+            or not np.array_equal(scale, self._qbuf_scale)
+        )
+        if scaler_moved:
+            self._scaled_design = (self._design - mean[:d]) / scale[:d]
+            self._qbuf_mean = mean.copy()
+            self._qbuf_scale = scale.copy()
+            start = 0
+        else:
+            start = min(valid_len, self._qbuf_len, m)
+        buffer = self._qbuf
+        src_mean, src_scale = mean[d : 2 * d], scale[d : 2 * d]
+        met_mean, met_scale = mean[2 * d :], scale[2 * d :]
+        for t in range(start, m):
+            buffer[:, t, :d] = self._scaled_design
+            buffer[:, t, d : 2 * d] = (self._design[index[t]] - src_mean) / src_scale
+            buffer[:, t, 2 * d :] = (metrics[t] - met_mean) / met_scale
+        self._qbuf_len = m
 
     def cached_training_set(self) -> tuple[np.ndarray, np.ndarray]:
         """The (features, targets) pair set currently held by the cache.
@@ -271,7 +362,7 @@ class PairwiseTreeScorer:
         m = index.size
         # to_vector is memoised per measurement, so this is m cheap reads.
         metrics = np.array([meas.metrics.to_vector() for meas in measurements])
-        self._sync_pair_cache(index, values, metrics)
+        pair_start = self._sync_pair_cache(index, values, metrics)
         X_train, y_train = self.cached_training_set()
         log_values = np.log(values)
         build_s = perf_counter() - t_build
@@ -297,12 +388,26 @@ class PairwiseTreeScorer:
         d = self._design.shape[1]
         candidates = np.asarray(unmeasured, dtype=np.int64)
         u = candidates.size
-        measured_rows = self._design[index]
-        query_rows = np.empty((u * m, X_train.shape[1]))
-        query_rows[:, :d] = np.repeat(self._design[candidates], m, axis=0)
-        query_rows[:, d : 2 * d] = np.tile(measured_rows, (u, 1))
-        query_rows[:, 2 * d :] = np.tile(metrics, (u, 1))
-        predictions = model.predict(scaler.transform(query_rows))
+        t_query = perf_counter()
+        if self.query_mode == "rebuild":
+            # Legacy path: reassemble all u * m rows and re-transform
+            # them every step.  Kept as the benchmark baseline.
+            measured_rows = self._design[index]
+            query_rows = np.empty((u * m, X_train.shape[1]))
+            query_rows[:, :d] = np.repeat(self._design[candidates], m, axis=0)
+            query_rows[:, d : 2 * d] = np.tile(measured_rows, (u, 1))
+            query_rows[:, 2 * d :] = np.tile(metrics, (u, 1))
+            scaled_query = scaler.transform(query_rows)
+        else:
+            # Incremental path: one gather from the scaled buffer.  The
+            # element order (destination-major, source-minor) and every
+            # scaled value match the rebuild path bit for bit.
+            self._sync_query_buffer(index, metrics, scaler, pair_start)
+            scaled_query = self._qbuf[candidates, :m].reshape(
+                u * m, self._qbuf.shape[2]
+            )
+        query_s = perf_counter() - t_query
+        predictions = model.predict(scaled_query)
         per_source = predictions.reshape(u, m)
         if self.relational:
             per_source = per_source + log_values[None, :]
@@ -315,6 +420,7 @@ class PairwiseTreeScorer:
                 "n_candidates": int(u),
                 "build_s": build_s,
                 "fit_s": fit_s,
+                "query_s": query_s,
                 "predict_s": predict_s,
             }
         )
@@ -330,6 +436,7 @@ class AugmentedBO(SequentialOptimizer):
         ensemble: surrogate ensemble family; see :class:`PairwiseTreeScorer`.
         refit_fraction: warm-start refit knob; see :class:`PairwiseTreeScorer`.
         tree_builder: tree-growth strategy; see :class:`PairwiseTreeScorer`.
+        query_mode: candidate-row assembly mode; see :class:`PairwiseTreeScorer`.
         **kwargs: forwarded to :class:`SequentialOptimizer`.
     """
 
@@ -343,6 +450,7 @@ class AugmentedBO(SequentialOptimizer):
         ensemble: str = "extra_trees",
         refit_fraction: float = 1.0,
         tree_builder: str = "vectorized",
+        query_mode: str = "incremental",
         **kwargs,
     ) -> None:
         super().__init__(*args, **kwargs)
@@ -354,6 +462,7 @@ class AugmentedBO(SequentialOptimizer):
             seed=int(self._rng.integers(2**31)),
             refit_fraction=refit_fraction,
             tree_builder=tree_builder,
+            query_mode=query_mode,
         )
 
     @property

@@ -8,7 +8,9 @@ The loop is shared by every optimiser in this package:
 3. stop if the stopping criterion fires, otherwise measure the
    highest-scoring VM and repeat.
 
-The instance space is finite (18 VMs), so optimisers never re-measure a
+The instance space is finite (the environment's catalog — the paper's
+18 VMs by default, hundreds for the generated large catalogs), so
+optimisers never re-measure a
 VM and a search that measures every reachable VM ends with
 ``"exhausted"``.  Search cost is the number of charged measurements,
 initial samples and *failed attempts* included — the cloud bills a run

@@ -520,64 +520,76 @@ class DesignGeometry:
     """Incremental distance geometry over a fixed design matrix.
 
     A BO scorer fits its GP on the measured subset of a fixed design and
-    predicts over the unmeasured rest at every step.  The measured set
-    only ever grows by one row per step, so the per-dimension squared
-    differences between *all* design rows and the measured set are
-    extended one column per new measurement instead of rebuilt: the
-    buffers hold ``(d, n_design, k)`` / ``(n_design, k)`` blocks for the
-    ``k`` rows measured so far, in measurement order.
+    predicts over the unmeasured rest at every step.  A column of
+    squared differences depends only on the *design row* it is taken
+    against — never on when that row was measured — so columns are
+    cached by design index in preallocated ``(d, n, n)`` / ``(n, n)``
+    buffers and computed at most once per row across the whole search.
 
-    :meth:`fit_geometry` and :meth:`cross_geometry` slice the grown
-    buffers into the :class:`Geometry` blocks kernels consume, so no
-    pairwise distance is ever computed twice across a whole search.
+    Caching by index (rather than by measurement order) is what lets
+    the constant-liar q-EI path reuse candidate-side cross-covariance
+    columns across fantasies *and* across rounds: a batched search
+    commits measurements in catalog order while fantasies extend in
+    pick order, and both simply gather the same cached columns instead
+    of recomputing distances after every order change.
+
+    :meth:`fit_geometry` and :meth:`cross_geometry` gather the cached
+    columns into the :class:`Geometry` blocks kernels consume, so no
+    pairwise distance is ever computed twice.
     """
 
     def __init__(self, design: np.ndarray) -> None:
         self.design = _as_2d(np.asarray(design, dtype=float))
         n, d = self.design.shape
         self._order: list[int] = []
-        self._dims = np.empty((d, n, 0))
-        self._total = np.empty((n, 0))
-        #: Observability counters: columns appended vs full restarts.
+        self._col_dims = np.empty((d, n, n))
+        self._col_total = np.empty((n, n))
+        self._have = np.zeros(n, dtype=bool)
+        #: Observability counters: columns computed, and serve orders
+        #: that diverged from a pure extension of the previous one
+        #: (those used to force a full recompute; they are now served
+        #: from the by-index cache like any other order).
         self.extensions = 0
         self.rebuilds = 0
 
-    def _extend(self, measured: list[int]) -> None:
-        """Grow the buffers so they cover ``measured`` (in that order)."""
+    def _sync(self, measured: list[int]) -> None:
+        """Compute any columns of ``measured`` not cached yet."""
         if measured[: len(self._order)] != self._order:
-            # The measurement order diverged from what the buffers hold
-            # (e.g. a rerun of the search) — start over.
-            self._order = []
-            self._dims = self._dims[:, :, :0]
-            self._total = self._total[:, :0]
             self.rebuilds += 1
-        for index in measured[len(self._order) :]:
-            diff = self.design - self.design[index]
-            column = np.ascontiguousarray((diff * diff).T)[:, :, None]
-            self._dims = np.concatenate([self._dims, column], axis=2)
-            self._total = np.concatenate([self._total, column.sum(axis=0)], axis=1)
-            self._order.append(index)
-            self.extensions += 1
+            self._order = list(measured)
+        elif len(measured) > len(self._order):
+            self._order = list(measured)
+        for index in measured:
+            if not self._have[index]:
+                diff = self.design - self.design[index]
+                square = diff * diff
+                self._col_dims[:, :, index] = square.T
+                self._col_total[:, index] = square.sum(axis=1)
+                self._have[index] = True
+                self.extensions += 1
 
     def fit_geometry(self, measured: list[int]) -> Geometry:
         """Geometry of the measured rows against themselves."""
         measured = list(measured)
-        self._extend(measured)
+        self._sync(measured)
         rows = np.asarray(measured, dtype=int)
-        k = len(measured)
+        dims = np.arange(self.design.shape[1])
         return Geometry.from_blocks(
-            self._dims[:, rows, :k], self._total[rows, :k], self_pair=True
+            self._col_dims[np.ix_(dims, rows, rows)],
+            self._col_total[np.ix_(rows, rows)],
+            self_pair=True,
         )
 
     def cross_geometry(self, rows: list[int], measured: list[int]) -> Geometry:
         """Geometry of arbitrary design rows against the measured set."""
         measured = list(measured)
-        self._extend(measured)
+        self._sync(measured)
         row_index = np.asarray(list(rows), dtype=int)
-        k = len(measured)
+        cols = np.asarray(measured, dtype=int)
+        dims = np.arange(self.design.shape[1])
         return Geometry.from_blocks(
-            self._dims[:, row_index, :k],
-            self._total[row_index, :k],
+            self._col_dims[np.ix_(dims, row_index, cols)],
+            self._col_total[np.ix_(row_index, cols)],
             self_pair=False,
         )
 

@@ -11,7 +11,8 @@ Sobol).  We provide three pieces:
 * :func:`quasi_random_distinct` — the finite-catalog analogue used to pick
   initial VMs: a random first pick followed by greedy maximin selection in
   the scaled instance space, which is what "uniformly very distinct"
-  means over 18 discrete points.
+  means over a finite catalog (the paper's 18 types, or hundreds in
+  the generated large catalogs).
 """
 
 from __future__ import annotations

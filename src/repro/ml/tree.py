@@ -112,17 +112,15 @@ def pack_trees(trees: Sequence) -> PackedTrees:
     )
 
 
-def predict_packed(packed: PackedTrees, X: np.ndarray) -> np.ndarray:
-    """Per-tree predictions for ``X`` in one flat traversal.
+#: Row-chunk size for :func:`predict_packed`.  Bounds the transient
+#: ``n_trees * chunk`` cursor arrays when scoring hundreds of candidates
+#: against many sources (u * m query rows grows quadratically over a
+#: search); rows traverse independently, so chunking is bit-identical.
+PREDICT_CHUNK_ROWS = 16384
 
-    All ``n_trees * n_rows`` cursors descend simultaneously; the loop
-    runs for the depth of the deepest tree rather than once per tree.
-    Returns an ``(n_trees, n_rows)`` array identical (bit for bit) to
-    stacking each tree's own :meth:`RegressionTree.predict`.
-    """
-    X = np.asarray(X, dtype=float)
-    if X.ndim == 1:
-        X = X.reshape(1, -1)
+
+def _predict_packed_block(packed: PackedTrees, X: np.ndarray) -> np.ndarray:
+    """One unchunked flat traversal over ``X`` (see :func:`predict_packed`)."""
     n_rows = X.shape[0]
     node = np.repeat(packed.roots, n_rows)
     cols = np.tile(np.arange(n_rows), packed.n_trees)
@@ -134,6 +132,36 @@ def predict_packed(packed: PackedTrees, X: np.ndarray) -> np.ndarray:
         node[active] = np.where(go_left, packed.left[current], packed.right[current])
         active = packed.feature[node] >= 0
     return packed.value[node].reshape(packed.n_trees, n_rows)
+
+
+def predict_packed(
+    packed: PackedTrees, X: np.ndarray, chunk_rows: int | None = None
+) -> np.ndarray:
+    """Per-tree predictions for ``X`` in flat traversals.
+
+    All ``n_trees * n_rows`` cursors descend simultaneously; the loop
+    runs for the depth of the deepest tree rather than once per tree.
+    Inputs wider than ``chunk_rows`` rows (default
+    :data:`PREDICT_CHUNK_ROWS`) are traversed in row chunks so the
+    cursor arrays stay cache-sized at large candidate counts — each row
+    descends independently, so the result is the same bit for bit.
+    Returns an ``(n_trees, n_rows)`` array identical to stacking each
+    tree's own :meth:`RegressionTree.predict`.
+    """
+    X = np.asarray(X, dtype=float)
+    if X.ndim == 1:
+        X = X.reshape(1, -1)
+    n_rows = X.shape[0]
+    chunk = PREDICT_CHUNK_ROWS if chunk_rows is None else int(chunk_rows)
+    if chunk < 1:
+        raise ValueError(f"chunk_rows must be positive, got {chunk_rows}")
+    if n_rows <= chunk:
+        return _predict_packed_block(packed, X)
+    out = np.empty((packed.n_trees, n_rows))
+    for start in range(0, n_rows, chunk):
+        stop = min(start + chunk, n_rows)
+        out[:, start:stop] = _predict_packed_block(packed, X[start:stop])
+    return out
 
 
 def adopt_nodes(

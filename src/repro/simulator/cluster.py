@@ -18,6 +18,7 @@ from typing import Protocol, runtime_checkable
 
 import numpy as np
 
+from repro.cloud.catalog import Catalog
 from repro.cloud.pricing import PriceList, default_price_list, deployment_cost
 from repro.cloud.vmtypes import VMType, default_catalog
 from repro.simulator.lowlevel import LowLevelMetrics, derive_metrics
@@ -79,7 +80,7 @@ class SimulatedCloud:
     def __init__(
         self,
         workload: Workload,
-        catalog: tuple[VMType, ...] | None = None,
+        catalog: "Catalog | tuple[VMType, ...] | None" = None,
         prices: PriceList | None = None,
         noise: InterferenceModel | None = None,
         seed: int | None = None,
@@ -87,8 +88,13 @@ class SimulatedCloud:
         if noise is not None and seed is not None:
             raise ValueError("pass either a noise model or a seed, not both")
         self.workload = workload
-        self._catalog = catalog if catalog is not None else default_catalog()
-        self._prices = prices if prices is not None else default_price_list()
+        if isinstance(catalog, Catalog):
+            # A named catalog brings its own price list unless overridden.
+            self._catalog = catalog.vms
+            self._prices = prices if prices is not None else catalog.prices
+        else:
+            self._catalog = catalog if catalog is not None else default_catalog()
+            self._prices = prices if prices is not None else default_price_list()
         self._noise = noise if noise is not None else InterferenceModel(seed=seed)
         self._model = PerformanceModel()
         self._count = 0

@@ -1,4 +1,8 @@
-"""Benchmark traces: the recorded 107-workload x 18-VM measurement matrix.
+"""Benchmark traces: the recorded 107-workload x catalog measurement matrix.
+
+The canonical trace sweeps the paper's 18-VM ``aws-2017`` catalog;
+:func:`~repro.trace.generate.canonical_trace` builds the same
+deterministic dataset for any registered catalog (210/390 types).
 
 The paper first collects one large dataset (execution time, deployment
 cost and low-level metrics for every workload on every VM) and then
@@ -9,13 +13,19 @@ simulator, a replay environment, and file round-trip.
 """
 
 from repro.trace.dataset import BenchmarkTrace, TraceEnvironment
-from repro.trace.generate import DEFAULT_TRACE_SEED, default_trace, generate_trace
+from repro.trace.generate import (
+    DEFAULT_TRACE_SEED,
+    canonical_trace,
+    default_trace,
+    generate_trace,
+)
 from repro.trace.io import load_trace, save_trace
 
 __all__ = [
     "BenchmarkTrace",
     "TraceEnvironment",
     "DEFAULT_TRACE_SEED",
+    "canonical_trace",
     "default_trace",
     "generate_trace",
     "load_trace",

@@ -33,6 +33,9 @@ class BenchmarkTrace:
         metrics: ``(n_workloads, n_vms, n_metrics)`` low-level metrics in
             :data:`~repro.simulator.lowlevel.METRIC_NAMES` order.
         seed: the generation seed, recorded for provenance.
+        catalog_name: name of the registered catalog the columns came
+            from (``"aws-2017"`` for the paper's types), recorded so
+            saved traces can be validated against the right catalog.
     """
 
     registry: WorkloadRegistry
@@ -41,6 +44,7 @@ class BenchmarkTrace:
     costs: np.ndarray
     metrics: np.ndarray
     seed: int
+    catalog_name: str = "aws-2017"
     _row_by_id: dict[str, int] = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:

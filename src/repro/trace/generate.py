@@ -13,6 +13,7 @@ import zlib
 
 import numpy as np
 
+from repro.cloud.catalog import DEFAULT_CATALOG_NAME, Catalog, get_catalog
 from repro.cloud.pricing import PriceList, default_price_list
 from repro.cloud.vmtypes import VMType, default_catalog
 from repro.simulator.cluster import SimulatedCloud
@@ -28,7 +29,7 @@ DEFAULT_TRACE_SEED = 2018
 def generate_trace(
     seed: int = DEFAULT_TRACE_SEED,
     registry: WorkloadRegistry | None = None,
-    catalog: tuple[VMType, ...] | None = None,
+    catalog: Catalog | tuple[VMType, ...] | None = None,
     prices: PriceList | None = None,
     time_sigma: float | None = None,
     metric_sigma: float | None = None,
@@ -38,7 +39,8 @@ def generate_trace(
     Args:
         seed: master seed; each workload's noise stream is derived from it.
         registry: workloads to sweep (defaults to the canonical 107).
-        catalog: VM types to sweep (defaults to the canonical 18).
+        catalog: VM types to sweep — a named :class:`Catalog` (which also
+            supplies prices) or a plain tuple (defaults to the canonical 18).
         prices: price list for deployment costs.
         time_sigma: override the interference noise on execution time
             (``None`` keeps the model default; ``0.0`` gives a noise-free
@@ -46,7 +48,18 @@ def generate_trace(
         metric_sigma: override the noise on low-level metrics, likewise.
     """
     registry = registry if registry is not None else default_registry()
-    catalog = catalog if catalog is not None else default_catalog()
+    if isinstance(catalog, Catalog):
+        catalog_name = catalog.name
+        if prices is None:
+            prices = catalog.prices
+        catalog = catalog.vms
+    else:
+        catalog = catalog if catalog is not None else default_catalog()
+        # A plain tuple only gets the default name when it *is* the
+        # default catalog; ad-hoc tuples are recorded as "custom".
+        catalog_name = (
+            DEFAULT_CATALOG_NAME if catalog == default_catalog() else "custom"
+        )
     prices = prices if prices is not None else default_price_list()
 
     n_w, n_v = len(registry), len(catalog)
@@ -81,15 +94,27 @@ def generate_trace(
         costs=costs,
         metrics=metrics,
         seed=seed,
+        catalog_name=catalog_name,
     )
 
 
-_DEFAULT_TRACE: BenchmarkTrace | None = None
+_CANONICAL_TRACES: dict[str, BenchmarkTrace] = {}
+
+
+def canonical_trace(catalog_name: str = DEFAULT_CATALOG_NAME) -> BenchmarkTrace:
+    """The canonical trace (seed 2018) for a named catalog, memoised.
+
+    ``canonical_trace()`` is the paper's dataset; other names sweep the
+    same 107 workloads over that catalog's types with the same seeding
+    scheme, so large-catalog searches replay deterministic data too.
+    """
+    if catalog_name not in _CANONICAL_TRACES:
+        _CANONICAL_TRACES[catalog_name] = generate_trace(
+            DEFAULT_TRACE_SEED, catalog=get_catalog(catalog_name)
+        )
+    return _CANONICAL_TRACES[catalog_name]
 
 
 def default_trace() -> BenchmarkTrace:
     """The canonical trace (seed 2018), generated once per process."""
-    global _DEFAULT_TRACE
-    if _DEFAULT_TRACE is None:
-        _DEFAULT_TRACE = generate_trace(DEFAULT_TRACE_SEED)
-    return _DEFAULT_TRACE
+    return canonical_trace(DEFAULT_CATALOG_NAME)

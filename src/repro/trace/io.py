@@ -14,7 +14,7 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.cloud.vmtypes import default_catalog
+from repro.cloud.catalog import DEFAULT_CATALOG_NAME, get_catalog
 from repro.simulator.lowlevel import METRIC_NAMES
 from repro.trace.dataset import BenchmarkTrace
 from repro.workloads.registry import WorkloadRegistry, default_registry
@@ -27,6 +27,7 @@ def save_trace(trace: BenchmarkTrace, path: str | Path) -> None:
     document = {
         "format_version": _FORMAT_VERSION,
         "seed": trace.seed,
+        "catalog": trace.catalog_name,
         "workloads": [w.workload_id for w in trace.registry],
         "vms": [vm.name for vm in trace.catalog],
         "metric_names": list(METRIC_NAMES),
@@ -51,22 +52,31 @@ def load_trace(path: str | Path, registry: WorkloadRegistry | None = None) -> Be
         raise ValueError(f"unsupported trace format version {version!r}")
 
     registry = registry if registry is not None else default_registry()
-    catalog = default_catalog()
+    # Pre-catalog files carry no "catalog" key; they were always written
+    # against the paper's 18 types.
+    catalog_name = document.get("catalog", DEFAULT_CATALOG_NAME)
+    try:
+        catalog = get_catalog(catalog_name)
+    except ValueError as error:
+        raise ValueError(f"trace references an unknown catalog: {error}") from None
 
     expected_workloads = [w.workload_id for w in registry]
     if document["workloads"] != expected_workloads:
         raise ValueError("trace workload ids do not match the current registry")
-    expected_vms = [vm.name for vm in catalog]
+    expected_vms = [vm.name for vm in catalog.vms]
     if document["vms"] != expected_vms:
-        raise ValueError("trace VM names do not match the current catalog")
+        raise ValueError(
+            f"trace VM names do not match catalog {catalog_name!r}"
+        )
     if document["metric_names"] != list(METRIC_NAMES):
         raise ValueError("trace metric names do not match the current metric set")
 
     return BenchmarkTrace(
         registry=registry,
-        catalog=catalog,
+        catalog=catalog.vms,
         times=np.array(document["times"], dtype=float),
         costs=np.array(document["costs"], dtype=float),
         metrics=np.array(document["metrics"], dtype=float),
         seed=int(document["seed"]),
+        catalog_name=catalog_name,
     )

@@ -2,7 +2,31 @@
 
 import pytest
 
-from repro.analysis.regions import Region, classify_region, region_counts
+from repro.analysis.regions import (
+    Region,
+    classify_region,
+    region_bounds,
+    region_counts,
+)
+
+
+class TestRegionBounds:
+    def test_paper_defaults_preserved(self):
+        assert region_bounds() == (6, 12)
+        assert region_bounds(18) == (6, 12)
+
+    def test_scales_with_catalog_size(self):
+        assert region_bounds(210) == (70, 140)
+        assert region_bounds(390) == (130, 260)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError, match="catalog_size"):
+            region_bounds(0)
+
+    def test_classification_uses_scaled_bounds(self):
+        # 13 measurements of 18 is Region III, but of 210 it's Region I.
+        assert classify_region([13, 13]) is Region.III
+        assert classify_region([13, 13], catalog_size=210) is Region.I
 
 
 class TestClassifyRegion:

@@ -163,4 +163,49 @@ class TestStepTimings:
             assert entry["build_s"] >= 0.0
             assert entry["fit_s"] > 0.0
             assert entry["predict_s"] > 0.0
+            assert entry["query_s"] >= 0.0
             assert entry["n_candidates"] >= 1
+
+
+class TestQueryModes:
+    """The incremental query-row buffer vs the legacy repeat/tile
+    rebuild: same floats, different assembly."""
+
+    def test_validation(self, trace):
+        with pytest.raises(ValueError, match="query_mode"):
+            AugmentedBO(trace.environment(WORKLOAD), query_mode="cached")
+
+    @pytest.mark.parametrize("seed", [0, 3])
+    def test_full_search_is_bit_identical(self, trace, seed):
+        runs = {}
+        for mode in ("incremental", "rebuild"):
+            optimizer = AugmentedBO(
+                trace.environment(WORKLOAD), seed=seed, query_mode=mode
+            )
+            result = optimizer.run()
+            runs[mode] = (
+                result.measured_vm_names,
+                [s.objective_value for s in result.steps],
+            )
+        assert runs["incremental"] == runs["rebuild"]
+
+    def test_scores_equal_at_every_history(self, trace):
+        """Scorer-level check: identical score vectors while the history
+        (and with it the scaler statistics) grows, then again on a
+        repeated call at fixed history (the frozen-scaler fast path)."""
+        environment = trace.environment(WORKLOAD)
+        environment.reset()
+        catalog = list(environment.catalog)
+        measurements = [environment.measure(vm) for vm in catalog[:8]]
+        values = [m.execution_time_s for m in measurements]
+        design = AugmentedBO(environment, seed=0).design_matrix
+
+        fast = PairwiseTreeScorer(design, seed=1, query_mode="incremental")
+        slow = PairwiseTreeScorer(design, seed=1, query_mode="rebuild")
+        for upto in (4, 5, 6, 7, 8, 8):  # repeated 8 = fixed-history call
+            measured = list(range(upto))
+            unmeasured = list(range(upto, len(catalog)))
+            a = fast.score(measured, values[:upto], measurements[:upto], unmeasured)
+            b = slow.score(measured, values[:upto], measurements[:upto], unmeasured)
+            np.testing.assert_array_equal(a.scores, b.scores)
+            np.testing.assert_array_equal(a.predicted, b.predicted)

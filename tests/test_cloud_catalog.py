@@ -1,0 +1,159 @@
+"""Unit and property tests for the pluggable VM catalog layer.
+
+The generated catalogs (``aws-large``, ``multicloud``) are pure
+arithmetic over (archetype, generation, size) grids — no randomness —
+so they must be byte-identical across processes, their prices strictly
+positive and monotone in size within a family, and the instance encoder
+must handle their >6 family namespaces without touching the paper's
+default 18-type encoding.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cloud.catalog import (
+    DEFAULT_CATALOG_NAME,
+    Catalog,
+    catalog_names,
+    get_catalog,
+)
+from repro.cloud.encoding import InstanceEncoder
+from repro.cloud.pricing import default_price_list
+from repro.cloud.vmtypes import SIZE_LADDER, default_catalog
+
+REPO_SRC = str(Path(__file__).resolve().parent.parent / "src")
+
+GENERATED = ("aws-large", "multicloud")
+
+
+class TestRegistry:
+    def test_names(self):
+        assert catalog_names() == ("aws-2017", "aws-large", "multicloud")
+
+    def test_default_is_the_papers_catalog(self):
+        catalog = get_catalog(DEFAULT_CATALOG_NAME)
+        assert catalog.vms == default_catalog()
+        assert catalog.prices is default_price_list()
+        assert len(catalog) == 18
+        assert catalog.families == ("c3", "c4", "m3", "m4", "r3", "r4")
+
+    def test_expected_sizes(self):
+        assert len(get_catalog("aws-large")) == 210
+        assert len(get_catalog("multicloud")) == 390
+
+    def test_unknown_name_suggests_alternatives(self):
+        with pytest.raises(ValueError, match="aws-large"):
+            get_catalog("aws-lrg")
+        with pytest.raises(ValueError, match="registered"):
+            get_catalog("gcp")
+
+    def test_catalogs_are_memoised(self):
+        assert get_catalog("aws-large") is get_catalog("aws-large")
+
+    def test_deterministic_across_processes(self):
+        """Two fresh interpreters must generate byte-identical catalogs."""
+        script = (
+            "from repro.cloud.catalog import get_catalog\n"
+            "for name in ('aws-large', 'multicloud'):\n"
+            "    c = get_catalog(name)\n"
+            "    print(hash((c.name, c.vms, tuple(sorted(c.prices.prices.items())))))\n"
+        )
+        outputs = [
+            subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env={"PYTHONPATH": REPO_SRC, "PYTHONHASHSEED": "0"},
+            ).stdout
+            for _ in range(2)
+        ]
+        assert outputs[0] == outputs[1]
+        assert len(outputs[0].splitlines()) == 2
+
+
+class TestGeneratedCatalogs:
+    @pytest.mark.parametrize("name", GENERATED)
+    def test_unique_names_and_positive_prices(self, name):
+        catalog = get_catalog(name)
+        names = [vm.name for vm in catalog]
+        assert len(set(names)) == len(names)
+        for vm in catalog:
+            assert catalog.prices.price_per_hour(vm) > 0.0
+            assert vm.vcpus >= 2
+            assert vm.ram_gb > 0
+            assert vm.ebs_mbps > 0
+
+    @pytest.mark.parametrize("name", GENERATED)
+    def test_prices_monotone_in_size_within_family(self, name):
+        catalog = get_catalog(name)
+        by_family: dict[str, list] = {}
+        for vm in catalog:
+            by_family.setdefault(vm.family, []).append(vm)
+        for family, vms in by_family.items():
+            ordered = sorted(vms, key=lambda vm: SIZE_LADDER.index(vm.size))
+            prices = [catalog.prices.price_per_hour(vm) for vm in ordered]
+            assert prices == sorted(prices), family
+            assert all(b > a for a, b in zip(prices, prices[1:])), family
+
+    def test_multicloud_providers(self):
+        catalog = get_catalog("multicloud")
+        assert catalog.providers == ("aws", "selectel", "timeweb")
+        for provider in catalog.providers:
+            low, high = catalog.price_range(provider)
+            assert 0.0 < low < high
+
+    def test_get_names_the_catalog_in_errors(self):
+        with pytest.raises(KeyError, match="multicloud"):
+            get_catalog("multicloud").get("sel-c1.lrge")
+
+
+class TestEncoderAtScale:
+    @pytest.mark.parametrize("name", GENERATED)
+    def test_encoder_handles_many_families(self, name):
+        catalog = get_catalog(name)
+        encoder = InstanceEncoder(catalog.vms)
+        assert len(encoder.families) > 6
+        design = encoder.encode_all()
+        assert design.shape[0] == len(catalog)
+        # Family codes are 1..n in catalog first-appearance order.
+        codes = sorted({int(row[0]) for row in design})
+        assert codes == list(range(1, len(encoder.families) + 1))
+
+    def test_default_encoding_is_untouched(self):
+        """The paper's 18-type design matrix must be exactly what the
+        fixed 6-family encoder always produced."""
+        implicit = InstanceEncoder().encode_all()
+        explicit = InstanceEncoder(default_catalog()).encode_all()
+        np.testing.assert_array_equal(implicit, explicit)
+        assert InstanceEncoder().families == ("c3", "c4", "m3", "m4", "r3", "r4")
+
+    def test_unknown_family_is_rejected(self):
+        encoder = InstanceEncoder(default_catalog())
+        stranger = get_catalog("multicloud").get("sel-c1.large")
+        with pytest.raises(ValueError, match="family"):
+            encoder.encode(stranger)
+
+
+class TestCatalogType:
+    def test_requires_unique_names(self):
+        vm = default_catalog()[0]
+        with pytest.raises(ValueError, match="duplicate"):
+            Catalog(
+                name="dup",
+                vms=(vm, vm),
+                prices=default_price_list(),
+                description="",
+            )
+
+    def test_requires_vms(self):
+        with pytest.raises(ValueError, match="no VM types"):
+            Catalog(
+                name="empty", vms=(), prices=default_price_list(), description=""
+            )

@@ -10,7 +10,15 @@ from repro.core.acquisition import (
     lower_confidence_bound,
     prediction_delta,
     probability_of_improvement,
+    top_q_indices,
 )
+
+
+def _top_q_reference(scores: np.ndarray, q: int) -> list[int]:
+    """The pre-argpartition implementation: one full stable argsort."""
+    scores = np.asarray(scores, dtype=float).ravel()
+    order = np.argsort(-scores, kind="stable")
+    return [int(i) for i in order[: min(q, scores.size)]]
 
 
 class TestExpectedImprovement:
@@ -102,3 +110,48 @@ class TestPredictionDelta:
     def test_scores_are_elementwise_negation(self, mean):
         mean_arr = np.array(mean)
         assert np.array_equal(prediction_delta(mean_arr), -mean_arr)
+
+
+class TestTopQIndices:
+    """The argpartition fast path must be indistinguishable from the
+    legacy full stable argsort — argmax first, ties to the lowest
+    position — for every q from 1 to n."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        scores=st.lists(
+            # A handful of repeated values forces heavy ties, the case
+            # argpartition alone gets wrong.
+            st.sampled_from([-2.0, -1.0, 0.0, 0.5, 1.0, 3.0]),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    def test_matches_reference_for_every_q(self, scores):
+        arr = np.array(scores)
+        for q in range(1, arr.size + 1):
+            assert top_q_indices(arr, q) == _top_q_reference(arr, q)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        scores=st.lists(
+            st.floats(-1e9, 1e9), min_size=65, max_size=200
+        ),
+        q=st.integers(1, 50),
+    )
+    def test_large_distinct_inputs_hit_fast_path(self, scores, q):
+        arr = np.array(scores)
+        assert top_q_indices(arr, q) == _top_q_reference(arr, q)
+
+    def test_catalog_scale_with_ties(self):
+        rng = np.random.default_rng(0)
+        arr = rng.choice([0.0, 1.0, 2.0, 3.0], size=390)
+        for q in (1, 4, 64, 65, 200, 390):
+            assert top_q_indices(arr, q) == _top_q_reference(arr, q)
+        assert top_q_indices(arr, 1) == [int(np.argmax(arr))]
+
+    def test_nan_scores_fall_back_to_stable_sort(self):
+        arr = np.full(100, 1.0)
+        arr[10] = np.nan
+        arr[50] = 5.0
+        assert top_q_indices(arr, 3) == _top_q_reference(arr, 3)

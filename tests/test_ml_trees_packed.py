@@ -32,6 +32,27 @@ class TestPackTrees:
         expected = np.stack([tree.predict(queries) for tree in trees])
         np.testing.assert_array_equal(predict_packed(packed, queries), expected)
 
+    @pytest.mark.parametrize("chunk_rows", [1, 7, 40, 64, 4096])
+    def test_chunked_predict_is_bit_identical(self, data, chunk_rows):
+        """Row-chunked traversal must reproduce the monolithic pass
+        exactly — rows traverse the packed arrays independently."""
+        X, y = data
+        trees = [
+            RegressionTree(min_samples_split=4, seed=seed).fit(X, y)
+            for seed in range(5)
+        ]
+        packed = pack_trees(trees)
+        queries = np.random.default_rng(2).uniform(size=(129, 5))
+        whole = predict_packed(packed, queries)
+        chunked = predict_packed(packed, queries, chunk_rows=chunk_rows)
+        np.testing.assert_array_equal(chunked, whole)
+
+    def test_chunk_rows_validation(self, data):
+        X, y = data
+        packed = pack_trees([RegressionTree(seed=0).fit(X, y)])
+        with pytest.raises(ValueError, match="chunk_rows"):
+            predict_packed(packed, X, chunk_rows=0)
+
     def test_single_row_query(self, data):
         X, y = data
         tree = RegressionTree(seed=0).fit(X, y)
