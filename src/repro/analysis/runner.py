@@ -415,7 +415,12 @@ class ExperimentRunner:
                 seed (default :func:`run_seed`).  The grid ``key`` must
                 change whenever this changes — seeds determine results.
             executor: backend selection (``auto`` / ``serial`` /
-                ``pool`` / ``queue``).  ``"queue"`` dispatches cells
+                ``pool`` / ``queue`` / ``vector``).  ``"vector"`` runs
+                every missing cell in-process through the lock-step
+                :class:`~repro.parallel.vector.VectorizedGridDriver`,
+                batching per-round surrogate algebra across searches
+                with results (and the cache file) byte-identical to the
+                serial path.  ``"queue"`` dispatches cells
                 through a durable :class:`~repro.parallel.queue.
                 WorkQueue` at ``<cache>.queue`` next to the cache file
                 (crash-surviving, at-least-once; external workers can

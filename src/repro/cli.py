@@ -849,13 +849,15 @@ def build_parser() -> argparse.ArgumentParser:
         "campaign back in and recompute only the cells it lost in flight",
     )
     search.add_argument(
-        "--executor", choices=["auto", "serial", "pool", "queue"],
+        "--executor", choices=["auto", "serial", "pool", "queue", "vector"],
         default="auto",
         help="execution backend for --repeats campaigns: auto (serial or "
-        "fork pool from --workers), serial, pool, or queue — a durable "
+        "fork pool from --workers), serial, pool, queue — a durable "
         "SQLite work queue next to the cache (requires --cache-dir) that "
         "survives crashes and admits external 'arrow queue-worker' "
-        "processes",
+        "processes — or vector, which steps every search in lock-step "
+        "and batches per-round surrogate algebra across them "
+        "(in-process, bit-identical results to serial)",
     )
     search.add_argument(
         "--queue-workers", type=int, default=None, metavar="N",

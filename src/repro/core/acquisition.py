@@ -58,6 +58,43 @@ def expected_improvement(
     return np.maximum(ei, 0.0)
 
 
+def expected_improvement_stacked(
+    mean: np.ndarray, std: np.ndarray, best_observed: np.ndarray
+) -> np.ndarray:
+    """Row-wise :func:`expected_improvement` for ``S`` searches at once.
+
+    Args:
+        mean: ``(S, u)`` posterior means, one row per search.
+        std: ``(S, u)`` posterior standard deviations.
+        best_observed: ``S`` incumbents, one per search.
+
+    Row ``s`` of the result is bit-identical to
+    ``expected_improvement(mean[s], std[s], best_observed[s])``: the
+    boolean ``std > _EPS`` mask flattens both layouts into the same
+    per-element operands, and the normal cdf/pdf are evaluated in one
+    dispatch instead of ``S``.
+    """
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    best = np.asarray(best_observed, dtype=float).ravel()
+    if mean.ndim != 2 or std.shape != mean.shape:
+        raise ValueError(
+            f"mean shape {mean.shape} and std shape {std.shape} must match 2-D"
+        )
+    if best.shape[0] != mean.shape[0]:
+        raise ValueError(
+            f"got {best.shape[0]} incumbents for {mean.shape[0]} rows"
+        )
+    if np.any(std < 0):
+        raise ValueError("std must be non-negative")
+    improvement = best[:, None] - mean
+    ei = np.maximum(improvement, 0.0)
+    positive = std > _EPS
+    z = improvement[positive] / std[positive]
+    ei[positive] = improvement[positive] * stats.norm.cdf(z) + std[positive] * stats.norm.pdf(z)
+    return np.maximum(ei, 0.0)
+
+
 def probability_of_improvement(
     mean: np.ndarray, std: np.ndarray, best_observed: float
 ) -> np.ndarray:

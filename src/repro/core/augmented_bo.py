@@ -65,6 +65,7 @@ can track the surrogate's perf trajectory.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from time import perf_counter
 
 import numpy as np
@@ -89,6 +90,33 @@ ENSEMBLES = ("extra_trees", "random_forest")
 #: ``"rebuild"`` reassembles and re-transforms all rows (the legacy
 #: path, kept as the benchmark baseline).  Both are bit-identical.
 QUERY_MODES = ("incremental", "rebuild")
+
+
+@dataclass(slots=True)
+class _PendingTreeScore:
+    """A scoring step paused at the ensemble-fit boundary.
+
+    Produced by :meth:`PairwiseTreeScorer.score_begin`; the model is
+    built (per-step seed already drawn) but unfitted.  The holder fits
+    ``model`` on ``(X_scaled, y_train)`` — alone or stacked with other
+    searches' pending steps — then finishes the step with
+    :meth:`PairwiseTreeScorer.score_commit`.
+    """
+
+    index: np.ndarray
+    metrics: np.ndarray
+    log_values: np.ndarray
+    pair_start: int
+    scaler: StandardScaler
+    model: object
+    X_scaled: np.ndarray
+    y_train: np.ndarray
+    width: int
+    unmeasured: list[int] = field(default_factory=list)
+    build_s: float = 0.0
+    fit_prep_s: float = 0.0
+    scaled_query: np.ndarray | None = None
+    query_s: float = 0.0
 
 
 class PairwiseTreeScorer:
@@ -348,18 +376,41 @@ class PairwiseTreeScorer:
             targets = np.tile(log_values, m)
         return rows, targets
 
-    def score(
+    @property
+    def stackable(self) -> bool:
+        """Whether this scorer's ensemble fit can be stacked cross-search.
+
+        The cross-search batched builder
+        (:func:`repro.ml.tree_builder.build_extra_trees_stacked`) only
+        reproduces the full-refit vectorized Extra-Trees path bit for
+        bit; warm refits, classic growth and the CART random forest fall
+        back to the per-search loop.
+        """
+        return (
+            self.ensemble == "extra_trees"
+            and self.refit_fraction == 1.0
+            and self.tree_builder == "vectorized"
+        )
+
+    def score_begin(
         self,
         measured: list[int],
         values: np.ndarray,
         measurements: list[Measurement],
         unmeasured: list[int],
-    ) -> AcquisitionScores:
-        """Fit the pairwise surrogate and score the unmeasured candidates."""
+    ) -> _PendingTreeScore:
+        """Everything :meth:`score` does *before* the ensemble fit.
+
+        Splitting the step at the fit boundary lets an external driver
+        fit many searches' ensembles in one stacked builder pass
+        (:func:`repro.ml.extra_trees.fit_ensembles_stacked`) and then
+        finish each step with :meth:`score_commit`.  ``score_begin`` +
+        ``model.fit`` + ``score_commit`` is bit-identical to
+        :meth:`score` — it is the same code, split.
+        """
         t_build = perf_counter()
         index = np.asarray(measured, dtype=np.int64)
         values = np.asarray(values, dtype=float)
-        m = index.size
         # to_vector is memoised per measurement, so this is m cheap reads.
         metrics = np.array([meas.metrics.to_vector() for meas in measurements])
         pair_start = self._sync_pair_cache(index, values, metrics)
@@ -367,7 +418,7 @@ class PairwiseTreeScorer:
         log_values = np.log(values)
         build_s = perf_counter() - t_build
 
-        t_fit = perf_counter()
+        t_prep = perf_counter()
         if self.refit_fraction < 1.0:
             # Warm start: one persistent ensemble, scaler frozen on the
             # first fit so kept trees stay consistent with new data.
@@ -378,22 +429,45 @@ class PairwiseTreeScorer:
         else:
             scaler = StandardScaler().fit(X_train)
             model = self._build_model()
-        model.fit(scaler.transform(X_train), y_train)
-        fit_s = perf_counter() - t_fit
+        X_scaled = scaler.transform(X_train)
+        return _PendingTreeScore(
+            index=index,
+            metrics=metrics,
+            log_values=log_values,
+            pair_start=pair_start,
+            scaler=scaler,
+            model=model,
+            X_scaled=X_scaled,
+            y_train=y_train,
+            width=X_train.shape[1],
+            unmeasured=unmeasured,
+            build_s=build_s,
+            fit_prep_s=perf_counter() - t_prep,
+        )
 
-        # One prediction per (candidate, measured source); average sources
-        # in log space (a geometric mean over sources), so one
-        # catastrophic source cannot drown the rest.
-        t_predict = perf_counter()
+    def query_rows(self, pending: _PendingTreeScore) -> np.ndarray:
+        """Assemble (and cache on ``pending``) the scaled query rows.
+
+        The ``u * m`` candidate x source rows :meth:`score_commit`
+        scores, in destination-major order.  Exposed so a cross-search
+        driver can collect every pending step's rows and traverse all
+        ensembles at once (:func:`repro.ml.tree.predict_packed_many`);
+        :meth:`score_commit` calls it itself otherwise.  Idempotent per
+        pending step — the rows are built once and cached.
+        """
+        if pending.scaled_query is not None:
+            return pending.scaled_query
+        index, metrics, scaler = pending.index, pending.metrics, pending.scaler
+        m = index.size
         d = self._design.shape[1]
-        candidates = np.asarray(unmeasured, dtype=np.int64)
+        candidates = np.asarray(pending.unmeasured, dtype=np.int64)
         u = candidates.size
         t_query = perf_counter()
         if self.query_mode == "rebuild":
             # Legacy path: reassemble all u * m rows and re-transform
             # them every step.  Kept as the benchmark baseline.
             measured_rows = self._design[index]
-            query_rows = np.empty((u * m, X_train.shape[1]))
+            query_rows = np.empty((u * m, pending.width))
             query_rows[:, :d] = np.repeat(self._design[candidates], m, axis=0)
             query_rows[:, d : 2 * d] = np.tile(measured_rows, (u, 1))
             query_rows[:, 2 * d :] = np.tile(metrics, (u, 1))
@@ -402,15 +476,46 @@ class PairwiseTreeScorer:
             # Incremental path: one gather from the scaled buffer.  The
             # element order (destination-major, source-minor) and every
             # scaled value match the rebuild path bit for bit.
-            self._sync_query_buffer(index, metrics, scaler, pair_start)
+            self._sync_query_buffer(index, metrics, scaler, pending.pair_start)
             scaled_query = self._qbuf[candidates, :m].reshape(
                 u * m, self._qbuf.shape[2]
             )
-        query_s = perf_counter() - t_query
-        predictions = model.predict(scaled_query)
+        pending.query_s = perf_counter() - t_query
+        pending.scaled_query = scaled_query
+        return scaled_query
+
+    def score_commit(
+        self,
+        pending: _PendingTreeScore,
+        fit_s: float,
+        tree_predictions: np.ndarray | None = None,
+    ) -> AcquisitionScores:
+        """Everything :meth:`score` does *after* the ensemble fit.
+
+        ``pending.model`` must already be fitted on
+        ``(pending.X_scaled, pending.y_train)``; ``fit_s`` is the
+        wall-clock the caller spent doing so (recorded in
+        :attr:`step_timings`).  ``tree_predictions`` optionally supplies
+        the per-tree predictions for :meth:`query_rows` — an
+        ``(n_trees, u * m)`` array from a batched cross-ensemble
+        traversal; the source average over it is exactly the model's own
+        ``predict``, so the scores are bit-identical either way.
+        """
+        model = pending.model
+        m = pending.index.size
+        # One prediction per (candidate, measured source); average sources
+        # in log space (a geometric mean over sources), so one
+        # catastrophic source cannot drown the rest.
+        t_predict = perf_counter()
+        scaled_query = self.query_rows(pending)
+        u = len(pending.unmeasured)
+        if tree_predictions is None:
+            predictions = model.predict(scaled_query)
+        else:
+            predictions = tree_predictions.mean(axis=0)
         per_source = predictions.reshape(u, m)
         if self.relational:
-            per_source = per_source + log_values[None, :]
+            per_source = per_source + pending.log_values[None, :]
         predicted = np.exp(per_source.mean(axis=1))
         predict_s = perf_counter() - t_predict
 
@@ -418,13 +523,27 @@ class PairwiseTreeScorer:
             {
                 "n_measured": int(m),
                 "n_candidates": int(u),
-                "build_s": build_s,
+                "build_s": pending.build_s,
                 "fit_s": fit_s,
-                "query_s": query_s,
+                "query_s": pending.query_s,
                 "predict_s": predict_s,
             }
         )
         return AcquisitionScores(scores=prediction_delta(predicted), predicted=predicted)
+
+    def score(
+        self,
+        measured: list[int],
+        values: np.ndarray,
+        measurements: list[Measurement],
+        unmeasured: list[int],
+    ) -> AcquisitionScores:
+        """Fit the pairwise surrogate and score the unmeasured candidates."""
+        pending = self.score_begin(measured, values, measurements, unmeasured)
+        t_fit = perf_counter()
+        pending.model.fit(pending.X_scaled, pending.y_train)
+        fit_s = pending.fit_prep_s + (perf_counter() - t_fit)
+        return self.score_commit(pending, fit_s)
 
 
 class AugmentedBO(SequentialOptimizer):
@@ -477,3 +596,6 @@ class AugmentedBO(SequentialOptimizer):
             self.measured_measurements,
             unmeasured,
         )
+
+    def _round_scorer(self) -> PairwiseTreeScorer:
+        return self._scorer

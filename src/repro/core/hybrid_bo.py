@@ -72,6 +72,11 @@ class HybridBO(SequentialOptimizer):
             query_mode=query_mode,
         )
 
+    def _round_scorer(self) -> GPScorer | PairwiseTreeScorer:
+        if len(self.measured_indices) < self.switch_at:
+            return self._gp_scorer
+        return self._tree_scorer
+
     def _score_candidates(self, unmeasured: list[int]) -> AcquisitionScores:
         if len(self.measured_indices) < self.switch_at:
             return self._gp_scorer.score(

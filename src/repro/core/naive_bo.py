@@ -98,6 +98,44 @@ class GPScorer:
             "rebuilds": self._geometry.rebuilds,
         }
 
+    @property
+    def stackable(self) -> bool:
+        """Whether a cross-search driver can batch this scorer's round.
+
+        The stacked GP path (:func:`repro.ml.gp.fit_gps_stacked`) and
+        the stacked acquisition
+        (:func:`repro.core.acquisition.expected_improvement_stacked`)
+        reproduce the analytic-gradient EI round bit for bit; the other
+        acquisitions (PI/LCB/MES — MES draws from the scorer RNG) and
+        the numeric-gradient path fall back to the per-search loop.
+        """
+        return self.acquisition == "ei" and self._gp.gradient == "analytic"
+
+    def fit_inputs(
+        self, measured: list[int], values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, object]:
+        """This round's GP training inputs ``(X, y, fit geometry)``.
+
+        What the analytic branch of :meth:`score` hands to ``gp.fit`` —
+        exposed so a cross-search driver can fit many scorers' GPs in
+        one stacked call (:func:`repro.ml.gp.fit_gps_stacked`).
+        """
+        return (
+            self._scaled_design[measured],
+            values,
+            self._geometry.fit_geometry(measured),
+        )
+
+    def posterior(
+        self, measured: list[int], unmeasured: list[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Candidate posterior ``(mean, std)`` from the already-fitted GP."""
+        return self._gp.predict(
+            self._scaled_design[unmeasured],
+            return_std=True,
+            geometry=self._geometry.cross_geometry(unmeasured, measured),
+        )
+
     def score(
         self, measured: list[int], values: np.ndarray, unmeasured: list[int]
     ) -> AcquisitionScores:
@@ -106,16 +144,9 @@ class GPScorer:
         if gp.gradient == "analytic":
             # Reuse the incrementally grown distance geometry for both
             # the fit and the cross-covariance block of the predict.
-            gp.fit(
-                self._scaled_design[measured],
-                values,
-                geometry=self._geometry.fit_geometry(measured),
-            )
-            mean, std = gp.predict(
-                self._scaled_design[unmeasured],
-                return_std=True,
-                geometry=self._geometry.cross_geometry(unmeasured, measured),
-            )
+            X, y, geometry = self.fit_inputs(measured, values)
+            gp.fit(X, y, geometry=geometry)
+            mean, std = self.posterior(measured, unmeasured)
         else:
             # Numeric mode preserves the legacy behaviour bit for bit.
             gp.fit(self._scaled_design[measured], values)
@@ -232,6 +263,9 @@ class NaiveBO(SequentialOptimizer):
 
     def _score_candidates(self, unmeasured: list[int]) -> AcquisitionScores:
         return self._scorer.score(self.measured_indices, self.measured_values, unmeasured)
+
+    def _round_scorer(self) -> GPScorer:
+        return self._scorer
 
     def _suggest_batch(
         self, unmeasured: list[int], q: int

@@ -60,7 +60,11 @@ from repro.core.acquisition import LIAR_STRATEGIES, top_q_indices
 from repro.core.events import SearchEvent
 from repro.core.objectives import Objective
 from repro.core.result import FailureEvent, SearchResult, SearchStep
-from repro.core.stopping import SearchState, StoppingCriterion
+# The stopping module's ``SearchState`` is the per-round snapshot handed
+# to stopping rules; this module's :class:`SearchState` (below) is the
+# resumable ask/tell machine.  Alias the snapshot to keep both importable.
+from repro.core.stopping import SearchState as StoppingSnapshot
+from repro.core.stopping import StoppingCriterion
 from repro.faults.models import CorruptedMeasurementError
 from repro.faults.retry import CircuitBreaker, RetryPolicy
 from repro.ml.sampling import quasi_random_distinct
@@ -457,8 +461,28 @@ class SequentialOptimizer(abc.ABC):
             if i not in measured and not self._breaker.is_quarantined(vm.name)
         ]
 
+    def start(self, initial_vms: list[int] | None = None) -> SearchState:
+        """Begin a search and return its resumable ask/tell handle.
+
+        Resets search state (exactly like :meth:`run`'s prologue) and
+        hands back a :class:`SearchState` whose :meth:`SearchState.step`
+        advances the search one observation or one acquisition round at
+        a time — so an external driver (the vectorized grid executor, a
+        service loop) can own the schedule instead of this optimiser.
+
+        Args:
+            initial_vms: override the initial design with explicit
+                catalog indices (used by the initial-point sensitivity
+                experiments of Section III-C).
+        """
+        return SearchState(self, initial_vms)
+
     def run(self, initial_vms: list[int] | None = None) -> SearchResult:
-        """Execute the search and return its full trace.
+        """Execute the search to completion and return its full trace.
+
+        Drives :meth:`start`'s step machine until it finishes; the
+        resulting trace is bit-identical to the historical monolithic
+        loop (the steps decompose it without reordering any operation).
 
         Args:
             initial_vms: override the initial design with explicit
@@ -468,85 +492,20 @@ class SequentialOptimizer(abc.ABC):
         Raises:
             MeasurementError: if not even one VM could be measured.
         """
-        self._env.reset()
-        self._reset_observations()
-        self._failure_events = []
-        self._events = []
-        self._failed_charges = 0
-        self._retry_wait_s = 0.0
-        self._breaker = CircuitBreaker(self.quarantine_after)
-        self._retry_rng = np.random.default_rng([self._stream_seed, 1])
+        state = self.start(initial_vms)
+        while state.step():
+            pass
+        return state.result()
 
-        initial = initial_vms if initial_vms is not None else self._initial_indices()
-        if not initial:
-            raise ValueError("initial design must contain at least one VM")
-        if len(set(initial)) != len(initial):
-            raise ValueError("initial design must not repeat VMs")
-        if self.max_measurements is not None:
-            initial = initial[: self.max_measurements]
-        for index in initial:
-            if self._budget_exhausted():
-                break
-            self._observe(index)
-        # If every initial VM failed, fall back to the remaining reachable
-        # catalog (in order) so one bad initial design cannot kill the
-        # search while measurable VMs exist.
-        while not self._obs_count and not self._budget_exhausted():
-            candidates = self._reachable_unmeasured()
-            if not candidates:
-                break
-            self._observe(candidates[0])
-        if not self._obs_count:
-            raise MeasurementError(
-                "no initial measurement succeeded "
-                f"({self._failed_charges} charged attempts; "
-                f"quarantined: {sorted(self._breaker.quarantined)})"
-            )
+    def _round_scorer(self):
+        """The scorer :meth:`_score_candidates` would use next round.
 
-        if self.batch_size == 1:
-            stopped_by = self._sequential_loop()
-        else:
-            stopped_by = self._batched_loop()
-        return self._build_result(stopped_by)
-
-    def _sequential_loop(self) -> str:
-        """The classic one-VM-per-round loop (``batch_size=1``)."""
-        while True:
-            candidates = self._reachable_unmeasured()
-            if not candidates:
-                return "exhausted"
-            if self._budget_exhausted():
-                return "budget"
-            acquisition = self._score_candidates(candidates)
-            self._events.append(
-                SearchEvent(
-                    kind="surrogate_fitted",
-                    step=self._obs_count + 1,
-                    detail=f"scored {len(candidates)} candidates",
-                )
-            )
-            if acquisition.scores.shape != (len(candidates),):
-                raise RuntimeError(
-                    f"{self.name}: expected {len(candidates)} scores, "
-                    f"got shape {acquisition.scores.shape}"
-                )
-            if self.stopping is not None and self.stopping.should_stop(
-                SearchState(
-                    measurement_count=self._obs_count,
-                    best_observed=self.best_observed,
-                    predicted=acquisition.predicted,
-                    expected_improvements=acquisition.expected_improvements,
-                )
-            ):
-                self._events.append(
-                    SearchEvent(
-                        kind="stopping_rule_fired",
-                        step=self._obs_count + 1,
-                        detail=self.stopping.describe(),
-                    )
-                )
-                return "criterion"
-            self._observe(candidates[int(np.argmax(acquisition.scores))])
+        Drivers that batch surrogate work across searches (the
+        ``"vector"`` executor) use this to group compatible searches;
+        ``None`` (the base default) means "not batchable — score via
+        :meth:`_score_candidates`".
+        """
+        return None
 
     # -- batched rounds ------------------------------------------------------
 
@@ -674,74 +633,77 @@ class SequentialOptimizer(abc.ABC):
                     )
                 )
 
-    def _batched_loop(self) -> str:
-        """The q-point loop (``batch_size > 1``): suggest, fan out, commit."""
+    def _batched_round(self, iteration: int) -> str | None:
+        """One q-point round (``batch_size > 1``): suggest, fan out, commit.
+
+        Returns the stop reason when this round ended the search, else
+        ``None`` (the caller — :class:`SearchState` — schedules the next
+        round).
+        """
         fanout = self._fanout if self._fanout is not None else _inline_fanout
-        iteration = 0
-        while True:
-            candidates = self._reachable_unmeasured()
-            if not candidates:
-                return "exhausted"
-            if self._budget_exhausted():
-                return "budget"
-            iteration += 1
-            acquisition, picked = self._suggest_batch(candidates, self.batch_size)
-            step = self._obs_count + 1
+        candidates = self._reachable_unmeasured()
+        if not candidates:
+            return "exhausted"
+        if self._budget_exhausted():
+            return "budget"
+        acquisition, picked = self._suggest_batch(candidates, self.batch_size)
+        step = self._obs_count + 1
+        self._events.append(
+            SearchEvent(
+                kind="surrogate_fitted",
+                step=step,
+                detail=f"scored {len(candidates)} candidates",
+            )
+        )
+        if acquisition.scores.shape != (len(candidates),):
+            raise RuntimeError(
+                f"{self.name}: expected {len(candidates)} scores, "
+                f"got shape {acquisition.scores.shape}"
+            )
+        if self.stopping is not None and self.stopping.should_stop(
+            StoppingSnapshot(
+                measurement_count=self._obs_count,
+                best_observed=self.best_observed,
+                predicted=acquisition.predicted,
+                expected_improvements=acquisition.expected_improvements,
+            )
+        ):
             self._events.append(
                 SearchEvent(
-                    kind="surrogate_fitted",
+                    kind="stopping_rule_fired",
                     step=step,
-                    detail=f"scored {len(candidates)} candidates",
+                    detail=self.stopping.describe(),
                 )
             )
-            if acquisition.scores.shape != (len(candidates),):
-                raise RuntimeError(
-                    f"{self.name}: expected {len(candidates)} scores, "
-                    f"got shape {acquisition.scores.shape}"
-                )
-            if self.stopping is not None and self.stopping.should_stop(
-                SearchState(
-                    measurement_count=self._obs_count,
-                    best_observed=self.best_observed,
-                    predicted=acquisition.predicted,
-                    expected_improvements=acquisition.expected_improvements,
-                )
-            ):
-                self._events.append(
-                    SearchEvent(
-                        kind="stopping_rule_fired",
-                        step=step,
-                        detail=self.stopping.describe(),
-                    )
-                )
-                return "criterion"
-            if self.max_measurements is not None:
-                # Reserve one charge per pick up front; the batch cannot
-                # pause mid-flight the way the serial loop checks the
-                # budget between retries (overshoot is bounded, see the
-                # module docstring).
-                picked = picked[: self.max_measurements - self._charged()]
-            if not picked:
-                return "budget"
-            self._events.append(
-                SearchEvent(
-                    kind="batch_suggested",
-                    step=step,
-                    detail=f"q={len(picked)}: "
-                    + ", ".join(self._env.catalog[i].name for i in picked),
-                )
+            return "criterion"
+        if self.max_measurements is not None:
+            # Reserve one charge per pick up front; the batch cannot
+            # pause mid-flight the way the serial loop checks the
+            # budget between retries (overshoot is bounded, see the
+            # module docstring).
+            picked = picked[: self.max_measurements - self._charged()]
+        if not picked:
+            return "budget"
+        self._events.append(
+            SearchEvent(
+                kind="batch_suggested",
+                step=step,
+                detail=f"q={len(picked)}: "
+                + ", ".join(self._env.catalog[i].name for i in picked),
             )
-            cells: list[BatchCell] = [(iteration, index) for index in picked]
-            outcomes = fanout(cells, self.batch_measure_task)
-            self._commit_batch(outcomes)
-            succeeded = sum(1 for o in outcomes if o.measurement is not None)
-            self._events.append(
-                SearchEvent(
-                    kind="batch_measured",
-                    step=step,
-                    detail=f"{succeeded}/{len(picked)} succeeded",
-                )
+        )
+        cells: list[BatchCell] = [(iteration, index) for index in picked]
+        outcomes = fanout(cells, self.batch_measure_task)
+        self._commit_batch(outcomes)
+        succeeded = sum(1 for o in outcomes if o.measurement is not None)
+        self._events.append(
+            SearchEvent(
+                kind="batch_measured",
+                step=step,
+                detail=f"{succeeded}/{len(picked)} succeeded",
             )
+        )
+        return None
 
     def _build_result(self, stopped_by: str) -> SearchResult:
         steps = []
@@ -770,3 +732,240 @@ class SequentialOptimizer(abc.ABC):
             retry_wait_s=self._retry_wait_s,
             events=tuple(self._events),
         )
+
+
+class SearchState:
+    """A resumable search: the ask/tell step machine behind :meth:`run`.
+
+    Obtained from :meth:`SequentialOptimizer.start`.  The search moves
+    through three phases:
+
+    * ``"init"`` — one initial-design observation per :meth:`step`
+      (including the fall-back probing of the remaining catalog when
+      every planned initial VM failed);
+    * ``"search"`` — one acquisition round per :meth:`step`: score the
+      reachable unmeasured candidates, fire the stopping rule, measure
+      the argmax (or, in batched mode, one full suggest/fan-out/commit
+      round);
+    * ``"done"`` — :meth:`result` returns the finished
+      :class:`~repro.core.result.SearchResult`.
+
+    Driving ``step()`` to completion is bit-identical to the historical
+    monolithic loop: the phases decompose it without reordering any
+    observation, event, or random draw.
+
+    External drivers that want to batch the surrogate work of many
+    searches use the finer-grained round split instead of ``step()``:
+    :meth:`begin_round` returns the candidate list (or finishes the
+    search), the driver computes the acquisition however it likes (for
+    the vectorized grid executor: stacked across searches, bit-identical
+    per search), and :meth:`complete_round` applies it.
+
+    The state (optimiser included) is plain-picklable as long as the
+    environment and any injected measurement fan-out are, so a search
+    can be serialized mid-flight with :meth:`to_bytes` and resumed in
+    another process with :meth:`from_bytes`.
+    """
+
+    def __init__(
+        self,
+        optimizer: SequentialOptimizer,
+        initial_vms: list[int] | None = None,
+    ) -> None:
+        opt = optimizer
+        self._opt = opt
+        self._phase = "init"
+        self._stopped_by: str | None = None
+        self._result: SearchResult | None = None
+        self._iteration = 0  # batched rounds only
+        opt._env.reset()
+        opt._reset_observations()
+        opt._failure_events = []
+        opt._events = []
+        opt._failed_charges = 0
+        opt._retry_wait_s = 0.0
+        opt._breaker = CircuitBreaker(opt.quarantine_after)
+        opt._retry_rng = np.random.default_rng([opt._stream_seed, 1])
+        initial = initial_vms if initial_vms is not None else opt._initial_indices()
+        if not initial:
+            raise ValueError("initial design must contain at least one VM")
+        if len(set(initial)) != len(initial):
+            raise ValueError("initial design must not repeat VMs")
+        if opt.max_measurements is not None:
+            initial = initial[: opt.max_measurements]
+        self._pending_initial = list(initial)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def optimizer(self) -> SequentialOptimizer:
+        """The optimiser this state is driving."""
+        return self._opt
+
+    @property
+    def phase(self) -> str:
+        """``"init"``, ``"search"``, or ``"done"``."""
+        return self._phase
+
+    @property
+    def done(self) -> bool:
+        """True once the search finished and :meth:`result` is ready."""
+        return self._phase == "done"
+
+    @property
+    def stopped_by(self) -> str | None:
+        """The stop reason once done, else ``None``."""
+        return self._stopped_by
+
+    # -- stepping ------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Advance the search by one unit of work.
+
+        One initial observation in the ``"init"`` phase; one acquisition
+        round in the ``"search"`` phase.  Returns True while the search
+        is still live, False once it finished.
+
+        Raises:
+            MeasurementError: if not even one VM could be measured.
+        """
+        if self._phase == "done":
+            return False
+        if self._phase == "init":
+            self._step_init()
+            return self._phase != "done"
+        if self._opt.batch_size == 1:
+            candidates = self.begin_round()
+            if candidates is None:
+                return False
+            acquisition = self._opt._score_candidates(candidates)
+            self.complete_round(candidates, acquisition)
+        else:
+            self._iteration += 1
+            stopped_by = self._opt._batched_round(self._iteration)
+            if stopped_by is not None:
+                self._finish(stopped_by)
+        return self._phase != "done"
+
+    def _step_init(self) -> None:
+        """One initial-design observation (or fall-back probe)."""
+        opt = self._opt
+        while self._pending_initial:
+            if opt._budget_exhausted():
+                self._pending_initial.clear()
+                break
+            opt._observe(self._pending_initial.pop(0))
+            return  # one observation per step
+        if not opt._obs_count and not opt._budget_exhausted():
+            # Every planned initial VM failed: fall back to the remaining
+            # reachable catalog (in order), one probe per step, so one
+            # bad initial design cannot kill the search while measurable
+            # VMs exist.
+            candidates = opt._reachable_unmeasured()
+            if candidates:
+                opt._observe(candidates[0])
+                return
+        if not opt._obs_count:
+            raise MeasurementError(
+                "no initial measurement succeeded "
+                f"({opt._failed_charges} charged attempts; "
+                f"quarantined: {sorted(opt._breaker.quarantined)})"
+            )
+        self._phase = "search"
+
+    # -- the driver-facing round split (batch_size == 1) ---------------------
+
+    def begin_round(self) -> list[int] | None:
+        """Open one sequential acquisition round.
+
+        Returns the reachable unmeasured candidate indices, or ``None``
+        when this call finished the search (catalog exhausted / budget
+        spent).  Each successful ``begin_round`` must be paired with one
+        :meth:`complete_round`.
+        """
+        opt = self._opt
+        if self._phase != "search":
+            raise RuntimeError(f"begin_round() in phase {self._phase!r}")
+        candidates = opt._reachable_unmeasured()
+        if not candidates:
+            self._finish("exhausted")
+            return None
+        if opt._budget_exhausted():
+            self._finish("budget")
+            return None
+        return candidates
+
+    def complete_round(
+        self, candidates: list[int], acquisition: AcquisitionScores
+    ) -> None:
+        """Apply one round's acquisition: events, stopping rule, observe.
+
+        ``acquisition`` must score exactly ``candidates`` (the list the
+        matching :meth:`begin_round` returned) and — for bit-identity
+        with the serial path — must equal what the optimiser's own
+        :meth:`~SequentialOptimizer._score_candidates` would produce.
+        """
+        opt = self._opt
+        opt._events.append(
+            SearchEvent(
+                kind="surrogate_fitted",
+                step=opt._obs_count + 1,
+                detail=f"scored {len(candidates)} candidates",
+            )
+        )
+        if acquisition.scores.shape != (len(candidates),):
+            raise RuntimeError(
+                f"{opt.name}: expected {len(candidates)} scores, "
+                f"got shape {acquisition.scores.shape}"
+            )
+        if opt.stopping is not None and opt.stopping.should_stop(
+            StoppingSnapshot(
+                measurement_count=opt._obs_count,
+                best_observed=opt.best_observed,
+                predicted=acquisition.predicted,
+                expected_improvements=acquisition.expected_improvements,
+            )
+        ):
+            opt._events.append(
+                SearchEvent(
+                    kind="stopping_rule_fired",
+                    step=opt._obs_count + 1,
+                    detail=opt.stopping.describe(),
+                )
+            )
+            self._finish("criterion")
+            return
+        opt._observe(candidates[int(np.argmax(acquisition.scores))])
+
+    def _finish(self, stopped_by: str) -> None:
+        self._phase = "done"
+        self._stopped_by = stopped_by
+        self._result = self._opt._build_result(stopped_by)
+
+    def result(self) -> SearchResult:
+        """The finished search trace.
+
+        Raises:
+            RuntimeError: while the search is still live.
+        """
+        if self._result is None:
+            raise RuntimeError("search not finished; keep calling step()")
+        return self._result
+
+    # -- serialization -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Pickle this mid-flight search (optimiser and all)."""
+        import pickle
+
+        return pickle.dumps(self)
+
+    @classmethod
+    def from_bytes(cls, payload: bytes) -> SearchState:
+        """Resume a search serialized with :meth:`to_bytes`."""
+        import pickle
+
+        state = pickle.loads(payload)
+        if not isinstance(state, cls):
+            raise TypeError(f"payload is not a {cls.__name__}")
+        return state

@@ -36,7 +36,13 @@ from repro.ml.tree import (
     pack_trees,
     predict_packed,
 )
-from repro.ml.tree_builder import TREE_BUILDERS, build_extra_trees
+from repro.ml.tree_builder import (
+    TREE_BUILDERS,
+    BuiltForest,
+    StackedGrowTask,
+    build_extra_trees,
+    build_extra_trees_stacked,
+)
 
 
 class ExtraTreesRegressor:
@@ -95,11 +101,47 @@ class ExtraTreesRegressor:
         self._rng = np.random.default_rng(seed)
         self._trees: list[RegressionTree] = []
         self._packed: PackedTrees | None = None
+        # Builder output adopted without per-tree shells (stacked fits);
+        # RegressionTree objects are materialised from it on demand.
+        self._built: BuiltForest | None = None
 
     @property
     def trees(self) -> tuple[RegressionTree, ...]:
         """The fitted trees (empty before :meth:`fit`)."""
+        self._materialize_trees()
         return tuple(self._trees)
+
+    def _materialize_trees(self) -> None:
+        """Build per-tree shells from a lazily adopted forest, if any."""
+        if self._built is None:
+            return
+        built = self._built
+        self._built = None
+        self._trees = [
+            RegressionTree.from_arrays(
+                *built.tree_arrays(index),
+                max_features=self.max_features,
+                min_samples_split=self.min_samples_split,
+                max_depth=self.max_depth,
+            )
+            for index in range(built.n_trees)
+        ]
+
+    def adopt_built(self, built: BuiltForest) -> None:
+        """Install a pre-grown forest as this ensemble's fitted state.
+
+        Used by :func:`fit_ensembles_stacked`: the packed arrays serve
+        prediction immediately; the per-tree ``RegressionTree`` shells —
+        which the prediction hot path never touches — are only
+        materialised if :attr:`trees` is actually read.
+        """
+        if built.n_trees != self.n_estimators:
+            raise ValueError(
+                f"forest has {built.n_trees} trees, expected {self.n_estimators}"
+            )
+        self._packed = built.packed
+        self._trees = []
+        self._built = built
 
     def _grow_tree(self, X: np.ndarray, y: np.ndarray) -> RegressionTree:
         tree = RegressionTree(
@@ -145,7 +187,9 @@ class ExtraTreesRegressor:
         """
         X, y = coerce_training_data(X, y)
         vectorized = self.tree_builder == "vectorized"
-        if self._trees and self.refit_fraction < 1.0:
+        fitted = bool(self._trees) or self._built is not None
+        if fitted and self.refit_fraction < 1.0:
+            self._materialize_trees()
             n_refit = max(1, int(np.ceil(self.refit_fraction * self.n_estimators)))
             chosen = np.sort(
                 self._rng.choice(self.n_estimators, size=n_refit, replace=False)
@@ -162,13 +206,15 @@ class ExtraTreesRegressor:
             # The builder emits the packed layout directly — no
             # per-tree repacking on the full-refit hot path.
             self._trees, self._packed = self._grow_batch(X, y, self.n_estimators)
+            self._built = None
         else:
             self._trees = [self._grow_tree(X, y) for _ in range(self.n_estimators)]
             self._packed = pack_trees(self._trees)
+            self._built = None
         return self
 
     def _tree_predictions(self, X: np.ndarray) -> np.ndarray:
-        if not self._trees:
+        if not self._trees and self._built is None:
             raise RuntimeError("ensemble must be fitted before predict")
         if self._packed is not None:
             return predict_packed(self._packed, X)
@@ -183,3 +229,60 @@ class ExtraTreesRegressor:
         if not return_std:
             return mean
         return mean, predictions.std(axis=0)
+
+
+def fit_ensembles_stacked(
+    models: list[ExtraTreesRegressor],
+    datasets: list[tuple[np.ndarray, np.ndarray]],
+) -> list[ExtraTreesRegressor]:
+    """Fit many Extra-Trees ensembles in one stacked builder pass.
+
+    Each ``models[i]`` is fitted on ``datasets[i]`` exactly as its own
+    ``fit(X, y)`` would — same draws from the model's generator, same
+    split decisions, bit-identical trees
+    (:func:`repro.ml.tree_builder.build_extra_trees_stacked`) — but all
+    level-synchronous growth happens in one global frontier, amortising
+    the per-level numpy dispatch that dominates small-sample fits across
+    every ensemble.  The fitted forests are adopted lazily
+    (:meth:`ExtraTreesRegressor.adopt_built`): per-tree shells are only
+    materialised if a caller reads ``model.trees``.
+
+    Only full-refit vectorized ensembles qualify — a warm-started model
+    (already fitted with ``refit_fraction < 1.0``) or a classic-builder
+    model consumes randomness in a different pattern.
+
+    Raises:
+        ValueError: on length mismatch, a non-vectorized or pending
+            warm-refit model, or datasets the stacked builder cannot
+            share a frontier over (mismatched feature dimension or
+            growth limits).
+    """
+    if len(models) != len(datasets):
+        raise ValueError(
+            f"got {len(models)} models but {len(datasets)} datasets"
+        )
+    tasks = []
+    for model, (X, y) in zip(models, datasets):
+        if model.tree_builder != "vectorized":
+            raise ValueError(
+                "stacked fitting requires the vectorized tree builder"
+            )
+        if (model._trees or model._built is not None) and model.refit_fraction < 1.0:
+            raise ValueError(
+                "stacked fitting cannot warm-refit an already-fitted ensemble"
+            )
+        X, y = coerce_training_data(X, y)
+        tasks.append(
+            StackedGrowTask(
+                X=X,
+                y=y,
+                n_trees=model.n_estimators,
+                rng=model._rng,
+                max_features=model.max_features,
+                min_samples_split=model.min_samples_split,
+                max_depth=model.max_depth,
+            )
+        )
+    for model, built in zip(models, build_extra_trees_stacked(tasks)):
+        model.adopt_built(built)
+    return models

@@ -37,7 +37,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import linalg, optimize
 
-from repro.ml.kernels import Geometry, Kernel, Matern52
+from repro.ml.kernels import Geometry, Kernel, Matern52, stacked_stationary_value
 
 _JITTERS = (1e-10, 1e-8, 1e-6, 1e-4, 1e-2)
 
@@ -363,3 +363,102 @@ class GaussianProcessRegressor:
         var = self.kernel.diag(X) + self.noise - np.sum(v**2, axis=0)
         std = np.sqrt(np.maximum(var, 0.0)) * self._y_std
         return mean, std
+
+
+def fit_gps_stacked(
+    gps: list[GaussianProcessRegressor],
+    Xs: list[np.ndarray],
+    ys: list[np.ndarray],
+    geometries: list[Geometry | None] | None = None,
+) -> list[GaussianProcessRegressor]:
+    """Fit many GPs, batching the conditioning kernel build across them.
+
+    Each ``gps[i]`` ends in exactly the state its own
+    ``fit(Xs[i], ys[i], geometry=geometries[i])`` would produce — same
+    hyperparameters, same factor, same counters.  The marginal-likelihood
+    optimisation stays per-GP (L-BFGS-B is iterative with data-dependent
+    step counts, so there is nothing to lock-step); what batches is the
+    post-optimisation conditioning: when every GP in the group shares the
+    same concrete isotropic stationary kernel class and design size, the
+    ``S`` conditioning matrices are evaluated in one fused
+    :func:`repro.ml.kernels.stacked_stationary_value` call over an
+    ``(S, n, n)`` distance stack.  The Cholesky factorisations and solves
+    remain per-slice — batched ``np.linalg.cholesky`` is not bit-identical
+    to scipy's per-matrix LAPACK path, and the jitter ladder is
+    per-matrix anyway.  Groups that don't qualify (ARD or composite
+    kernels, ragged designs, numeric-gradient GPs without a geometry)
+    silently fall back to per-GP kernel builds; the result is identical
+    either way, batching only changes how many numpy dispatches it took.
+
+    In practice the win here is modest: hyperparameter optimisation
+    dominates GP fit time, and it is inherently sequential per GP.  The
+    batched conditioning mainly keeps the vectorized driver's GP rounds
+    from paying ``S`` separate kernel dispatches on top of that.
+    """
+    if geometries is None:
+        geometries = [None] * len(gps)
+    if not (len(gps) == len(Xs) == len(ys) == len(geometries)):
+        raise ValueError(
+            f"got {len(gps)} GPs, {len(Xs)} designs, {len(ys)} targets, "
+            f"{len(geometries)} geometries"
+        )
+
+    # Per-GP prologue, exactly as fit(): validation, target scaling and
+    # the (inherently sequential) hyperparameter optimisation.
+    prepped: list[tuple[GaussianProcessRegressor, np.ndarray, Geometry | None]] = []
+    for gp, X, y, geometry in zip(gps, Xs, ys, geometries):
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError(f"X has {X.shape[0]} rows but y has {y.shape[0]}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a GP on zero observations")
+        n = X.shape[0]
+        if geometry is not None and geometry.shape != (n, n):
+            raise ValueError(
+                f"geometry shape {geometry.shape} does not match {n} rows"
+            )
+        gp._X = X
+        gp._y_mean = float(y.mean())
+        gp._y_std = float(y.std()) or 1.0
+        y_scaled = (y - gp._y_mean) / gp._y_std
+        gp.n_fits += 1
+        fit_geometry: Geometry | None = None
+        if gp.gradient == "analytic":
+            fit_geometry = geometry if geometry is not None else Geometry(X)
+        if gp.optimise and n >= 2:
+            gp._optimise_hyperparameters(y_scaled, fit_geometry)
+        prepped.append((gp, y_scaled, fit_geometry))
+
+    # Batched conditioning: one stacked kernel evaluation if the group
+    # is homogeneous, else per-GP builds (identical output either way).
+    stacked_K: np.ndarray | None = None
+    group_geometries = [fit_geometry for _, _, fit_geometry in prepped]
+    if all(geometry is not None for geometry in group_geometries):
+        try:
+            stacked_K = stacked_stationary_value(
+                [gp.kernel for gp, _, _ in prepped],
+                group_geometries,  # type: ignore[arg-type]
+            )
+        except (NotImplementedError, ValueError):
+            stacked_K = None
+
+    for index, (gp, y_scaled, fit_geometry) in enumerate(prepped):
+        assert gp._X is not None
+        n = gp._X.shape[0]
+        if stacked_K is not None:
+            K = stacked_K[index]
+        elif fit_geometry is not None:
+            try:
+                K = gp.kernel.value(fit_geometry)
+            except NotImplementedError:
+                K = gp.kernel(gp._X)
+        else:
+            K = gp.kernel(gp._X)
+        gp.n_kernel_builds += 1
+        K.flat[:: n + 1] += gp.noise
+        gp._L = _cholesky_with_jitter(K)[0]
+        gp._alpha = linalg.cho_solve((gp._L, True), y_scaled)
+    return gps

@@ -280,6 +280,16 @@ class _Stationary(Kernel):
     def _from_sq(self, sq: np.ndarray) -> np.ndarray:
         """Covariance from squared distances of already-scaled inputs."""
 
+    @staticmethod
+    def _stacked_from_sq(sq: np.ndarray, variance: np.ndarray) -> np.ndarray:
+        """Batched :meth:`_from_sq` over an ``(S, n, m)`` distance stack.
+
+        ``variance`` is broadcast per slice (shape ``(S, 1, 1)``).  Each
+        concrete kernel mirrors its ``_from_sq`` expression exactly, so
+        slice ``s`` is bit-identical to the per-kernel evaluation.
+        """
+        raise NotImplementedError
+
     @abc.abstractmethod
     def _value_and_dsq(self, sq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """``(K, dK/d sq)`` from scaled squared distances ``sq``."""
@@ -333,6 +343,10 @@ class RBF(_Stationary):
     def _from_sq(self, sq: np.ndarray) -> np.ndarray:
         return self.variance * np.exp(-0.5 * sq)
 
+    @staticmethod
+    def _stacked_from_sq(sq: np.ndarray, variance: np.ndarray) -> np.ndarray:
+        return variance * np.exp(-0.5 * sq)
+
     def _value_and_dsq(self, sq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         K = self._from_sq(sq)
         return K, -0.5 * K
@@ -348,6 +362,11 @@ class Matern12(_Stationary):
     def _from_sq(self, sq: np.ndarray) -> np.ndarray:
         d = np.sqrt(sq)
         return self.variance * np.exp(-d)
+
+    @staticmethod
+    def _stacked_from_sq(sq: np.ndarray, variance: np.ndarray) -> np.ndarray:
+        d = np.sqrt(sq)
+        return variance * np.exp(-d)
 
     def _value_and_dsq(self, sq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         d = np.sqrt(sq)
@@ -367,6 +386,11 @@ class Matern32(_Stationary):
         d = math.sqrt(3.0) * np.sqrt(sq)
         return self.variance * (1.0 + d) * np.exp(-d)
 
+    @staticmethod
+    def _stacked_from_sq(sq: np.ndarray, variance: np.ndarray) -> np.ndarray:
+        d = math.sqrt(3.0) * np.sqrt(sq)
+        return variance * (1.0 + d) * np.exp(-d)
+
     def _value_and_dsq(self, sq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         d = math.sqrt(3.0) * np.sqrt(sq)
         exp_d = np.exp(-d)
@@ -384,11 +408,71 @@ class Matern52(_Stationary):
         d = math.sqrt(5.0) * np.sqrt(sq)
         return self.variance * (1.0 + d + d**2 / 3.0) * np.exp(-d)
 
+    @staticmethod
+    def _stacked_from_sq(sq: np.ndarray, variance: np.ndarray) -> np.ndarray:
+        d = math.sqrt(5.0) * np.sqrt(sq)
+        return variance * (1.0 + d + d**2 / 3.0) * np.exp(-d)
+
     def _value_and_dsq(self, sq: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         d = math.sqrt(5.0) * np.sqrt(sq)
         exp_d = np.exp(-d)
         K = self.variance * (1.0 + d + d**2 / 3.0) * exp_d
         return K, -(5.0 / 6.0) * self.variance * (1.0 + d) * exp_d
+
+
+def stacked_stationary_value(
+    kernels: list[Kernel], geometries: list[Geometry]
+) -> np.ndarray:
+    """Evaluate many same-class isotropic stationary kernels in one pass.
+
+    Stacks the cached distance totals of ``geometries`` into one
+    ``(S, n, m)`` block and applies the shared covariance formula with
+    per-slice lengthscale and variance broadcasts.  Slice ``s`` of the
+    result is bit-identical to ``kernels[s].value(geometries[s])``: the
+    scaling division, and every operation inside ``_stacked_from_sq``,
+    runs elementwise on exactly the operands the per-kernel path uses.
+
+    Raises:
+        NotImplementedError: if the kernels are not all the same concrete
+            ``_Stationary`` subclass with scalar (isotropic) lengthscales
+            — ARD contractions and composite kernels keep the per-kernel
+            path.
+        ValueError: on empty/mismatched inputs or ragged geometry shapes.
+    """
+    if not kernels or len(kernels) != len(geometries):
+        raise ValueError(
+            f"got {len(kernels)} kernels but {len(geometries)} geometries"
+        )
+    cls = type(kernels[0])
+    if cls not in (RBF, Matern12, Matern32, Matern52):
+        raise NotImplementedError(
+            f"stacked evaluation not supported for {cls.__name__}"
+        )
+    for kernel in kernels:
+        if type(kernel) is not cls:
+            raise NotImplementedError(
+                "stacked evaluation requires one concrete kernel class, "
+                f"got {cls.__name__} and {type(kernel).__name__}"
+            )
+        if kernel.is_ard:  # type: ignore[union-attr]
+            raise NotImplementedError(
+                "stacked evaluation supports isotropic lengthscales only"
+            )
+    shape = geometries[0].shape
+    for geometry in geometries:
+        if geometry.shape != shape:
+            raise ValueError(
+                f"ragged geometry shapes: {shape} vs {geometry.shape}"
+            )
+    totals = np.stack([geometry.total for geometry in geometries])
+    lengthscales = np.array(
+        [float(kernel.lengthscale) for kernel in kernels]  # type: ignore[union-attr]
+    )
+    variances = np.array([kernel.variance for kernel in kernels])  # type: ignore[union-attr]
+    # `totals[s] / ls[s]**2` performs the same IEEE divide as
+    # `Geometry.scaled_sq`'s `total / float(ls) ** 2` per slice.
+    sq = totals / (lengthscales**2)[:, None, None]
+    return cls._stacked_from_sq(sq, variances[:, None, None])
 
 
 class White(Kernel):

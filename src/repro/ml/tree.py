@@ -164,6 +164,84 @@ def predict_packed(
     return out
 
 
+def predict_packed_many(
+    packeds: Sequence[PackedTrees], Xs: Sequence[np.ndarray]
+) -> list[np.ndarray]:
+    """Per-tree predictions for many (ensemble, query) pairs in one walk.
+
+    Concatenates the ensembles' node arrays (child pointers rebased) and
+    all query rows, then descends every ``(tree, row)`` cursor of every
+    pair simultaneously — one traversal loop bounded by the deepest tree
+    anywhere instead of one loop per ensemble.  Each cursor's descent is
+    independent and compares exactly the operands the per-ensemble
+    :func:`predict_packed` would, so result ``i`` is bit-identical to
+    ``predict_packed(packeds[i], Xs[i])``.
+
+    Intended for cross-search drivers batching modest per-search query
+    sets; rows are not chunked, so keep the total cursor count
+    (``sum(n_trees_i * n_rows_i)``) within cache-friendly bounds.
+
+    Raises:
+        ValueError: on length mismatch or an empty pair list.
+    """
+    if len(packeds) != len(Xs):
+        raise ValueError(
+            f"got {len(packeds)} ensembles but {len(Xs)} query sets"
+        )
+    if not packeds:
+        raise ValueError("cannot batch-predict zero ensembles")
+    queries = []
+    for X in Xs:
+        X = np.asarray(X, dtype=float)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        queries.append(X)
+    feature = np.concatenate([p.feature for p in packeds])
+    threshold = np.concatenate([p.threshold for p in packeds])
+    value = np.concatenate([p.value for p in packeds])
+    node_counts = [p.node_count for p in packeds]
+    node_offsets = np.concatenate([[0], np.cumsum(node_counts)[:-1]])
+    left = np.concatenate(
+        [np.where(p.left >= 0, p.left + off, -1)
+         for p, off in zip(packeds, node_offsets)]
+    )
+    right = np.concatenate(
+        [np.where(p.right >= 0, p.right + off, -1)
+         for p, off in zip(packeds, node_offsets)]
+    )
+    row_counts = [X.shape[0] for X in queries]
+    row_offsets = np.concatenate([[0], np.cumsum(row_counts)[:-1]])
+    # Ragged feature widths are fine: each cursor only ever indexes its
+    # own ensemble's query block.  Pad to the widest for one flat array.
+    width = max(X.shape[1] for X in queries)
+    X_all = np.zeros((sum(row_counts), width))
+    for X, off in zip(queries, row_offsets):
+        X_all[off : off + X.shape[0], : X.shape[1]] = X
+    node = np.concatenate(
+        [np.repeat(p.roots + noff, nrows)
+         for p, noff, nrows in zip(packeds, node_offsets, row_counts)]
+    )
+    cols = np.concatenate(
+        [np.tile(np.arange(nrows, dtype=np.int64), p.n_trees) + roff
+         for p, roff, nrows in zip(packeds, row_offsets, row_counts)]
+    )
+    active = feature[node] >= 0
+    while active.any():
+        current = node[active]
+        feats = feature[current]
+        go_left = X_all[cols[active], feats] <= threshold[current]
+        node[active] = np.where(go_left, left[current], right[current])
+        active = feature[node] >= 0
+    values = value[node]
+    out = []
+    pos = 0
+    for p, nrows in zip(packeds, row_counts):
+        n = p.n_trees * nrows
+        out.append(values[pos : pos + n].reshape(p.n_trees, nrows))
+        pos += n
+    return out
+
+
 def adopt_nodes(
     tree,
     feature: np.ndarray,

@@ -56,11 +56,14 @@ from repro.ml.tree import PackedTrees
 #: The tree-construction strategies ensembles accept.
 TREE_BUILDERS = ("vectorized", "classic")
 
-#: A level splitter: (rows, sizes, starts) for the splittable frontier
-#: -> (found, best_feature, best_threshold, go_left) where ``go_left``
-#: is per-row and the rest are per-node.
+#: A level splitter: (rows, sizes, starts, tree ids) for the splittable
+#: frontier -> (found, best_feature, best_threshold, go_left) where
+#: ``go_left`` is per-row and the rest are per-node.  The tree ids let
+#: multi-ensemble splitters (the stacked builder) route random draws to
+#: the right per-ensemble generator; single-ensemble splitters ignore
+#: them.
 _SplitFn = Callable[
-    [np.ndarray, np.ndarray, np.ndarray],
+    [np.ndarray, np.ndarray, np.ndarray, np.ndarray],
     tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
 ]
 
@@ -179,7 +182,7 @@ def _grow(
             starts2 = np.zeros(sizes2.size + 1, dtype=np.int64)
             np.cumsum(sizes2, out=starts2[1:])
             found, best_feature, best_threshold, go_left = split_fn(
-                r2, sizes2, starts2
+                r2, sizes2, starts2, tree_ids[sidx]
             )
             fidx = sidx[found]
             n_found = fidx.size
@@ -268,7 +271,7 @@ def build_extra_trees(
     k = _resolve_k(max_features, d)
 
     def split(
-        r2: np.ndarray, sizes2: np.ndarray, starts2: np.ndarray
+        r2: np.ndarray, sizes2: np.ndarray, starts2: np.ndarray, tree2: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         S = sizes2.size
         if d == 0:
@@ -337,7 +340,7 @@ def build_cart_forest(
     k = _resolve_k(max_features, d)
 
     def split(
-        r2: np.ndarray, sizes2: np.ndarray, starts2: np.ndarray
+        r2: np.ndarray, sizes2: np.ndarray, starts2: np.ndarray, tree2: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
         S = sizes2.size
         R = r2.size
@@ -417,3 +420,197 @@ def build_cart_forest(
         rows = sample_indices.reshape(-1)
         sizes = np.full(n_trees, sample_indices.shape[1], dtype=np.int64)
     return _grow(y, rows, sizes, n_trees, min_samples_split, max_depth, split)
+
+
+@dataclass(frozen=True)
+class StackedGrowTask:
+    """One ensemble's growth request for :func:`build_extra_trees_stacked`.
+
+    ``X``/``y`` must already be coerced
+    (:func:`repro.ml.tree.coerce_training_data`); ``rng`` is the
+    ensemble's own generator — the stacked builder consumes from it
+    exactly the draws (same sizes, same order) the per-ensemble
+    :func:`build_extra_trees` would, which is what makes the stacked
+    result bit-identical.
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    n_trees: int
+    rng: np.random.Generator
+    max_features: int | None = None
+    min_samples_split: int = 2
+    max_depth: int | None = None
+
+
+def build_extra_trees_stacked(
+    tasks: list[StackedGrowTask],
+) -> list[BuiltForest]:
+    """Grow many Extra-Trees ensembles in one level-synchronous pass.
+
+    All tasks' frontiers are concatenated (task-major) into a single
+    global frontier, so each depth level costs one batched numpy split
+    search for *every* ensemble of *every* search instead of one per
+    ensemble — the per-level dispatch overhead that dominates small-n
+    fits is paid once, not S times.
+
+    Bit-identity: every per-node quantity (reduceat segment sums,
+    thresholds, SSE, child ordering) is segment-local, and each task's
+    random draws come from its own ``rng`` in the exact per-level order
+    the per-ensemble builder uses, so each returned
+    :class:`BuiltForest` equals — bit for bit — what
+    :func:`build_extra_trees` would have produced for that task alone.
+
+    Constraints: all tasks must share the feature dimension,
+    ``min_samples_split`` and ``max_depth`` (the lock-step levels apply
+    those globally).  Raises ``ValueError`` otherwise — callers fall
+    back to per-ensemble builds.
+    """
+    if not tasks:
+        return []
+    d = tasks[0].X.shape[1]
+    min_samples_split = tasks[0].min_samples_split
+    max_depth = tasks[0].max_depth
+    for task in tasks:
+        if task.X.shape[1] != d:
+            raise ValueError(
+                "stacked growth needs one shared feature dimension; "
+                f"got {task.X.shape[1]} and {d}"
+            )
+        if (
+            task.min_samples_split != min_samples_split
+            or task.max_depth != max_depth
+        ):
+            raise ValueError(
+                "stacked growth needs shared min_samples_split/max_depth"
+            )
+    # One global sample store; each task's rows are offset into it.  The
+    # feature matrix is kept feature-major (d, n): the stacked frontier
+    # is long enough that ``reduceat`` along the contiguous row axis is
+    # measurably faster than the row-major axis-0 form, and every
+    # reduction is still segment-local so the sums are bit-identical.
+    X = np.ascontiguousarray(np.vstack([task.X for task in tasks]).T)
+    y = np.concatenate([task.y for task in tasks])
+    n_rows = np.array([task.X.shape[0] for task in tasks], dtype=np.int64)
+    row_offsets = np.concatenate([[0], np.cumsum(n_rows)[:-1]])
+    tree_counts = np.array([task.n_trees for task in tasks], dtype=np.int64)
+    # Global tree ids are task-major: task t owns the contiguous id range
+    # [tree_bounds[t], tree_bounds[t + 1]).
+    tree_bounds = np.concatenate([[0], np.cumsum(tree_counts)])
+    n_trees_total = int(tree_bounds[-1])
+    ks = [_resolve_k(task.max_features, d) for task in tasks]
+
+    def split(
+        r2: np.ndarray, sizes2: np.ndarray, starts2: np.ndarray, tree2: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        S = sizes2.size
+        if d == 0:
+            none = np.zeros(S, dtype=bool)
+            return none, np.full(S, -1), np.zeros(S), np.zeros(r2.size, dtype=bool)
+        # All per-level matrices are feature-major (d, R) / (d, S): the
+        # reductions run over the contiguous axis, which is what makes
+        # the stacked level cheaper than S per-ensemble levels.  Every
+        # value is the transpose of the per-ensemble builder's — the
+        # comparisons and segment sums pair the same operands in the
+        # same order, so the split decisions are bit-identical.
+        Xr = X[:, r2]
+        yr = y[r2]
+        node_of_row = np.repeat(np.arange(S), sizes2)
+        fmin = np.minimum.reduceat(Xr, starts2[:-1], axis=1)
+        fmax = np.maximum.reduceat(Xr, starts2[:-1], axis=1)
+        # Route the random draws per task, in task order.  Frontier tree
+        # ids are nondecreasing (children inherit their parents' order),
+        # so each task's splittable nodes form one contiguous block and
+        # its rng sees exactly the per-level draw sequence the
+        # per-ensemble builder consumes (node-major (S, d) draws,
+        # transposed after the fact — same values, different layout).
+        bounds = np.searchsorted(tree2, tree_bounds)
+        candidates: np.ndarray | None = None
+        uniform = np.empty((S, d))
+        for t, task in enumerate(tasks):
+            lo, hi = int(bounds[t]), int(bounds[t + 1])
+            if lo == hi:
+                continue
+            mask = _candidate_mask(task.rng, hi - lo, d, ks[t])
+            if mask is not None:
+                if candidates is None:
+                    candidates = np.ones((d, S), dtype=bool)
+                candidates[:, lo:hi] = mask.T
+            uniform[lo:hi] = task.rng.uniform(size=(hi - lo, d))
+        thresholds = fmin + uniform.T * (fmax - fmin)
+        go = Xr <= thresholds[:, node_of_row]
+        # One segment reduction covers all three per-(node, feature)
+        # sums: rows 0..d hold the left-side counts, d..2d the masked
+        # y sums, 2d..3d the masked y^2 sums.  Rows reduce
+        # independently, so each block equals its own reduceat (and the
+        # bool -> float products equal the per-ensemble builder's
+        # ``go_f * y`` values exactly).
+        stacked = np.empty((3 * d, r2.size))
+        stacked[:d] = go
+        np.multiply(go, yr[None, :], out=stacked[d : 2 * d])
+        np.multiply(go, (yr * yr)[None, :], out=stacked[2 * d :])
+        sums = np.add.reduceat(stacked, starts2[:-1], axis=1)
+        left_n = sums[:d]
+        left_sum = sums[d : 2 * d]
+        left_sq = sums[2 * d :]
+        total_sum = np.add.reduceat(yr, starts2[:-1])
+        total_sq = np.add.reduceat(yr * yr, starts2[:-1])
+        n_node = sizes2[None, :].astype(float)
+        valid = (fmin < fmax) & (left_n > 0) & (left_n < n_node)
+        if candidates is not None:
+            valid &= candidates
+        with np.errstate(divide="ignore", invalid="ignore"):
+            sse = (
+                left_sq
+                - left_sum**2 / left_n
+                + (total_sq[None, :] - left_sq)
+                - (total_sum[None, :] - left_sum) ** 2 / (n_node - left_n)
+            )
+        sse = np.where(valid, sse, np.inf)
+        best = np.argmin(sse, axis=0)
+        node_index = np.arange(S)
+        found = np.isfinite(sse[best, node_index])
+        best_threshold = thresholds[best, node_index]
+        go_left = go[best[node_of_row], np.arange(r2.size)]
+        return found, best, best_threshold, go_left
+
+    rows = np.concatenate(
+        [
+            offset + np.tile(np.arange(n, dtype=np.int64), int(count))
+            for offset, n, count in zip(row_offsets, n_rows, tree_counts)
+        ]
+    )
+    sizes = np.repeat(n_rows, tree_counts)
+    built = _grow(y, rows, sizes, n_trees_total, min_samples_split, max_depth, split)
+
+    # Carve the global tree-major forest back into per-task forests.
+    # Packed nodes are contiguous per task (task-major tree ids), so each
+    # task is one slice with child pointers rebased to its start.
+    results: list[BuiltForest] = []
+    node_offset = 0
+    for t in range(len(tasks)):
+        lo_tree, hi_tree = int(tree_bounds[t]), int(tree_bounds[t + 1])
+        counts = built.counts[lo_tree:hi_tree].copy()
+        n_nodes = int(counts.sum())
+        sl = slice(node_offset, node_offset + n_nodes)
+        left = built.packed.left[sl]
+        right = built.packed.right[sl]
+        roots = built.offsets[lo_tree:hi_tree] - node_offset
+        packed = PackedTrees(
+            feature=built.packed.feature[sl].copy(),
+            threshold=built.packed.threshold[sl].copy(),
+            left=np.where(left >= 0, left - node_offset, -1),
+            right=np.where(right >= 0, right - node_offset, -1),
+            value=built.packed.value[sl].copy(),
+            roots=roots.copy(),
+        )
+        results.append(
+            BuiltForest(
+                packed=packed,
+                offsets=packed.roots,
+                counts=counts,
+                depths=built.depths[sl].copy(),
+            )
+        )
+        node_offset += n_nodes
+    return results

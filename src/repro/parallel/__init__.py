@@ -22,6 +22,13 @@ file next to the cache: leased cells, heartbeats, at-least-once
 requeue of cells whose worker died, and an external worker fleet via
 ``arrow queue-worker`` — all behind the same executor protocol
 (:class:`~repro.parallel.queue.QueueExecutor`).
+
+On the other axis entirely, ``executor="vector"``
+(:class:`~repro.parallel.vector.VectorizedGridDriver`) trades process
+parallelism for batched linear algebra: every cell's search advances in
+lock-step and the per-round surrogate work — ensemble growth, packed
+tree traversal, GP conditioning, EI — is computed once across all live
+searches, bit-identical per search to the serial loop.
 """
 
 from repro.parallel.batch import BATCH_BACKENDS, MeasurementFanout
@@ -50,6 +57,7 @@ from repro.parallel.queue import (
     queue_worker_loop,
 )
 from repro.parallel.supervisor import SupervisionConfig, Supervisor
+from repro.parallel.vector import VectorizedGridDriver
 
 __all__ = [
     "BATCH_BACKENDS",
@@ -71,6 +79,7 @@ __all__ = [
     "SupervisionConfig",
     "Supervisor",
     "TraceShare",
+    "VectorizedGridDriver",
     "WorkQueue",
     "build_executor",
     "flush_on_signal",

@@ -81,8 +81,11 @@ from repro.trace.dataset import BenchmarkTrace
 #: Executor backends selectable by name: ``auto`` picks serial or fork
 #: pool from the planned worker count (the historical behaviour);
 #: ``queue`` dispatches through the durable work queue
-#: (:mod:`repro.parallel.queue`).
-EXECUTOR_CHOICES: tuple[str, ...] = ("auto", "serial", "pool", "queue")
+#: (:mod:`repro.parallel.queue`); ``vector`` advances every cell's
+#: search in lock-step, batching per-round surrogate linear algebra
+#: across searches (:mod:`repro.parallel.vector`) — in-process, one
+#: worker, bit-identical results.
+EXECUTOR_CHOICES: tuple[str, ...] = ("auto", "serial", "pool", "queue", "vector")
 
 #: Maps a cell to its optimiser seed.
 SeedFn = Callable[[str, int], int]
@@ -228,7 +231,12 @@ def run_cells(
             planned worker count; ``"serial"`` / ``"pool"`` force those
             backends; ``"queue"`` dispatches through the durable
             :class:`~repro.parallel.queue.WorkQueue` (crash-surviving,
-            external workers welcome) and requires ``queue``.
+            external workers welcome) and requires ``queue``;
+            ``"vector"`` runs every cell in-process via the lock-step
+            :class:`~repro.parallel.vector.VectorizedGridDriver`,
+            batching surrogate rounds across searches with results
+            bit-identical to ``"serial"`` (worker/pool knobs are
+            ignored — there is exactly one worker).
         queue: the :class:`~repro.parallel.queue.QueueConfig` for
             ``executor="queue"`` — must carry an explicit ``path`` and
             is ignored by the other backends.
@@ -245,6 +253,20 @@ def run_cells(
     if executor == "queue" and (queue is None or queue.path is None):
         raise ValueError('executor="queue" requires a QueueConfig with a path')
     cells = list(cells)
+    if executor == "vector":
+        # The vectorized driver is its own execution plane: in-process,
+        # single-worker, no supervisor (an application error propagates
+        # exactly as the serial path's final attempt would).  It yields
+        # in submission order, so downstream cache assembly stays
+        # byte-identical to the serial executor.
+        from repro.parallel.vector import VectorizedGridDriver
+
+        plan_workers(workers, len(cells))  # validate the request
+        driver = VectorizedGridDriver(
+            trace, factory, objective, cells, seed_fn=seed_fn, on_event=on_event
+        )
+        yield from driver.run()
+        return
     # plan_workers validates the request (single site) even when the
     # clamp itself is disabled.
     planned = plan_workers(workers, len(cells))

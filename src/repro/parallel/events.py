@@ -56,7 +56,10 @@ from dataclasses import dataclass
 #:   cells run serially in the parent;
 #: * ``queue_stalled`` — the queue coordinator saw outstanding work but
 #:   no live workers or queue activity for its stall timeout, and is
-#:   completing the remaining cells itself.
+#:   completing the remaining cells itself;
+#: * ``vector_planned`` — the vectorized executor is about to drive the
+#:   grid's searches in lock-step rounds (``detail`` carries the cell
+#:   count).
 CELL_EVENT_KINDS: tuple[str, ...] = (
     "cell_scheduled",
     "cell_finished",
@@ -74,6 +77,7 @@ CELL_EVENT_KINDS: tuple[str, ...] = (
     "pool_restarted",
     "pool_degraded",
     "queue_stalled",
+    "vector_planned",
 )
 
 #: Kinds that never name a cell.
@@ -82,6 +86,7 @@ GRID_EVENT_KINDS: tuple[str, ...] = (
     "pool_restarted",
     "pool_degraded",
     "queue_stalled",
+    "vector_planned",
 )
 
 

@@ -10,6 +10,7 @@ across processes and machines.  ``default_trace()`` memoises the canonical
 from __future__ import annotations
 
 import zlib
+from collections import OrderedDict
 
 import numpy as np
 
@@ -98,7 +99,13 @@ def generate_trace(
     )
 
 
-_CANONICAL_TRACES: dict[str, BenchmarkTrace] = {}
+# Bounded LRU memo for canonical traces.  A trace's bulk arrays scale
+# with the catalog (107 workloads x up to ~390 types x metrics), and
+# user-registered catalogs make the name space open-ended — an unbounded
+# memo would pin every catalog a long-lived process ever touched.  Four
+# slots comfortably cover the built-in catalogs plus one custom.
+_CANONICAL_TRACES: OrderedDict[str, BenchmarkTrace] = OrderedDict()
+_CANONICAL_TRACES_MAX = 4
 
 
 def canonical_trace(catalog_name: str = DEFAULT_CATALOG_NAME) -> BenchmarkTrace:
@@ -107,12 +114,18 @@ def canonical_trace(catalog_name: str = DEFAULT_CATALOG_NAME) -> BenchmarkTrace:
     ``canonical_trace()`` is the paper's dataset; other names sweep the
     same 107 workloads over that catalog's types with the same seeding
     scheme, so large-catalog searches replay deterministic data too.
+    The memo is a small LRU (:data:`_CANONICAL_TRACES_MAX` entries):
+    traces are deterministic, so evicting one only costs regeneration
+    time, never correctness.
     """
-    if catalog_name not in _CANONICAL_TRACES:
-        _CANONICAL_TRACES[catalog_name] = generate_trace(
-            DEFAULT_TRACE_SEED, catalog=get_catalog(catalog_name)
-        )
-    return _CANONICAL_TRACES[catalog_name]
+    if catalog_name in _CANONICAL_TRACES:
+        _CANONICAL_TRACES.move_to_end(catalog_name)
+        return _CANONICAL_TRACES[catalog_name]
+    trace = generate_trace(DEFAULT_TRACE_SEED, catalog=get_catalog(catalog_name))
+    _CANONICAL_TRACES[catalog_name] = trace
+    while len(_CANONICAL_TRACES) > _CANONICAL_TRACES_MAX:
+        _CANONICAL_TRACES.popitem(last=False)
+    return trace
 
 
 def default_trace() -> BenchmarkTrace:

@@ -1,0 +1,487 @@
+"""Vectorized lock-step executor, stacked kernels, and ask/tell resume.
+
+Three layers of bit-identity guarantees:
+
+* the stacked surrogate primitives (``fit_ensembles_stacked``,
+  ``predict_packed_many``, ``fit_gps_stacked``,
+  ``stacked_stationary_value``, ``expected_improvement_stacked``) must
+  reproduce their per-model serial counterparts exactly;
+* a mid-flight :class:`~repro.core.smbo.SearchState` serialized with
+  ``to_bytes`` and resumed with ``from_bytes`` must finish with the
+  same :class:`~repro.core.result.SearchResult` as an uninterrupted
+  run, on both the GP and the tree surrogate path, clean and faulty;
+* ``run_cells(executor="vector")`` must yield the same results in the
+  same order as the serial executor, for every optimiser family it can
+  batch and for the fallback paths it cannot.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.acquisition import (
+    expected_improvement,
+    expected_improvement_stacked,
+)
+from repro.core.augmented_bo import AugmentedBO
+from repro.core.baselines import RandomSearch
+from repro.core.hybrid_bo import HybridBO
+from repro.core.naive_bo import NaiveBO
+from repro.core.objectives import Objective
+from repro.core.smbo import SearchState
+from repro.core.stopping import PredictionDeltaThreshold
+from repro.faults import FaultInjector, RetryPolicy, parse_fault_plan
+from repro.ml.extra_trees import ExtraTreesRegressor, fit_ensembles_stacked
+from repro.ml.gp import GaussianProcessRegressor, fit_gps_stacked
+from repro.ml.kernels import (
+    RBF,
+    Geometry,
+    Matern12,
+    Matern32,
+    Matern52,
+    stacked_stationary_value,
+)
+from repro.ml.tree import predict_packed, predict_packed_many
+from repro.parallel import run_cells
+
+WORKLOADS = (
+    "kmeans/Spark 2.1/small",
+    "lr/Spark 1.5/medium",
+    "pagerank/Hadoop 2.7/small",
+)
+
+
+def tree_factory(environment, objective, seed):
+    return AugmentedBO(
+        environment,
+        objective=objective,
+        seed=seed,
+        stopping=PredictionDeltaThreshold(),
+    )
+
+
+def gp_factory(environment, objective, seed):
+    return NaiveBO(
+        environment, objective=objective, seed=seed, max_measurements=8
+    )
+
+
+def hybrid_factory(environment, objective, seed):
+    return HybridBO(
+        environment, objective=objective, seed=seed, max_measurements=8
+    )
+
+
+def random_factory(environment, objective, seed):
+    return RandomSearch(
+        environment, objective=objective, seed=seed, max_measurements=6
+    )
+
+
+def faulty_tree_factory(environment, objective, seed):
+    plan = parse_fault_plan("transient:rate=0.3", seed=seed)
+    return AugmentedBO(
+        FaultInjector(environment, plan),
+        objective=objective,
+        seed=seed,
+        stopping=PredictionDeltaThreshold(),
+        retry_policy=RetryPolicy(max_attempts=3),
+    )
+
+
+def faulty_gp_factory(environment, objective, seed):
+    plan = parse_fault_plan("transient:rate=0.3", seed=seed)
+    return NaiveBO(
+        FaultInjector(environment, plan),
+        objective=objective,
+        seed=seed,
+        max_measurements=8,
+        retry_policy=RetryPolicy(max_attempts=3),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Ask/tell: serialize mid-flight, resume, finish bit-identical.
+# ---------------------------------------------------------------------------
+
+
+class TestAskTellResume:
+    FACTORIES = {
+        "tree": tree_factory,
+        "gp": gp_factory,
+        "faulty-tree": faulty_tree_factory,
+        "faulty-gp": faulty_gp_factory,
+    }
+
+    @pytest.mark.parametrize("kind", sorted(FACTORIES))
+    @pytest.mark.parametrize("steps_before", [1, 4])
+    def test_resume_matches_uninterrupted(self, trace, kind, steps_before):
+        factory = self.FACTORIES[kind]
+        environment = trace.environment(WORKLOADS[0])
+        baseline = factory(environment, Objective.TIME, seed=3).run()
+
+        state = factory(
+            trace.environment(WORKLOADS[0]), Objective.TIME, seed=3
+        ).start()
+        for _ in range(steps_before):
+            if not state.step():
+                break
+        payload = state.to_bytes()
+
+        resumed = SearchState.from_bytes(payload)
+        assert resumed.phase == state.phase
+        while resumed.step():
+            pass
+        assert resumed.result() == baseline
+
+    def test_stepping_matches_run(self, trace):
+        baseline = tree_factory(
+            trace.environment(WORKLOADS[1]), Objective.TIME, seed=0
+        ).run()
+        state = tree_factory(
+            trace.environment(WORKLOADS[1]), Objective.TIME, seed=0
+        ).start()
+        while state.step():
+            pass
+        assert state.result() == baseline
+
+    def test_serialized_copy_is_independent(self, trace):
+        state = gp_factory(
+            trace.environment(WORKLOADS[2]), Objective.TIME, seed=5
+        ).start()
+        state.step()
+        payload = state.to_bytes()
+        # Driving the original further must not leak into the snapshot.
+        while state.step():
+            pass
+        resumed = SearchState.from_bytes(payload)
+        while resumed.step():
+            pass
+        assert resumed.result() == state.result()
+
+    def test_from_bytes_rejects_foreign_payloads(self):
+        import pickle
+
+        with pytest.raises(TypeError):
+            SearchState.from_bytes(pickle.dumps({"not": "a search"}))
+
+    def test_result_unavailable_while_live(self, trace):
+        state = tree_factory(
+            trace.environment(WORKLOADS[0]), Objective.TIME, seed=1
+        ).start()
+        with pytest.raises(RuntimeError):
+            state.result()
+
+
+# ---------------------------------------------------------------------------
+# Stacked surrogate primitives vs their serial counterparts.
+# ---------------------------------------------------------------------------
+
+
+def _datasets(seed, count, n, d):
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(count):
+        X = rng.normal(size=(n, d))
+        y = rng.normal(size=n)
+        out.append((X, y))
+    return out
+
+
+class TestStackedKernelValue:
+    @pytest.mark.parametrize("cls", [RBF, Matern12, Matern32, Matern52])
+    def test_matches_per_kernel_value(self, cls):
+        datasets = _datasets(11, 4, 6, 3)
+        kernels = [
+            cls(lengthscale=0.5 + 0.3 * i, variance=1.0 + 0.1 * i)
+            for i in range(len(datasets))
+        ]
+        geometries = [Geometry(X) for X, _ in datasets]
+        stacked = stacked_stationary_value(kernels, geometries)
+        for index, (kernel, geometry) in enumerate(zip(kernels, geometries)):
+            np.testing.assert_array_equal(
+                stacked[index], kernel.value(geometry)
+            )
+
+    def test_rejects_mixed_kernel_classes(self):
+        datasets = _datasets(2, 2, 5, 2)
+        geometries = [Geometry(X) for X, _ in datasets]
+        with pytest.raises(NotImplementedError):
+            stacked_stationary_value([RBF(), Matern52()], geometries)
+
+    def test_rejects_ard_kernels(self):
+        datasets = _datasets(3, 2, 5, 2)
+        geometries = [Geometry(X) for X, _ in datasets]
+        kernels = [Matern52(lengthscale=np.ones(2)) for _ in datasets]
+        with pytest.raises(NotImplementedError):
+            stacked_stationary_value(kernels, geometries)
+
+    def test_rejects_empty_and_ragged_groups(self):
+        with pytest.raises(ValueError):
+            stacked_stationary_value([], [])
+        small, large = _datasets(4, 1, 4, 2)[0], _datasets(5, 1, 6, 2)[0]
+        with pytest.raises(ValueError):
+            stacked_stationary_value(
+                [Matern52(), Matern52()],
+                [Geometry(small[0]), Geometry(large[0])],
+            )
+
+
+class TestFitGpsStacked:
+    def _pairs(self, count, seed=21, kernel=None, **gp_kwargs):
+        datasets = _datasets(seed, count, 7, 3)
+        serial, stacked = [], []
+        for index in range(count):
+            k = kernel() if kernel is not None else None
+            serial.append(
+                GaussianProcessRegressor(kernel=k, seed=index, **gp_kwargs)
+            )
+            k = kernel() if kernel is not None else None
+            stacked.append(
+                GaussianProcessRegressor(kernel=k, seed=index, **gp_kwargs)
+            )
+        return datasets, serial, stacked
+
+    def _assert_same_state(self, serial, stacked, datasets):
+        for gp_a, gp_b, (X, _) in zip(serial, stacked, datasets):
+            np.testing.assert_array_equal(gp_a._L, gp_b._L)
+            np.testing.assert_array_equal(gp_a._alpha, gp_b._alpha)
+            np.testing.assert_array_equal(
+                gp_a.kernel.theta, gp_b.kernel.theta
+            )
+            assert gp_a.noise == gp_b.noise
+            assert gp_a.n_fits == gp_b.n_fits
+            assert gp_a.n_kernel_builds == gp_b.n_kernel_builds
+            mean_a, std_a = gp_a.predict(X, return_std=True)
+            mean_b, std_b = gp_b.predict(X, return_std=True)
+            np.testing.assert_array_equal(mean_a, mean_b)
+            np.testing.assert_array_equal(std_a, std_b)
+
+    def test_matches_per_gp_fit(self):
+        datasets, serial, stacked = self._pairs(3)
+        for gp, (X, y) in zip(serial, datasets):
+            gp.fit(X, y)
+        fit_gps_stacked(
+            stacked, [X for X, _ in datasets], [y for _, y in datasets]
+        )
+        self._assert_same_state(serial, stacked, datasets)
+
+    def test_matches_with_precomputed_geometry(self):
+        datasets, serial, stacked = self._pairs(3, seed=22, optimise=False)
+        geometries = [Geometry(X) for X, _ in datasets]
+        for gp, (X, y), geometry in zip(serial, datasets, geometries):
+            gp.fit(X, y, geometry=geometry)
+        fit_gps_stacked(
+            stacked,
+            [X for X, _ in datasets],
+            [y for _, y in datasets],
+            geometries,
+        )
+        self._assert_same_state(serial, stacked, datasets)
+
+    def test_mixed_kernel_group_falls_back_identically(self):
+        datasets = _datasets(23, 2, 7, 3)
+        serial = [
+            GaussianProcessRegressor(kernel=RBF(), seed=0),
+            GaussianProcessRegressor(kernel=Matern52(), seed=1),
+        ]
+        stacked = [
+            GaussianProcessRegressor(kernel=RBF(), seed=0),
+            GaussianProcessRegressor(kernel=Matern52(), seed=1),
+        ]
+        for gp, (X, y) in zip(serial, datasets):
+            gp.fit(X, y)
+        fit_gps_stacked(
+            stacked, [X for X, _ in datasets], [y for _, y in datasets]
+        )
+        self._assert_same_state(serial, stacked, datasets)
+
+    def test_rejects_mismatched_lengths(self):
+        datasets, _, stacked = self._pairs(2, seed=24)
+        with pytest.raises(ValueError):
+            fit_gps_stacked(stacked, [datasets[0][0]], [d[1] for d in datasets])
+
+
+class TestExpectedImprovementStacked:
+    def test_matches_per_row_ei(self):
+        rng = np.random.default_rng(31)
+        mean = rng.normal(size=(4, 9))
+        std = np.abs(rng.normal(size=(4, 9)))
+        std[1, 3] = 0.0  # degenerate-posterior entry
+        std[2, :] = 0.0  # fully degenerate row
+        best = rng.normal(size=4)
+        stacked = expected_improvement_stacked(mean, std, best)
+        for row in range(4):
+            np.testing.assert_array_equal(
+                stacked[row],
+                expected_improvement(mean[row], std[row], float(best[row])),
+            )
+
+    def test_rejects_bad_shapes(self):
+        mean = np.zeros((2, 3))
+        with pytest.raises(ValueError):
+            expected_improvement_stacked(mean, np.zeros((2, 4)), np.zeros(2))
+        with pytest.raises(ValueError):
+            expected_improvement_stacked(mean, np.zeros((2, 3)), np.zeros(3))
+        with pytest.raises(ValueError):
+            expected_improvement_stacked(
+                np.zeros(3), np.zeros(3), np.zeros(1)
+            )
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(ValueError):
+            expected_improvement_stacked(
+                np.zeros((1, 2)), np.array([[1.0, -0.1]]), np.zeros(1)
+            )
+
+
+class TestFitEnsemblesStacked:
+    def _pairs(self, count, **kwargs):
+        datasets = _datasets(41, count, 12, 4)
+        serial = [
+            ExtraTreesRegressor(n_estimators=5, seed=index, **kwargs)
+            for index in range(count)
+        ]
+        stacked = [
+            ExtraTreesRegressor(n_estimators=5, seed=index, **kwargs)
+            for index in range(count)
+        ]
+        return datasets, serial, stacked
+
+    def test_matches_per_model_fit(self):
+        datasets, serial, stacked = self._pairs(3)
+        for model, (X, y) in zip(serial, datasets):
+            model.fit(X, y)
+        fit_ensembles_stacked(stacked, datasets)
+        for model_a, model_b, (X, _) in zip(serial, stacked, datasets):
+            np.testing.assert_array_equal(
+                model_a.predict(X), model_b.predict(X)
+            )
+            np.testing.assert_array_equal(
+                model_a._packed.value, model_b._packed.value
+            )
+
+    def test_rejects_classic_builder_models(self):
+        datasets, _, stacked = self._pairs(2, tree_builder="classic")
+        with pytest.raises(ValueError):
+            fit_ensembles_stacked(stacked, datasets)
+
+    def test_predict_packed_many_matches_per_ensemble(self):
+        datasets, serial, _ = self._pairs(3)
+        rng = np.random.default_rng(7)
+        queries = [rng.normal(size=(n, 4)) for n in (5, 1, 8)]
+        for model, (X, y) in zip(serial, datasets):
+            model.fit(X, y)
+        packeds = [model._packed for model in serial]
+        batched = predict_packed_many(packeds, queries)
+        for packed, X, result in zip(packeds, queries, batched):
+            np.testing.assert_array_equal(result, predict_packed(packed, X))
+
+
+# ---------------------------------------------------------------------------
+# The vectorized executor end to end.
+# ---------------------------------------------------------------------------
+
+
+def _grid_cells(repeats=2):
+    return [
+        (workload_id, repeat)
+        for workload_id in WORKLOADS
+        for repeat in range(repeats)
+    ]
+
+
+def _run_grid(trace, factory, executor, on_event=None):
+    return list(
+        run_cells(
+            trace,
+            factory,
+            Objective.TIME,
+            _grid_cells(),
+            workers=1,
+            executor=executor,
+            on_event=on_event,
+        )
+    )
+
+
+class TestVectorExecutor:
+    @pytest.mark.parametrize(
+        "factory",
+        [tree_factory, gp_factory, hybrid_factory, faulty_tree_factory],
+        ids=["tree", "gp", "hybrid", "faulty-tree"],
+    )
+    def test_matches_serial_executor(self, trace, factory):
+        serial = _run_grid(trace, factory, "serial")
+        vector = _run_grid(trace, factory, "vector")
+        assert [cell for cell, _ in serial] == [cell for cell, _ in vector]
+        assert serial == vector
+
+    def test_non_stackable_optimizers_still_match(self, trace):
+        serial = _run_grid(trace, random_factory, "serial")
+        vector = _run_grid(trace, random_factory, "vector")
+        assert serial == vector
+
+    def test_emits_vector_planned_and_cell_lifecycle(self, trace):
+        events = []
+        _run_grid(trace, tree_factory, "vector", on_event=events.append)
+        kinds = [event.kind for event in events]
+        assert kinds.count("vector_planned") == 1
+        assert kinds.index("vector_planned") == 0
+        cells = _grid_cells()
+        scheduled = [
+            (event.workload_id, event.repeat)
+            for event in events
+            if event.kind == "cell_scheduled"
+        ]
+        finished = {
+            (event.workload_id, event.repeat)
+            for event in events
+            if event.kind == "cell_finished"
+        }
+        assert scheduled == cells
+        assert finished == set(cells)
+
+    def test_driver_counts_stacked_rounds(self, trace):
+        from repro.parallel.vector import VectorizedGridDriver
+        from repro.analysis.runner import run_seed
+
+        driver = VectorizedGridDriver(
+            trace, tree_factory, Objective.TIME, _grid_cells(), seed_fn=run_seed
+        )
+        results = list(driver.run())
+        assert len(results) == len(_grid_cells())
+        assert driver.rounds > 0
+        assert driver.stacked_tree_fits > 0
+        assert driver.fallback_rounds == 0
+
+    def test_gp_grid_uses_stacked_fits(self, trace):
+        from repro.parallel.vector import VectorizedGridDriver
+        from repro.analysis.runner import run_seed
+
+        driver = VectorizedGridDriver(
+            trace, gp_factory, Objective.TIME, _grid_cells(), seed_fn=run_seed
+        )
+        list(driver.run())
+        assert driver.stacked_gp_fits > 0
+
+    def test_runner_cache_is_byte_identical(self, trace, tmp_path):
+        from repro.analysis.runner import ExperimentRunner, RunGrid
+
+        grid = RunGrid(
+            key="vector-cache",
+            factory=tree_factory,
+            objective=Objective.TIME,
+            workload_ids=WORKLOADS,
+            repeats=2,
+        )
+        caches = {}
+        for executor in ("serial", "vector"):
+            cache_dir = tmp_path / executor
+            runner = ExperimentRunner(trace, cache_dir=cache_dir)
+            runner.run(grid, workers=1, executor=executor)
+            caches[executor] = (
+                cache_dir / "vector-cache__time.json"
+            ).read_bytes()
+        assert caches["serial"] == caches["vector"]
