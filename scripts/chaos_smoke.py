@@ -32,19 +32,35 @@ operator would hit them.
    witnessed by the queue's durable event log), and the final cache is
    byte-identical to the serial reference.
 
+``--scenario spot`` (spot pricing / partial credit under SIGKILL):
+
+1. Computes a clean serial reference cache for a spot-priced grid
+   (market-driven revocations, partial-credit resume, on-demand
+   fallback ladder).
+2. Launches a queue coordinator plus three external workers running the
+   same spot grid, ``SIGKILL``\\ s one worker the moment it holds a
+   lease — mid-spot-run, partial charges in flight.
+3. Asserts the grid completes with a cache byte-identical to the serial
+   reference, that fractional partial-credit charges are present in the
+   done payloads (revocation credit survived the worker loss), that the
+   queue's recorded pricing mode is ``spot``, and that a final
+   ``resume=True`` pass recomputes nothing.
+
 Timings are appended to ``BENCH_perf.json`` under the ``chaos`` /
-``chaos_queue`` sections, which ``scripts/check_perf_regression.py``
-explicitly exempts from the perf gate — chaos runs measure signal
-latency and recovery, not hot-path speed, and must never fail a perf
-check.
+``chaos_queue`` / ``chaos_spot`` sections, which
+``scripts/check_perf_regression.py`` explicitly exempts from the perf
+gate — chaos runs measure signal latency and recovery, not hot-path
+speed, and must never fail a perf check.
 
 Usage::
 
-    python scripts/chaos_smoke.py                     # both scenarios
+    python scripts/chaos_smoke.py                     # all scenarios
     python scripts/chaos_smoke.py --scenario queue    # one scenario
     python scripts/chaos_smoke.py --child D           # internal: pool child
     python scripts/chaos_smoke.py --queue-coordinator D   # internal
     python scripts/chaos_smoke.py --queue-worker D OWNER  # internal
+    python scripts/chaos_smoke.py --spot-coordinator D    # internal
+    python scripts/chaos_smoke.py --spot-worker D OWNER   # internal
 """
 
 from __future__ import annotations
@@ -62,8 +78,10 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.analysis.runner import ExperimentRunner, RunGrid, run_seed  # noqa: E402
+from repro.cloud.spot import SpotMarket, SpotPolicy  # noqa: E402
 from repro.core.baselines import RandomSearch  # noqa: E402
 from repro.core.objectives import Objective  # noqa: E402
+from repro.faults.models import FaultPlan, SpotInterruptions  # noqa: E402
 from repro.parallel import GridCheckpoint, WorkQueue  # noqa: E402
 from repro.trace.generate import default_trace  # noqa: E402
 
@@ -81,6 +99,10 @@ QUEUE_CACHE_NAME = f"{QUEUE_GRID_KEY}__time"
 QUEUE_WORKERS = 3
 QUEUE_LEASE_S = 2.0
 
+SPOT_GRID_KEY = "chaos-spot"
+SPOT_CACHE_NAME = f"{SPOT_GRID_KEY}__time"
+SPOT_SEED = 5
+
 #: Worker-side pacing so the parent can signal a worker mid-cell.
 PACE_S = 0.5
 
@@ -95,6 +117,30 @@ ALL_CELLS = {(w, r) for w in WORKLOADS for r in range(REPEATS)}
 
 def clean_factory(environment, objective, seed):
     return RandomSearch(environment, objective=objective, seed=seed, max_measurements=6)
+
+
+def _spot_market() -> SpotMarket:
+    # Hazard boosted well above the default so revocations (and partial
+    # charges) reliably appear within a 6-measurement smoke run.
+    return SpotMarket(seed=SPOT_SEED, base_hazard=0.25, hazard_slope=0.5)
+
+
+def spot_factory(environment, objective, seed):
+    """A spot-priced search under a market-driven revocation plan.
+
+    Built identically by the serial reference, the coordinator and
+    every queue worker: the injector is created per cell, so fault
+    streams reset per cell and results are independent of who runs it.
+    """
+    plan = FaultPlan((SpotInterruptions(market=_spot_market()),), seed=SPOT_SEED + seed)
+    return RandomSearch(
+        plan.injector(environment),
+        objective=objective,
+        seed=seed,
+        max_measurements=6,
+        measure_retries=5,
+        spot=SpotPolicy(market=_spot_market()),
+    )
 
 
 def _grid(factory, key: str = GRID_KEY) -> RunGrid:
@@ -414,13 +460,223 @@ def scenario_queue(work: Path, trace) -> int:
     return 0
 
 
+# -- spot scenario ---------------------------------------------------------
+
+
+def run_spot_coordinator(cache_dir: Path) -> int:
+    """The spot grid's coordinator: durable queue, external fleet only."""
+    runner = ExperimentRunner(default_trace(), cache_dir=cache_dir)
+    runner.run(
+        _grid(spot_factory, key=SPOT_GRID_KEY),
+        executor="queue",
+        queue_workers=0,
+        queue_lease_s=QUEUE_LEASE_S,
+        queue_stall_timeout_s=300.0,
+        queue_pricing="spot",
+    )
+    return 0
+
+
+def run_spot_worker(cache_dir: Path, owner: str) -> int:
+    """One external pull-worker running spot-priced cells, paced so the
+    parent can SIGKILL it mid-spot-run."""
+    from repro.parallel import queue_worker_loop
+
+    path = cache_dir / f"{SPOT_CACHE_NAME}.queue"
+    queue = None
+    deadline = time.monotonic() + 60.0
+    while queue is None:
+        try:
+            queue = WorkQueue.attach(path)
+        except (FileNotFoundError, ValueError):
+            if time.monotonic() >= deadline:
+                print(f"worker {owner}: no queue at {path}", file=sys.stderr)
+                return 1
+            time.sleep(0.05)
+    trace = default_trace()
+
+    def run_lease(lease):
+        time.sleep(PACE_S)
+        environment = trace.environment(lease.workload_id)
+        return spot_factory(environment, Objective.TIME, lease.seed).run()
+
+    try:
+        completed = queue_worker_loop(queue, run_lease, owner=owner)
+    finally:
+        queue.close()
+    print(f"worker {owner}: processed {completed} cell(s)")
+    return 0
+
+
+def _partial_credit(payload: dict) -> float:
+    """Attempt-units this done payload saved vs unit billing."""
+    steps = payload.get("steps", [])
+    failures = payload.get("failures", [])
+    charged = sum(
+        float(row[3]) if len(row) == 4 else 1.0 for row in steps
+    ) + sum(float(row[4]) if len(row) == 5 else 1.0 for row in failures)
+    return len(steps) + len(failures) - charged
+
+
+def scenario_spot(work: Path, trace) -> int:
+    ref_dir, chaos_dir = work / "spot-ref", work / "spot-chaos"
+    total = len(ALL_CELLS)
+
+    print(f"chaos-smoke[spot]: clean serial spot reference ({total} cells)")
+    ExperimentRunner(trace, cache_dir=ref_dir).run(
+        _grid(spot_factory, key=SPOT_GRID_KEY), workers=1
+    )
+    reference = (ref_dir / f"{SPOT_CACHE_NAME}.json").read_bytes()
+
+    print(
+        f"chaos-smoke[spot]: coordinator + {QUEUE_WORKERS} external workers "
+        "on the spot grid, SIGKILL one mid-spot-run"
+    )
+    started = time.monotonic()
+    coordinator = subprocess.Popen(
+        [sys.executable, __file__, "--spot-coordinator", str(chaos_dir)],
+        cwd=REPO_ROOT,
+    )
+    victim_owner = "victim"
+    owners = ["w1", victim_owner, "w3"]
+    workers = {
+        owner: subprocess.Popen(
+            [sys.executable, __file__, "--spot-worker", str(chaos_dir), owner],
+            cwd=REPO_ROOT,
+        )
+        for owner in owners
+    }
+
+    queue_path = chaos_dir / f"{SPOT_CACHE_NAME}.queue"
+    try:
+        deadline = time.monotonic() + 120.0
+        victim_cell = None
+        while victim_cell is None:
+            if time.monotonic() >= deadline:
+                print("chaos-smoke[spot]: FAIL — victim never claimed a lease")
+                return 1
+            if coordinator.poll() is not None:
+                print("chaos-smoke[spot]: FAIL — coordinator exited early")
+                return 1
+            if queue_path.exists():
+                try:
+                    with WorkQueue.attach(queue_path, readonly=True) as queue:
+                        for cell, owner, _attempts, _age, _left in queue.leases():
+                            if owner == victim_owner:
+                                victim_cell = cell
+                except (ValueError, FileNotFoundError):
+                    pass
+            time.sleep(0.02)
+        workers[victim_owner].send_signal(signal.SIGKILL)
+        print(f"chaos-smoke[spot]: SIGKILLed {victim_owner} holding {victim_cell}")
+
+        coordinator.wait(timeout=300.0)
+        for owner in ("w1", "w3"):
+            workers[owner].wait(timeout=60.0)
+        workers[victim_owner].wait(timeout=60.0)
+    finally:
+        for process in (coordinator, *workers.values()):
+            if process.poll() is None:
+                process.kill()
+    spot_run_s = time.monotonic() - started
+
+    failures = []
+    if coordinator.returncode != 0:
+        failures.append(f"coordinator exit {coordinator.returncode}, wanted 0")
+    if workers[victim_owner].returncode != -signal.SIGKILL:
+        failures.append(
+            f"victim exit {workers[victim_owner].returncode}, wanted -9"
+        )
+    for owner in ("w1", "w3"):
+        if workers[owner].returncode != 0:
+            failures.append(f"worker {owner} exit {workers[owner].returncode}")
+
+    final_path = chaos_dir / f"{SPOT_CACHE_NAME}.json"
+    if not final_path.exists():
+        failures.append("no final cache written")
+    elif final_path.read_bytes() != reference:
+        failures.append("spot-run cache differs from the clean serial reference")
+
+    requeued = 0
+    fractional_cells = 0
+    credit_total = 0.0
+    if not queue_path.exists():
+        failures.append("queue database missing after the run")
+    else:
+        with WorkQueue.attach(queue_path) as queue:
+            if queue.pricing != "spot":
+                failures.append(f"queue pricing {queue.pricing!r}, wanted 'spot'")
+            counts = queue.counts()
+            if counts["done"] != total or not queue.drained():
+                failures.append(f"lost cells: counts {counts}")
+            for cell, state, payload, _e, _a in queue.terminal_cells():
+                if state != "done" or not isinstance(payload, dict):
+                    continue
+                credit = _partial_credit(payload)
+                if credit > 0.0:
+                    fractional_cells += 1
+                    credit_total += credit
+            events = queue.events_since(0)
+            kinds = [kind for _id, kind, _cell, _detail in events]
+            requeued = kinds.count("cell_requeued")
+            if kinds.count("lease_expired") < 1 or kinds.count("worker_lost") < 1:
+                failures.append("no lease expired — the kill was not observed")
+            if requeued < 1:
+                failures.append("no cell was requeued after the kill")
+    if fractional_cells < 1:
+        failures.append(
+            "no fractional partial-credit charges in the done payloads — "
+            "partial credit did not survive"
+        )
+
+    # A resume pass over the completed campaign must recompute nothing
+    # and leave the cache bytes untouched: partial charges round-trip
+    # the cache exactly (repr-based JSON floats).
+    events = []
+    ExperimentRunner(trace, cache_dir=chaos_dir).run(
+        _grid(spot_factory, key=SPOT_GRID_KEY),
+        workers=1, resume=True, on_event=events.append,
+    )
+    scheduled = {e.cell for e in events if e.kind == "cell_scheduled"}
+    if scheduled:
+        failures.append(f"resume recomputed cells: {sorted(scheduled)}")
+    if final_path.read_bytes() != reference:
+        failures.append("cache bytes changed across the resume pass")
+
+    _store_bench("chaos_spot", {
+        "spot_run_s": round(spot_run_s, 3),
+        "workers": QUEUE_WORKERS,
+        "lease_s": QUEUE_LEASE_S,
+        "requeued_cells": requeued,
+        "cells": total,
+        "fractional_cells": fractional_cells,
+        "partial_credit_units": round(credit_total, 6),
+    })
+
+    if failures:
+        for failure in failures:
+            print(f"chaos-smoke[spot]: FAIL — {failure}")
+        return 1
+    print(
+        "chaos-smoke[spot]: passed (spot grid survived SIGKILL, partial "
+        f"credit intact across {fractional_cells} cells, byte-identical cache)"
+    )
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--scenario", choices=("pool", "queue", "all"), default="all")
+    parser.add_argument(
+        "--scenario", choices=("pool", "queue", "spot", "all"), default="all"
+    )
     parser.add_argument("--child", metavar="DIR", help=argparse.SUPPRESS)
     parser.add_argument("--queue-coordinator", metavar="DIR", help=argparse.SUPPRESS)
     parser.add_argument(
         "--queue-worker", nargs=2, metavar=("DIR", "OWNER"), help=argparse.SUPPRESS
+    )
+    parser.add_argument("--spot-coordinator", metavar="DIR", help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--spot-worker", nargs=2, metavar=("DIR", "OWNER"), help=argparse.SUPPRESS
     )
     args = parser.parse_args()
 
@@ -430,6 +686,10 @@ def main() -> int:
         return run_queue_coordinator(Path(args.queue_coordinator))
     if args.queue_worker:
         return run_queue_worker(Path(args.queue_worker[0]), args.queue_worker[1])
+    if args.spot_coordinator:
+        return run_spot_coordinator(Path(args.spot_coordinator))
+    if args.spot_worker:
+        return run_spot_worker(Path(args.spot_worker[0]), args.spot_worker[1])
 
     import tempfile
 
@@ -441,6 +701,8 @@ def main() -> int:
             rc = scenario_pool(work, trace) or rc
         if args.scenario in ("queue", "all"):
             rc = scenario_queue(work, trace) or rc
+        if args.scenario in ("spot", "all"):
+            rc = scenario_spot(work, trace) or rc
     return rc
 
 

@@ -17,7 +17,9 @@ Two kinds of absolute floors ride along: the ``batch`` section's
 wall-clock reduction for q-point suggestions must stay >= 1.8x, the
 ``catalog`` section's incremental query-assembly speedup at 200+
 candidates must stay >= 2x, the ``vector`` section's lock-step
-cross-search grid reduction must stay >= 2x, and a section marked
+cross-search grid reduction must stay >= 2x, the ``spot`` section's
+cost-saving ratio of spot+fallback pricing over on-demand must stay
+>= 1.05x, and a section marked
 ``clamped`` (the engine collapsed to one effective worker, or the
 runner has a single core) is skipped rather than judged — a clamped
 run measures pool overhead, not performance.
@@ -46,12 +48,12 @@ TRACKED = (
 )
 
 #: Sections recorded for observability only, never gated.  ``chaos``
-#: (pool interrupt/resume) and ``chaos_queue`` (durable-queue SIGKILL
-#: recovery) hold chaos-smoke timings (scripts/chaos_smoke.py): they
-#: measure signal latency, crash recovery, and deliberate pacing
-#: sleeps — not hot-path speed — so a "regression" there is
-#: meaningless by design.
-EXEMPT_SECTIONS = ("chaos", "chaos_queue")
+#: (pool interrupt/resume), ``chaos_queue`` (durable-queue SIGKILL
+#: recovery), and ``chaos_spot`` (spot-grid partial-credit survival)
+#: hold chaos-smoke timings (scripts/chaos_smoke.py): they measure
+#: signal latency, crash recovery, and deliberate pacing sleeps — not
+#: hot-path speed — so a "regression" there is meaningless by design.
+EXEMPT_SECTIONS = ("chaos", "chaos_queue", "chaos_spot")
 
 #: Higher-is-better floors: (section, key, minimum, human label).  A
 #: floored metric is skipped when its section (current *or* baseline)
@@ -68,6 +70,10 @@ FLOORS = (
     # ``clamped`` (exempting them here) to keep timing-noise verdicts
     # off degenerate machines.
     ("vector", "grid_reduction", 2.0, "vectorized lock-step grid reduction"),
+    # Deterministic seeded arithmetic (no wall-clock timing), so the
+    # floor is tight: spot pricing with the on-demand fallback ladder
+    # must keep the search strictly cheaper than pure on-demand.
+    ("spot", "saving_ratio", 1.05, "spot+fallback cost saving vs on-demand"),
 )
 
 

@@ -46,7 +46,10 @@ logger = logging.getLogger(__name__)
 
 #: Bump whenever the cached payload shape changes; mismatching files are
 #: quarantined and recomputed (cheap, because runs are deterministic).
-CACHE_SCHEMA_VERSION = 2
+#: v3 adds optional per-step / per-failure fractional charges (spot
+#: pricing); every v2 payload is shape-valid v3, so v2 files migrate in
+#: place instead of being quarantined.
+CACHE_SCHEMA_VERSION = 3
 
 #: Builds a fresh optimiser for one run: (environment, objective, seed).
 OptimizerFactory = Callable[[MeasurementEnvironment, Objective, int], SequentialOptimizer]
@@ -86,10 +89,19 @@ class RunGrid:
 
 
 def _result_to_json(result: SearchResult) -> dict:
+    # Charges are appended only when fractional (spot pricing), so
+    # on-demand payloads are byte-identical to the v2 encoding.  Python's
+    # repr-based JSON float round-trips exactly, so a decoded charge is
+    # the float that was billed — no drift across cache or queue hops.
     payload = {
         "optimizer": result.optimizer,
         "stopped_by": result.stopped_by,
-        "steps": [[s.vm_name, s.objective_value, s.attempts] for s in result.steps],
+        "steps": [
+            [s.vm_name, s.objective_value, s.attempts]
+            if s.charge == 1.0
+            else [s.vm_name, s.objective_value, s.attempts, s.charge]
+            for s in result.steps
+        ],
     }
     # Fault observability is recorded only when present, keeping the
     # common fault-free cache compact.
@@ -97,7 +109,10 @@ def _result_to_json(result: SearchResult) -> dict:
         payload["quarantined"] = list(result.quarantined_vms)
     if result.failure_events:
         payload["failures"] = [
-            [e.step, e.vm_name, e.attempt, e.error] for e in result.failure_events
+            [e.step, e.vm_name, e.attempt, e.error]
+            if e.charge == 1.0
+            else [e.step, e.vm_name, e.attempt, e.error, e.charge]
+            for e in result.failure_events
         ]
     if result.retry_wait_s:
         payload["retry_wait_s"] = result.retry_wait_s
@@ -108,8 +123,21 @@ def _result_to_json(result: SearchResult) -> dict:
     return payload
 
 
+def _valid_charge(charge: object) -> bool:
+    """Whether an optional trailing charge element is a usable bill."""
+    return (
+        isinstance(charge, numbers.Real)
+        and not isinstance(charge, bool)
+        and float(charge) >= 0.0
+    )
+
+
 def _valid_payload(payload: object) -> bool:
-    """Whether one cached run entry has the trusted v2 shape."""
+    """Whether one cached run entry has the trusted v3 shape.
+
+    Step and failure rows optionally carry a trailing fractional charge
+    (spot pricing); rows without one are the v2 shape and stay valid.
+    """
     if not isinstance(payload, Mapping):
         return False
     if not isinstance(payload.get("optimizer"), str):
@@ -120,14 +148,16 @@ def _valid_payload(payload: object) -> bool:
     if not isinstance(steps, list) or not steps:
         return False
     for step in steps:
-        if not (isinstance(step, list) and len(step) == 3):
+        if not (isinstance(step, list) and len(step) in (3, 4)):
             return False
-        vm_name, value, attempts = step
+        vm_name, value, attempts = step[:3]
         if not isinstance(vm_name, str):
             return False
         if not isinstance(value, numbers.Real) or isinstance(value, bool):
             return False
         if not isinstance(attempts, int) or attempts < 1:
+            return False
+        if len(step) == 4 and not _valid_charge(step[3]):
             return False
     quarantined = payload.get("quarantined", [])
     if not (isinstance(quarantined, list) and all(isinstance(q, str) for q in quarantined)):
@@ -136,12 +166,14 @@ def _valid_payload(payload: object) -> bool:
     if not isinstance(failures, list):
         return False
     for failure in failures:
-        if not (isinstance(failure, list) and len(failure) == 4):
+        if not (isinstance(failure, list) and len(failure) in (4, 5)):
             return False
-        step, vm_name, attempt, error = failure
+        step, vm_name, attempt, error = failure[:4]
         if not (isinstance(step, int) and isinstance(attempt, int)):
             return False
         if not (isinstance(vm_name, str) and isinstance(error, str)):
+            return False
+        if len(failure) == 5 and not _valid_charge(failure[4]):
             return False
     retry_wait = payload.get("retry_wait_s", 0.0)
     if not (isinstance(retry_wait, numbers.Real) and not isinstance(retry_wait, bool)):
@@ -195,7 +227,8 @@ def _result_from_json(
 ) -> SearchResult:
     steps = []
     best = float("inf")
-    for index, (vm_name, value, attempts) in enumerate(payload["steps"], start=1):
+    for index, row in enumerate(payload["steps"], start=1):
+        vm_name, value, attempts = row[:3]
         best = min(best, float(value))
         steps.append(
             SearchStep(
@@ -204,6 +237,9 @@ def _result_from_json(
                 objective_value=float(value),
                 best_value=best,
                 attempts=attempts,
+                # Stored charges are read back verbatim, never recomputed:
+                # resume must bill exactly what the original run billed.
+                charge=float(row[3]) if len(row) == 4 else 1.0,
             )
         )
     return SearchResult(
@@ -214,8 +250,14 @@ def _result_from_json(
         stopped_by=payload["stopped_by"],
         quarantined_vms=tuple(payload.get("quarantined", [])),
         failure_events=tuple(
-            FailureEvent(step=step, vm_name=vm, attempt=attempt, error=error)
-            for step, vm, attempt, error in payload.get("failures", [])
+            FailureEvent(
+                step=row[0],
+                vm_name=row[1],
+                attempt=row[2],
+                error=row[3],
+                charge=float(row[4]) if len(row) == 5 else 1.0,
+            )
+            for row in payload.get("failures", [])
         ),
         retry_wait_s=float(payload.get("retry_wait_s", 0.0)),
         events=tuple(
@@ -302,6 +344,16 @@ class ExperimentRunner:
                 logger.info("migrating legacy (v1) cache file %s", cache_path)
                 return migrated
         if (
+            isinstance(payload, dict)
+            and payload.get("schema") == 2
+            and isinstance(payload.get("results"), dict)
+        ):
+            # v2 rows (no charge column) are shape-valid v3 rows with an
+            # implicit unit charge: adopt them as-is and rewrite at v3 on
+            # the next flush instead of recomputing.
+            logger.info("migrating v2 cache file %s to v3 in place", cache_path)
+            return payload["results"]
+        if (
             not isinstance(payload, dict)
             or payload.get("schema") != CACHE_SCHEMA_VERSION
             or not isinstance(payload.get("results"), dict)
@@ -379,6 +431,7 @@ class ExperimentRunner:
         queue_lease_s: float = 30.0,
         queue_max_attempts: int = 3,
         queue_stall_timeout_s: float | None = 60.0,
+        queue_pricing: str = "on-demand",
     ) -> dict[str, list[SearchResult]]:
         """All results of ``grid``, computed or loaded from cache.
 
@@ -444,6 +497,9 @@ class ExperimentRunner:
                 outstanding but no live workers or queue activity for
                 this long, remaining cells are completed serially
                 (``None`` waits for a fleet forever).
+            queue_pricing: pricing mode recorded in the queue's meta
+                table (``"on-demand"`` or ``"spot"``) so workers and
+                ``arrow queue-status`` agree on how charges are read.
 
         Returns:
             Mapping from workload id to one result per repeat (repeat
@@ -541,6 +597,7 @@ class ExperimentRunner:
                 lease_duration_s=queue_lease_s,
                 max_attempts=queue_max_attempts,
                 stall_timeout_s=queue_stall_timeout_s,
+                pricing=queue_pricing,
             )
 
         dirty = 0

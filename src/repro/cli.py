@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.analysis.ascii_plots import bar_chart, line_chart
 from repro.cloud.catalog import DEFAULT_CATALOG_NAME, catalog_names, get_catalog
+from repro.cloud.spot import PRICING_MODES, SpotMarket, SpotPolicy
 from repro.cloud.vmtypes import get_vm_type
 from repro.core.augmented_bo import AugmentedBO
 from repro.core.baselines import ExhaustiveSearch, RandomSearch
@@ -36,7 +37,13 @@ from repro.core.naive_bo import NaiveBO
 from repro.core.objectives import Objective
 from repro.core.smbo import MeasurementError
 from repro.core.stopping import EIThreshold, PredictionDeltaThreshold
-from repro.faults import FaultInjector, RetryPolicy, parse_fault_plan
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    SpotInterruptions,
+    parse_fault_plan,
+)
 from repro.simulator.perfmodel import PerformanceModel
 from repro.simulator.sar import record_sar_trace
 from repro.trace.generate import canonical_trace, generate_trace
@@ -256,6 +263,29 @@ def _add_optimizer_flags(parser: argparse.ArgumentParser) -> None:
         "--fault-seed", type=int, default=0,
         help="seed for the fault plan's randomness",
     )
+    parser.add_argument(
+        "--pricing", choices=sorted(PRICING_MODES), default="on-demand",
+        help="pricing tier measurements buy: on-demand (default, "
+        "bit-identical historic behaviour) or spot — discounted runs "
+        "under a seeded revocation market with partial-credit resume "
+        "and an on-demand fallback ladder",
+    )
+    parser.add_argument(
+        "--spot-seed", type=int, default=0,
+        help="seed of the deterministic spot market (discounts, "
+        "volatility and revocation hazard per VM)",
+    )
+    parser.add_argument(
+        "--spot-fallback-after", type=int, default=2,
+        help="spot revocations of one observation before it falls back "
+        "to on-demand at full price",
+    )
+    parser.add_argument(
+        "--spot-resume-credit", type=float, default=1.0,
+        help="fraction of a revoked run's completed work the next "
+        "attempt resumes from (1.0 = perfect checkpoints, 0.0 = full "
+        "redo)",
+    )
 
 
 def _build_optimizer(args: argparse.Namespace, environment, seed: int | None = None):
@@ -293,15 +323,45 @@ def _build_optimizer(args: argparse.Namespace, environment, seed: int | None = N
         batch_size=batch_size,
         liar=getattr(args, "liar", "min"),
         measurement_fanout=fanout,
+        spot=_spot_policy(args),
         **extra,
     )
 
 
+def _spot_policy(args: argparse.Namespace) -> SpotPolicy | None:
+    """The spot policy the flags ask for, or None in on-demand mode."""
+    if getattr(args, "pricing", "on-demand") != "spot":
+        return None
+    return SpotPolicy(
+        market=SpotMarket(seed=getattr(args, "spot_seed", 0)),
+        fallback_after=getattr(args, "spot_fallback_after", 2),
+        resume_credit=getattr(args, "spot_resume_credit", 1.0),
+    )
+
+
 def _wrap_faults(args: argparse.Namespace, environment):
-    """Fault-inject an environment when a plan was given."""
+    """Fault-inject an environment when a plan (or spot pricing) asks.
+
+    ``--pricing spot`` guarantees a market-driven spot-revocation rule
+    is present: spot capacity without revocation risk would just be a
+    discount.  A ``--fault-plan`` that already carries a market rule is
+    kept as written; otherwise the market (seeded by ``--spot-seed``)
+    is appended to the plan, or forms a single-rule plan of its own.
+    """
+    rules = ()
     if args.fault_plan:
         plan = parse_fault_plan(args.fault_plan, seed=args.fault_seed)
-        environment = FaultInjector(environment, plan)
+        rules = plan.rules
+    if getattr(args, "pricing", "on-demand") == "spot" and not any(
+        isinstance(rule, SpotInterruptions) and rule.market is not None
+        for rule in rules
+    ):
+        market = SpotMarket(seed=getattr(args, "spot_seed", 0))
+        rules = (*rules, SpotInterruptions(market=market))
+    if rules:
+        environment = FaultInjector(
+            environment, FaultPlan(rules, seed=args.fault_seed)
+        )
     return environment
 
 
@@ -353,6 +413,14 @@ def _search_grid_key(args: argparse.Namespace) -> str:
         relevant = (*relevant, args.catalog)
     if getattr(args, "max_measurements", None) is not None:
         relevant = (*relevant, args.max_measurements)
+    # Spot pricing changes retries, charges and events, so its whole
+    # configuration joins the key — but only when enabled, keeping every
+    # pre-existing on-demand digest stable.
+    if getattr(args, "pricing", "on-demand") == "spot":
+        relevant = (
+            *relevant, args.pricing, args.spot_seed,
+            args.spot_fallback_after, args.spot_resume_credit,
+        )
     digest = zlib.crc32(repr(relevant).encode()) & 0xFFFFFFFF
     return f"search-{args.method}-{slug}-{digest:08x}"
 
@@ -399,6 +467,7 @@ def _run_repeats(args: argparse.Namespace, trace, objective):
             queue_lease_s=args.queue_lease,
             queue_max_attempts=args.queue_max_attempts,
             queue_stall_timeout_s=args.queue_stall_timeout,
+            queue_pricing=getattr(args, "pricing", "on-demand"),
         )
         return results[args.workload]
 
@@ -572,6 +641,30 @@ def _cmd_queue_worker(args: argparse.Namespace) -> int:
         queue.close()
 
 
+def _queue_partial_credit(queue) -> float | None:
+    """Attempt-units spot billing saved across the queue's done cells.
+
+    Sums ``attempts - sum(charges)`` over every stored done payload —
+    zero for an on-demand grid, positive once revocations banked
+    partial charges.  ``None`` when nothing is done yet (nothing to
+    report) or the queue predates charge accounting.
+    """
+    totals = []
+    for _cell, state, payload, _error, _attempts in queue.terminal_cells():
+        if state != "done" or not isinstance(payload, dict):
+            continue
+        steps = payload.get("steps", [])
+        failures = payload.get("failures", [])
+        attempts = len(steps) + len(failures)
+        charged = sum(
+            float(row[3]) if len(row) == 4 else 1.0 for row in steps
+        ) + sum(float(row[4]) if len(row) == 5 else 1.0 for row in failures)
+        totals.append(attempts - charged)
+    if not totals:
+        return None
+    return sum(totals)
+
+
 def _cmd_queue_status(args: argparse.Namespace) -> int:
     from repro.parallel.queue import WorkQueue
 
@@ -589,7 +682,8 @@ def _cmd_queue_status(args: argparse.Namespace) -> int:
         total = sum(counts.values())
         print(f"queue {queue_path}")
         print(
-            f"grid {queue.cache_key}; lease {queue.lease_duration_s:.0f}s; "
+            f"grid {queue.cache_key}; pricing {queue.pricing}; "
+            f"lease {queue.lease_duration_s:.0f}s; "
             f"max attempts {queue.max_attempts}"
         )
         print(f"\ncells ({total} total):")
@@ -600,13 +694,19 @@ def _cmd_queue_status(args: argparse.Namespace) -> int:
             print("\nactive leases:")
             print(
                 f"  {'workload':<40} {'rep':>3} {'owner':<28} "
-                f"{'att':>3} {'beat age':>9} {'expires':>8}"
+                f"{'att':>3} {'pricing':<9} {'beat age':>9} {'expires':>8}"
             )
             for (workload_id, repeat), owner, attempts, age, left in leases:
                 print(
                     f"  {workload_id:<40} {repeat:>3} {owner:<28} "
-                    f"{attempts:>3} {age:>8.1f}s {left:>7.1f}s"
+                    f"{attempts:>3} {queue.pricing:<9} {age:>8.1f}s {left:>7.1f}s"
                 )
+        credit = _queue_partial_credit(queue)
+        if credit is not None:
+            print(
+                f"\ncumulative partial credit: {credit:.6f} attempt-unit(s) "
+                "saved vs unit billing across done cells"
+            )
         histogram = queue.attempt_histogram()
         if histogram:
             print("\nattempts histogram:")

@@ -26,6 +26,13 @@ from repro.cloud.catalog import (
     get_catalog,
     register_catalog,
 )
+from repro.cloud.spot import (
+    PRICING_MODES,
+    PriceQuote,
+    SpotMarket,
+    SpotPolicy,
+    spot_twin,
+)
 
 __all__ = [
     "SIZE_LADDER",
@@ -43,4 +50,9 @@ __all__ = [
     "catalog_names",
     "get_catalog",
     "register_catalog",
+    "PRICING_MODES",
+    "PriceQuote",
+    "SpotMarket",
+    "SpotPolicy",
+    "spot_twin",
 ]

@@ -34,6 +34,11 @@ from dataclasses import dataclass
 #: ``batch_measured`` once the round's measurements are committed
 #: (detail carries the success count); the per-measurement lifecycle
 #: events between them are replayed in catalog-index order.
+#: Spot-priced searches additionally emit ``spot_revoked`` once per
+#: market revocation (detail carries the fraction completed and the
+#: partial charge billed at the spot price) and ``fallback_to_ondemand``
+#: once per observation whose retry ladder exhausted its spot patience
+#: and switched the remaining attempts to guaranteed on-demand capacity.
 EVENT_KINDS: tuple[str, ...] = (
     "measurement_started",
     "measurement_finished",
@@ -44,6 +49,8 @@ EVENT_KINDS: tuple[str, ...] = (
     "cell_retried",
     "batch_suggested",
     "batch_measured",
+    "spot_revoked",
+    "fallback_to_ondemand",
 )
 
 

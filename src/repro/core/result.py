@@ -25,12 +25,17 @@ class FailureEvent:
         vm_name: the VM whose measurement failed.
         attempt: 1-based attempt number within that observation round.
         error: ``"ErrorType: message"`` of the underlying failure.
+        charge: what the cloud billed for the attempt, in on-demand
+            attempt units.  ``1.0`` (a full on-demand run) everywhere
+            except spot-priced searches, where a market revocation bills
+            only the completed fraction at the discounted spot price.
     """
 
     step: int
     vm_name: str
     attempt: int
     error: str
+    charge: float = 1.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,6 +50,10 @@ class SearchStep:
         attempts: measure calls this observation took (1 = first try;
             the ``attempts - 1`` failures are also in
             :attr:`SearchResult.failure_events`).
+        charge: what the cloud billed for the successful attempt, in
+            on-demand attempt units.  ``1.0`` except under spot pricing,
+            where the run bills the spot price for only the work a
+            banked partial checkpoint did not already cover.
     """
 
     step: int
@@ -52,6 +61,7 @@ class SearchStep:
     objective_value: float
     best_value: float
     attempts: int = 1
+    charge: float = 1.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -101,13 +111,23 @@ class SearchResult:
         return len(self.failure_events)
 
     @property
-    def charged_cost(self) -> int:
-        """Every attempt the cloud billed: successes plus failures.
+    def charged_cost(self) -> int | float:
+        """Everything the cloud billed, in on-demand attempt units.
 
-        This is the honest search cost under faults; it equals
-        :attr:`search_cost` for a fault-free run.
+        Unit charges (every run outside spot pricing) keep the historic
+        integer semantics — ``search_cost + failure_count`` exactly, an
+        ``int`` — so fault accounting, displays and cached digests are
+        unchanged.  Spot-priced searches bill fractional charges
+        (discounted runs, partial revocation charges, resumed redo), and
+        the sum is returned as the exact float the attempts accumulated.
         """
-        return self.search_cost + self.failure_count
+        attempts = self.search_cost + self.failure_count
+        total = sum(s.charge for s in self.steps) + sum(
+            e.charge for e in self.failure_events
+        )
+        if total == attempts:  # all unit charges: exact integer sum
+            return attempts
+        return total
 
     @property
     def best_value(self) -> float:

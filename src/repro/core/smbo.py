@@ -56,6 +56,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.cloud.encoding import InstanceEncoder
+from repro.cloud.spot import SpotPolicy
 from repro.core.acquisition import LIAR_STRATEGIES, top_q_indices
 from repro.core.events import SearchEvent
 from repro.core.objectives import Objective
@@ -65,7 +66,11 @@ from repro.core.result import FailureEvent, SearchResult, SearchStep
 # resumable ask/tell machine.  Alias the snapshot to keep both importable.
 from repro.core.stopping import SearchState as StoppingSnapshot
 from repro.core.stopping import StoppingCriterion
-from repro.faults.models import CorruptedMeasurementError
+from repro.faults.models import (
+    CorruptedMeasurementError,
+    PartialMeasurement,
+    SpotInterruptionError,
+)
 from repro.faults.retry import CircuitBreaker, RetryPolicy
 from repro.ml.sampling import quasi_random_distinct
 from repro.simulator.cluster import Measurement, MeasurementEnvironment
@@ -119,6 +124,17 @@ class BatchMeasurement:
             included, when there was one).
         failures: ``(attempt, "ErrorType: message")`` per failed attempt.
         wait_s: total retry backoff the task accounted.
+        charge: what the successful attempt billed, in on-demand
+            attempt units (``1.0`` outside spot pricing).
+        failure_charges: per-failure charges aligned with ``failures``;
+            empty means every failure billed ``1.0``.
+        revoked_attempts: attempt numbers that were market spot
+            revocations (a subset of the ``failures`` attempts).
+        fallback_at: attempt number whose revocation tripped the
+            fall-back to on-demand pricing, or ``None``.
+        checkpoint: the partial-progress checkpoint surviving the task
+            (``None`` on success — the checkpoint was consumed — or
+            when nothing partial was banked).
     """
 
     index: int
@@ -128,6 +144,11 @@ class BatchMeasurement:
     attempts: int
     failures: tuple[tuple[int, str], ...] = ()
     wait_s: float = 0.0
+    charge: float = 1.0
+    failure_charges: tuple[float, ...] = ()
+    revoked_attempts: tuple[int, ...] = ()
+    fallback_at: int | None = None
+    checkpoint: PartialMeasurement | None = None
 
 
 #: One batch-measurement work item: ``(iteration, catalog index)``.
@@ -185,6 +206,16 @@ class SequentialOptimizer(abc.ABC):
             measurement tasks (see :data:`BatchFanout`); ``None`` runs
             them inline.  Results are identical for any fan-out because
             each task reseeds from its spawn key.
+        spot: optional :class:`~repro.cloud.spot.SpotPolicy` switching
+            the search to spot pricing.  Measurements then run on spot
+            capacity first (the environment's ``set_pricing`` hook is
+            told which tier each attempt buys); a market revocation
+            bills only the completed fraction at the spot price, banks
+            it as a :class:`~repro.faults.models.PartialMeasurement`
+            checkpoint that retries resume from, and after
+            ``fallback_after`` revocations the observation falls back
+            to on-demand at full price.  ``None`` (the default) is the
+            historic on-demand loop, bit for bit.
     """
 
     #: Display name; subclasses override.
@@ -205,6 +236,7 @@ class SequentialOptimizer(abc.ABC):
         batch_size: int = 1,
         liar: str = "min",
         measurement_fanout: BatchFanout | None = None,
+        spot: SpotPolicy | None = None,
     ) -> None:
         if n_initial < 1:
             raise ValueError(f"n_initial must be at least 1, got {n_initial}")
@@ -234,6 +266,9 @@ class SequentialOptimizer(abc.ABC):
         self.batch_size = batch_size
         self.liar = liar
         self._fanout = measurement_fanout
+        self._spot = spot
+        self._checkpoints: dict[str, PartialMeasurement] = {}
+        self._charge_total = 0.0
         self._rng = np.random.default_rng(seed)
         # The initial design gets its own stream, split off before any
         # subclass draws: optimisers with the same seed then share the
@@ -251,8 +286,22 @@ class SequentialOptimizer(abc.ABC):
         self._events: list[SearchEvent] = []
         self._failed_charges = 0
         self._retry_wait_s = 0.0
-        self._breaker = CircuitBreaker(self.quarantine_after)
+        self._breaker = self._new_breaker()
         self._retry_rng = np.random.default_rng([self._stream_seed, 1])
+
+    def _new_breaker(self) -> CircuitBreaker:
+        """A fresh circuit breaker matching this optimiser's policy.
+
+        Spot-priced searches get the breaker's price-aware mode: a VM
+        that keeps getting reclaimed is quarantined for churn even when
+        its runs eventually succeed.
+        """
+        revocation_threshold = (
+            self._spot.revocation_quarantine if self._spot is not None else None
+        )
+        return CircuitBreaker(
+            self.quarantine_after, revocation_threshold=revocation_threshold
+        )
 
     # -- state exposed to subclasses ----------------------------------------
 
@@ -269,6 +318,7 @@ class SequentialOptimizer(abc.ABC):
         self._obs_indices: list[int] = []
         self._obs_measurements: list[Measurement] = []
         self._obs_attempts: list[int] = []
+        self._obs_charges: list[float] = []
         self._value_buf = np.empty(max(len(self._env.catalog), 1), dtype=float)
         self._measured_set: set[int] = set()
         self._best = np.inf
@@ -323,7 +373,12 @@ class SequentialOptimizer(abc.ABC):
         return float(self._best)
 
     def _record_observation(
-        self, index: int, measurement: Measurement, value: float, attempt: int
+        self,
+        index: int,
+        measurement: Measurement,
+        value: float,
+        attempt: int,
+        charge: float = 1.0,
     ) -> None:
         """Append one successful observation to the grown buffers."""
         if self._obs_count == len(self._value_buf):  # pragma: no cover - guard
@@ -333,6 +388,8 @@ class SequentialOptimizer(abc.ABC):
         self._obs_indices.append(index)
         self._obs_measurements.append(measurement)
         self._obs_attempts.append(attempt)
+        self._obs_charges.append(charge)
+        self._charge_total += charge
         self._measured_set.add(index)
         if value < self._best:
             self._best = value
@@ -368,9 +425,29 @@ class SequentialOptimizer(abc.ABC):
 
     # -- the loop ------------------------------------------------------------
 
-    def _charged(self) -> int:
-        """Charged attempts so far: successful observations + failures."""
-        return self._obs_count + self._failed_charges
+    def _charged(self) -> int | float:
+        """Everything billed so far, in on-demand attempt units.
+
+        On-demand searches keep the historic integer semantics (one
+        unit per attempt, failed or not).  Spot-priced searches sum the
+        actual fractional charges — discounted runs, partial revocation
+        charges — so the budget buys more attempts when they are cheap.
+        """
+        if self._spot is None:
+            return self._obs_count + self._failed_charges
+        return self._charge_total
+
+    def _set_env_pricing(self, vm_name: str, pricing: str) -> None:
+        """Tell the environment which pricing tier the next run buys."""
+        setter = getattr(self._env, "set_pricing", None)
+        if setter is not None:
+            setter(vm_name, pricing)
+
+    def _price_ratio(self, vm_name: str, pricing: str) -> float:
+        """Spot/on-demand price ratio billed for a run of ``vm_name``."""
+        if self._spot is not None and pricing == "spot":
+            return 1.0 - self._spot.market.discount(vm_name)
+        return 1.0
 
     def _budget_exhausted(self) -> bool:
         return (
@@ -384,10 +461,24 @@ class SequentialOptimizer(abc.ABC):
         Every attempt — failed or not — is charged.  Returns True on a
         successful observation; False when the attempts were exhausted,
         the VM got quarantined, or the budget ran out mid-retry.
+
+        Spot-priced searches (``spot`` policy set) walk a retry ladder:
+        attempts run at the spot price until ``fallback_after`` market
+        revocations, then fall back to on-demand at full price.  A
+        revocation bills only the reached fraction of the remaining
+        work (at the spot price) and banks resume credit as a per-VM
+        :class:`~repro.faults.models.PartialMeasurement` checkpoint, so
+        the eventual success is billed for the uncovered remainder
+        only.
         """
         vm = self._env.catalog[index]
         policy = self.retry_policy
         step = self._obs_count + 1
+        spot = self._spot
+        pricing = "on-demand" if spot is None else "spot"
+        revocations = 0
+        if spot is not None:
+            self._set_env_pricing(vm.name, "spot")
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
                 self._retry_wait_s += policy.wait(attempt - 1, self._retry_rng)
@@ -410,12 +501,39 @@ class SequentialOptimizer(abc.ABC):
             except Exception as error:  # noqa: BLE001 - cloud errors are diverse
                 self._failed_charges += 1
                 error_text = f"{type(error).__name__}: {error}"
+                charge = 1.0
+                revoked = (
+                    spot is not None
+                    and pricing == "spot"
+                    and isinstance(error, SpotInterruptionError)
+                    and error.fraction is not None
+                )
+                if spot is not None:
+                    checkpoint = self._checkpoints.get(vm.name)
+                    done = checkpoint.fraction if checkpoint is not None else 0.0
+                    ratio = self._price_ratio(vm.name, pricing)
+                    if revoked:
+                        # Revoked at fraction g of the *remaining* work:
+                        # bill g * (1 - done) at the spot price and bank
+                        # resume credit toward the next attempt.
+                        progressed = float(error.fraction) * (1.0 - done)
+                        charge = ratio * progressed
+                        prior = checkpoint.charge if checkpoint is not None else 0.0
+                        self._checkpoints[vm.name] = PartialMeasurement(
+                            vm_name=vm.name,
+                            fraction=done + spot.resume_credit * progressed,
+                            charge=prior + charge,
+                        )
+                    else:
+                        charge = ratio * (1.0 - done)
+                self._charge_total += charge
                 self._failure_events.append(
                     FailureEvent(
                         step=step,
                         vm_name=vm.name,
                         attempt=attempt,
                         error=error_text,
+                        charge=charge,
                     )
                 )
                 self._events.append(
@@ -426,21 +544,62 @@ class SequentialOptimizer(abc.ABC):
                         detail=error_text,
                     )
                 )
-                if self._breaker.record_failure(vm.name):
+                if revoked:
+                    revocations += 1
+                    self._events.append(
+                        SearchEvent(
+                            kind="spot_revoked",
+                            step=step,
+                            vm_name=vm.name,
+                            detail=(
+                                f"revocation {revocations} at "
+                                f"{float(error.fraction):.0%} of the remaining "
+                                f"work, charged {charge:.6f}"
+                            ),
+                        )
+                    )
+                    quarantined = self._breaker.record_revocation(vm.name)
+                    quarantine_detail = (
+                        "spot churn: "
+                        f"{self._breaker.revocation_count(vm.name)} revocations"
+                    )
+                else:
+                    quarantined = self._breaker.record_failure(vm.name)
+                    quarantine_detail = f"after {attempt} failed attempts this round"
+                if quarantined:
                     self._events.append(
                         SearchEvent(
                             kind="vm_quarantined",
                             step=step,
                             vm_name=vm.name,
-                            detail=f"after {attempt} failed attempts this round",
+                            detail=quarantine_detail,
                         )
                     )
                     return False
                 if self._budget_exhausted():
                     return False
+                if revoked and pricing == "spot" and revocations >= spot.fallback_after:
+                    pricing = "on-demand"
+                    self._set_env_pricing(vm.name, "on-demand")
+                    self._events.append(
+                        SearchEvent(
+                            kind="fallback_to_ondemand",
+                            step=step,
+                            vm_name=vm.name,
+                            detail=(
+                                f"after {revocations} revocations; retrying at "
+                                "full on-demand price"
+                            ),
+                        )
+                    )
                 continue
             self._breaker.record_success(vm.name)
-            self._record_observation(index, measurement, value, attempt)
+            charge = 1.0
+            if spot is not None:
+                checkpoint = self._checkpoints.pop(vm.name, None)
+                done = checkpoint.fraction if checkpoint is not None else 0.0
+                charge = self._price_ratio(vm.name, pricing) * (1.0 - done)
+            self._record_observation(index, measurement, value, attempt, charge=charge)
             self._events.append(
                 SearchEvent(
                     kind="measurement_finished",
@@ -528,8 +687,19 @@ class SequentialOptimizer(abc.ABC):
             arm(spawn_key)
         retry_rng = np.random.default_rng([*spawn_key, 1])
         policy = self.retry_policy
+        spot = self._spot
+        pricing = "on-demand" if spot is None else "spot"
+        revocations = 0
+        # The checkpoint evolves task-locally from the global state at
+        # fan-out time (deterministic: commits happen between rounds).
+        checkpoint = self._checkpoints.get(vm.name) if spot is not None else None
         failures: list[tuple[int, str]] = []
+        failure_charges: list[float] = []
+        revoked_attempts: list[int] = []
+        fallback_at: int | None = None
         wait_s = 0.0
+        if spot is not None:
+            self._set_env_pricing(vm.name, "spot")
         for attempt in range(1, policy.max_attempts + 1):
             if attempt > 1:
                 wait_s += policy.wait(attempt - 1, retry_rng)
@@ -543,7 +713,41 @@ class SequentialOptimizer(abc.ABC):
                     )
             except Exception as error:  # noqa: BLE001 - cloud errors are diverse
                 failures.append((attempt, f"{type(error).__name__}: {error}"))
+                charge = 1.0
+                revoked = (
+                    spot is not None
+                    and pricing == "spot"
+                    and isinstance(error, SpotInterruptionError)
+                    and error.fraction is not None
+                )
+                if spot is not None:
+                    done = checkpoint.fraction if checkpoint is not None else 0.0
+                    ratio = self._price_ratio(vm.name, pricing)
+                    if revoked:
+                        progressed = float(error.fraction) * (1.0 - done)
+                        charge = ratio * progressed
+                        prior = checkpoint.charge if checkpoint is not None else 0.0
+                        checkpoint = PartialMeasurement(
+                            vm_name=vm.name,
+                            fraction=done + spot.resume_credit * progressed,
+                            charge=prior + charge,
+                        )
+                    else:
+                        charge = ratio * (1.0 - done)
+                failure_charges.append(charge)
+                if revoked:
+                    revocations += 1
+                    revoked_attempts.append(attempt)
+                    if pricing == "spot" and revocations >= spot.fallback_after:
+                        pricing = "on-demand"
+                        fallback_at = attempt
+                        self._set_env_pricing(vm.name, "on-demand")
                 continue
+            charge = 1.0
+            if spot is not None:
+                done = checkpoint.fraction if checkpoint is not None else 0.0
+                charge = self._price_ratio(vm.name, pricing) * (1.0 - done)
+                checkpoint = None  # consumed by the success
             return BatchMeasurement(
                 index=index,
                 iteration=iteration,
@@ -552,6 +756,11 @@ class SequentialOptimizer(abc.ABC):
                 attempts=attempt,
                 failures=tuple(failures),
                 wait_s=wait_s,
+                charge=charge,
+                failure_charges=tuple(failure_charges),
+                revoked_attempts=tuple(revoked_attempts),
+                fallback_at=fallback_at,
+                checkpoint=checkpoint,
             )
         return BatchMeasurement(
             index=index,
@@ -561,6 +770,10 @@ class SequentialOptimizer(abc.ABC):
             attempts=policy.max_attempts,
             failures=tuple(failures),
             wait_s=wait_s,
+            failure_charges=tuple(failure_charges),
+            revoked_attempts=tuple(revoked_attempts),
+            fallback_at=fallback_at,
+            checkpoint=checkpoint,
         )
 
     def _commit_batch(self, outcomes: list[BatchMeasurement]) -> None:
@@ -575,7 +788,14 @@ class SequentialOptimizer(abc.ABC):
             step = self._obs_count + 1
             self._retry_wait_s += outcome.wait_s
             quarantined = False
-            for attempt, error_text in outcome.failures:
+            revoked_set = set(outcome.revoked_attempts)
+            revocations = 0
+            for position, (attempt, error_text) in enumerate(outcome.failures):
+                charge = (
+                    outcome.failure_charges[position]
+                    if outcome.failure_charges
+                    else 1.0
+                )
                 self._events.append(
                     SearchEvent(
                         kind="measurement_started",
@@ -585,12 +805,14 @@ class SequentialOptimizer(abc.ABC):
                     )
                 )
                 self._failed_charges += 1
+                self._charge_total += charge
                 self._failure_events.append(
                     FailureEvent(
                         step=step,
                         vm_name=vm.name,
                         attempt=attempt,
                         error=error_text,
+                        charge=charge,
                     )
                 )
                 self._events.append(
@@ -601,7 +823,23 @@ class SequentialOptimizer(abc.ABC):
                         detail=error_text,
                     )
                 )
-                if self._breaker.record_failure(vm.name) and not quarantined:
+                if attempt in revoked_set:
+                    revocations += 1
+                    self._events.append(
+                        SearchEvent(
+                            kind="spot_revoked",
+                            step=step,
+                            vm_name=vm.name,
+                            detail=(
+                                f"revocation {revocations} at batch attempt "
+                                f"{attempt}, charged {charge:.6f}"
+                            ),
+                        )
+                    )
+                    newly_quarantined = self._breaker.record_revocation(vm.name)
+                else:
+                    newly_quarantined = self._breaker.record_failure(vm.name)
+                if newly_quarantined and not quarantined:
                     quarantined = True
                     self._events.append(
                         SearchEvent(
@@ -609,6 +847,18 @@ class SequentialOptimizer(abc.ABC):
                             step=step,
                             vm_name=vm.name,
                             detail=f"after {attempt} failed attempts this round",
+                        )
+                    )
+                if outcome.fallback_at == attempt:
+                    self._events.append(
+                        SearchEvent(
+                            kind="fallback_to_ondemand",
+                            step=step,
+                            vm_name=vm.name,
+                            detail=(
+                                f"after {revocations} revocations; retrying at "
+                                "full on-demand price"
+                            ),
                         )
                     )
             if outcome.measurement is not None and outcome.value is not None:
@@ -622,7 +872,11 @@ class SequentialOptimizer(abc.ABC):
                 )
                 self._breaker.record_success(vm.name)
                 self._record_observation(
-                    outcome.index, outcome.measurement, outcome.value, outcome.attempts
+                    outcome.index,
+                    outcome.measurement,
+                    outcome.value,
+                    outcome.attempts,
+                    charge=outcome.charge,
                 )
                 self._events.append(
                     SearchEvent(
@@ -632,6 +886,12 @@ class SequentialOptimizer(abc.ABC):
                         detail=f"{self.objective.value}={outcome.value!r}",
                     )
                 )
+                if self._spot is not None:
+                    self._checkpoints.pop(vm.name, None)
+            elif outcome.checkpoint is not None:
+                # The task failed outright but banked partial progress;
+                # keep it so a later round resumes instead of redoing.
+                self._checkpoints[vm.name] = outcome.checkpoint
 
     def _batched_round(self, iteration: int) -> str | None:
         """One q-point round (``batch_size > 1``): suggest, fan out, commit.
@@ -677,11 +937,27 @@ class SequentialOptimizer(abc.ABC):
             )
             return "criterion"
         if self.max_measurements is not None:
-            # Reserve one charge per pick up front; the batch cannot
+            # Reserve the cost of each pick up front; the batch cannot
             # pause mid-flight the way the serial loop checks the
             # budget between retries (overshoot is bounded, see the
             # module docstring).
-            picked = picked[: self.max_measurements - self._charged()]
+            if self._spot is None:
+                picked = picked[: self.max_measurements - self._charged()]
+            else:
+                # Under spot pricing a pick's expected bill is below one
+                # on-demand unit (hazard-adjusted closed form), so the
+                # same budget affords more concurrent picks.
+                remaining = float(self.max_measurements) - self._charged()
+                affordable: list[int] = []
+                for index in picked:
+                    expected = self._spot.expected_attempt_cost(
+                        self._env.catalog[index].name
+                    )
+                    if expected > remaining:
+                        break
+                    remaining -= expected
+                    affordable.append(index)
+                picked = affordable
         if not picked:
             return "budget"
         self._events.append(
@@ -708,8 +984,10 @@ class SequentialOptimizer(abc.ABC):
     def _build_result(self, stopped_by: str) -> SearchResult:
         steps = []
         best = np.inf
-        observations = zip(self._obs_indices, self._value_buf, self._obs_attempts)
-        for step, (index, value, attempts) in enumerate(observations, start=1):
+        observations = zip(
+            self._obs_indices, self._value_buf, self._obs_attempts, self._obs_charges
+        )
+        for step, (index, value, attempts, charge) in enumerate(observations, start=1):
             best = min(best, value)
             steps.append(
                 SearchStep(
@@ -718,6 +996,7 @@ class SequentialOptimizer(abc.ABC):
                     objective_value=float(value),
                     best_value=float(best),
                     attempts=attempts,
+                    charge=charge,
                 )
             )
         workload = getattr(self._env, "workload", None)
@@ -784,7 +1063,9 @@ class SearchState:
         opt._events = []
         opt._failed_charges = 0
         opt._retry_wait_s = 0.0
-        opt._breaker = CircuitBreaker(opt.quarantine_after)
+        opt._checkpoints = {}
+        opt._charge_total = 0.0
+        opt._breaker = opt._new_breaker()
         opt._retry_rng = np.random.default_rng([opt._stream_seed, 1])
         initial = initial_vms if initial_vms is not None else opt._initial_indices()
         if not initial:

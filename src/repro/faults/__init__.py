@@ -18,6 +18,7 @@ from repro.faults.models import (
     FaultInjector,
     FaultPlan,
     FaultRule,
+    PartialMeasurement,
     PermanentOutage,
     SpotInterruptionError,
     SpotInterruptions,
@@ -25,6 +26,7 @@ from repro.faults.models import (
     TransientTimeoutError,
     TransientTimeouts,
     VMUnavailableError,
+    format_fault_plan,
     parse_fault_plan,
 )
 from repro.faults.retry import CircuitBreaker, RetryPolicy
@@ -43,7 +45,9 @@ __all__ = [
     "Stragglers",
     "FaultPlan",
     "FaultInjector",
+    "PartialMeasurement",
     "parse_fault_plan",
+    "format_fault_plan",
     "RetryPolicy",
     "CircuitBreaker",
 ]

@@ -23,6 +23,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.cloud.spot import SpotMarket
 from repro.cloud.vmtypes import VMType
 from repro.simulator.cluster import Measurement, MeasurementEnvironment
 
@@ -36,7 +37,46 @@ class TransientTimeoutError(FaultError):
 
 
 class SpotInterruptionError(FaultError):
-    """The spot instance was reclaimed mid-run."""
+    """The spot instance was reclaimed mid-run.
+
+    Market-driven revocations (a :class:`SpotInterruptions` rule with a
+    :class:`~repro.cloud.spot.SpotMarket`) carry the revocation terms:
+    ``fraction`` — how much of the *attempted remaining* work completed
+    before the reclaim — plus the VM's ``discount`` and ``hazard``.
+    A flat-rate interruption leaves all three ``None`` (no partial
+    progress is knowable without a market).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        fraction: float | None = None,
+        discount: float | None = None,
+        hazard: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.fraction = fraction
+        self.discount = discount
+        self.hazard = hazard
+
+
+@dataclass(frozen=True, slots=True)
+class PartialMeasurement:
+    """A revoked run's surviving checkpoint.
+
+    Attributes:
+        vm_name: the VM whose run was revoked.
+        fraction: cumulative fraction of the full run completed *and
+            credited* (resume credit already applied); a retry redoes
+            only the remaining ``1 - fraction``.
+        charge: cumulative partial charge already billed for the
+            checkpointed work, in on-demand attempt units at the spot
+            price.
+    """
+
+    vm_name: str
+    fraction: float
+    charge: float
 
 
 class VMUnavailableError(FaultError):
@@ -80,6 +120,24 @@ class FaultRule(abc.ABC):
             return self._calls % every == 0
         return bool(self._rng.random() < rate)
 
+    def params(self) -> dict[str, int | float | str]:
+        """The rule's mini-language parameters, defaults omitted.
+
+        The canonical identity of the rule: :func:`format_fault_plan`
+        renders it and ``__eq__`` compares it, so
+        ``parse_fault_plan(format_fault_plan(plan))`` reconstructs an
+        equal plan.  Runtime state (RNG, call counters) never appears.
+        """
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.params() == other.params()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, tuple(sorted(self.params().items()))))
+
 
 def _validate_trigger(rate: float, every: int | None, name: str) -> None:
     if every is not None:
@@ -89,6 +147,12 @@ def _validate_trigger(rate: float, every: int | None, name: str) -> None:
             raise ValueError(f"{name}: pass either rate or every, not both")
     elif not 0.0 <= rate <= 1.0:
         raise ValueError(f"{name}: rate must be in [0, 1], got {rate}")
+
+
+def _trigger_params(rate: float, every: int | None) -> dict[str, int | float | str]:
+    if every is not None:
+        return {"every": every}
+    return {"rate": rate} if rate else {}
 
 
 class TransientTimeouts(FaultRule):
@@ -103,17 +167,102 @@ class TransientTimeouts(FaultRule):
         if self._fires(self.rate, self.every):
             raise TransientTimeoutError(f"measurement of {vm.name} timed out")
 
+    def params(self) -> dict[str, int | float | str]:
+        return _trigger_params(self.rate, self.every)
+
+
+#: Mini-language keys configuring a market-driven spot rule and the
+#: :class:`~repro.cloud.spot.SpotMarket` field each maps to.
+_SPOT_MARKET_KEYS = {
+    "market": "seed",
+    "mindisc": "min_discount",
+    "maxdisc": "max_discount",
+    "base": "base_hazard",
+    "slope": "hazard_slope",
+    "vol": "volatility",
+}
+
 
 class SpotInterruptions(FaultRule):
-    """Spot reclamation: each call is interrupted with probability ``rate``."""
+    """Spot reclamation, flat-rate or market-driven.
 
-    def __init__(self, rate: float = 0.0, every: int | None = None) -> None:
-        _validate_trigger(rate, every, "SpotInterruptions")
-        self.rate, self.every = rate, every
+    Flat mode (``rate``/``every``, the PR-1 behaviour, bit-identical):
+    each call is interrupted with probability ``rate`` and the run is a
+    dead loss.  Market mode (``market=``): the per-attempt hazard is
+    sampled from the VM's :class:`~repro.cloud.spot.SpotMarket` quote —
+    deep-discount VMs are revoked more — and a revocation reports the
+    fraction of the run that completed, so the optimiser can bank a
+    :class:`PartialMeasurement` checkpoint and bill only the partial
+    spot charge.
+
+    A VM switched to on-demand capacity via :meth:`set_pricing` (the
+    optimiser's fallback ladder) is exempt from market revocations —
+    on-demand runs are guaranteed — until switched back or the rule is
+    re-armed.
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        every: int | None = None,
+        market: SpotMarket | None = None,
+    ) -> None:
+        if market is not None and (rate or every is not None):
+            raise ValueError(
+                "SpotInterruptions: pass either a market or rate/every, not both"
+            )
+        if market is None:
+            _validate_trigger(rate, every, "SpotInterruptions")
+        self.rate, self.every, self.market = rate, every, market
+        self._on_demand: set[str] = set()
+
+    def reset(self, rng: np.random.Generator) -> None:
+        super().reset(rng)
+        self._on_demand = set()
+
+    def set_pricing(self, vm_name: str, mode: str) -> None:
+        """Exempt ``vm_name`` from market revocations (``"on-demand"``)
+        or re-expose it (``"spot"``).  Flat-rate rules ignore this —
+        their interruptions model provider flakiness, not a market."""
+        if mode == "on-demand":
+            self._on_demand.add(vm_name)
+        else:
+            self._on_demand.discard(vm_name)
 
     def before_measure(self, vm: VMType) -> None:
-        if self._fires(self.rate, self.every):
-            raise SpotInterruptionError(f"spot instance {vm.name} reclaimed mid-run")
+        if self.market is None:
+            if self._fires(self.rate, self.every):
+                raise SpotInterruptionError(
+                    f"spot instance {vm.name} reclaimed mid-run"
+                )
+            return
+        if vm.name in self._on_demand:
+            return
+        hazard = self.market.hazard(vm.name)
+        self._calls += 1
+        if float(self._rng.random()) < hazard:
+            fraction = float(self._rng.random())
+            discount = self.market.discount(vm.name)
+            raise SpotInterruptionError(
+                f"spot instance {vm.name} revoked at {fraction:.0%} of the "
+                f"remaining run (discount {discount:.0%}, hazard {hazard:.0%})",
+                fraction=fraction,
+                discount=discount,
+                hazard=hazard,
+            )
+
+    def params(self) -> dict[str, int | float | str]:
+        if self.market is None:
+            return _trigger_params(self.rate, self.every)
+        defaults = SpotMarket()
+        out: dict[str, int | float | str] = {"market": self.market.seed}
+        for key, field_name in _SPOT_MARKET_KEYS.items():
+            if key == "market":
+                continue
+            value = getattr(self.market, field_name)
+            if value != getattr(defaults, field_name):
+                out[key] = value
+        return out
 
 
 class PermanentOutage(FaultRule):
@@ -127,6 +276,9 @@ class PermanentOutage(FaultRule):
     def before_measure(self, vm: VMType) -> None:
         if vm.name in self.vm_names:
             raise VMUnavailableError(f"{vm.name} permanently unavailable")
+
+    def params(self) -> dict[str, int | float | str]:
+        return {"vm": "|".join(sorted(self.vm_names))}
 
 
 class CorruptedMeasurements(FaultRule):
@@ -149,6 +301,12 @@ class CorruptedMeasurements(FaultRule):
         bad_cost = float("nan") if self.mode == "nan" else -abs(measurement.cost_usd)
         return replace(measurement, execution_time_s=bad, cost_usd=bad_cost)
 
+    def params(self) -> dict[str, int | float | str]:
+        out = _trigger_params(self.rate, self.every)
+        if self.mode != "nan":
+            out["mode"] = self.mode
+        return out
+
 
 class Stragglers(FaultRule):
     """Straggler runs: the measurement succeeds but takes ``slowdown`` x
@@ -168,6 +326,12 @@ class Stragglers(FaultRule):
             execution_time_s=measurement.execution_time_s * self.slowdown,
             cost_usd=measurement.cost_usd * self.slowdown,
         )
+
+    def params(self) -> dict[str, int | float | str]:
+        out = _trigger_params(self.rate, self.every)
+        if self.slowdown != 4.0:
+            out["slowdown"] = self.slowdown
+        return out
 
 
 @dataclass(frozen=True)
@@ -250,6 +414,21 @@ class FaultInjector:
             measurement = rule.after_measure(vm, measurement)
         return measurement
 
+    def set_pricing(self, vm_name: str, mode: str) -> None:
+        """Tell market-aware rules which capacity the next attempts of
+        ``vm_name`` run on (``"spot"``/``"on-demand"``) — the optimiser's
+        fallback ladder calls this when it pays full price for a
+        guaranteed run.  Forwarded to the inner environment when it has
+        the hook; rules without it are unaffected.  Re-arming (reset /
+        ``arm_for``) clears every override."""
+        for rule in self.plan.rules:
+            setter = getattr(rule, "set_pricing", None)
+            if setter is not None:
+                setter(vm_name, mode)
+        inner_setter = getattr(self._inner, "set_pricing", None)
+        if inner_setter is not None:
+            inner_setter(vm_name, mode)
+
     def reset(self) -> None:
         self._count = 0
         self._inner.reset()
@@ -275,11 +454,16 @@ def parse_fault_plan(spec: str, seed: int = 0) -> FaultPlan:
         transient:rate=0.3
         transient:every=3+outage:vm=c3.large
         spot:rate=0.1+straggler:rate=0.05,slowdown=3+corrupt:rate=0.02,mode=nan
+        spot:market=7,slope=0.3
 
     ``outage`` takes ``vm=<name>`` (repeat names with ``|``:
     ``vm=c3.large|m3.large``); the numeric rules take ``rate=`` or
     ``every=``; ``corrupt`` also takes ``mode=nan|negative`` and
-    ``straggler`` takes ``slowdown=``.
+    ``straggler`` takes ``slowdown=``.  ``spot`` alternatively takes the
+    market-driven form: ``market=<seed>`` plus optional
+    :class:`~repro.cloud.spot.SpotMarket` overrides ``mindisc``/
+    ``maxdisc`` (discount range), ``base``/``slope`` (hazard model) and
+    ``vol`` (price volatility); market keys exclude ``rate``/``every``.
 
     Raises:
         ValueError: on an unknown rule name or malformed parameters.
@@ -314,6 +498,18 @@ def _build_rule(name: str, params: dict[str, str]) -> FaultRule:
             raise ValueError(f"unknown parameters {sorted(params)}")
         names = [v for v in vms.split("|") if v]
         return PermanentOutage(*names)
+    if name == "spot" and any(key in _SPOT_MARKET_KEYS for key in params):
+        market_kwargs: dict[str, int | float] = {}
+        for key, value in params.items():
+            if key not in _SPOT_MARKET_KEYS:
+                raise ValueError(
+                    f"parameter {key!r} cannot combine with market keys"
+                )
+            field_name = _SPOT_MARKET_KEYS[key]
+            market_kwargs[field_name] = (
+                int(value) if field_name == "seed" else float(value)
+            )
+        return SpotInterruptions(market=SpotMarket(**market_kwargs))
     kwargs: dict[str, float | int | str] = {}
     for key, value in params.items():
         if key == "every":
@@ -325,3 +521,33 @@ def _build_rule(name: str, params: dict[str, str]) -> FaultRule:
         else:
             raise ValueError(f"unknown parameter {key!r}")
     return _SPEC_RULES[name](**kwargs)
+
+
+#: Rule class -> mini-language name (the inverse of ``_SPEC_RULES``).
+_RULE_NAMES = {cls: name for name, cls in _SPEC_RULES.items()}
+
+
+def format_fault_plan(plan: FaultPlan) -> str:
+    """Render a plan back into the mini-language :func:`parse_fault_plan`
+    reads, such that ``parse_fault_plan(format_fault_plan(plan),
+    plan.seed) == plan``.
+
+    Raises:
+        ValueError: for rule types outside the mini-language vocabulary.
+    """
+    parts = []
+    for rule in plan.rules:
+        name = _RULE_NAMES.get(type(rule))
+        if name is None:
+            raise ValueError(
+                f"rule type {type(rule).__name__} has no mini-language name"
+            )
+        params = rule.params()
+        if params:
+            rendered = ",".join(f"{key}={value!r}" if isinstance(value, float)
+                                else f"{key}={value}"
+                                for key, value in params.items())
+            parts.append(f"{name}:{rendered}")
+        else:
+            parts.append(name)
+    return "+".join(parts)

@@ -112,13 +112,29 @@ class CircuitBreaker:
         failure_threshold: consecutive failures (across retry rounds)
             after which a VM is quarantined.  A success resets the VM's
             count; quarantine is permanent for the life of the breaker.
+        revocation_threshold: price-aware mode — *cumulative* spot
+            revocations of one VM after which it is quarantined for
+            churn, successes notwithstanding (a VM that keeps getting
+            reclaimed is a bad spot buy even when its runs eventually
+            finish).  ``None`` (the default) disables churn tracking;
+            spot-priced searches enable it.
     """
 
-    def __init__(self, failure_threshold: int = 3) -> None:
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        revocation_threshold: int | None = None,
+    ) -> None:
         if failure_threshold < 1:
             raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if revocation_threshold is not None and revocation_threshold < 1:
+            raise ValueError(
+                f"revocation_threshold must be >= 1 or None, got {revocation_threshold}"
+            )
         self.failure_threshold = failure_threshold
+        self.revocation_threshold = revocation_threshold
         self._consecutive: dict[str, int] = {}
+        self._revocations: dict[str, int] = {}
         self._quarantined: set[str] = set()
 
     @property
@@ -138,11 +154,31 @@ class CircuitBreaker:
             self._quarantined.add(vm_name)
         return vm_name in self._quarantined
 
+    def record_revocation(self, vm_name: str) -> bool:
+        """Count one spot revocation; returns True if the VM is now
+        quarantined for churn.
+
+        Revocations accumulate for the life of the breaker — a later
+        success does *not* reset them (unlike consecutive failures):
+        churn is a market property of the VM, not a transient health
+        blip.  Without a ``revocation_threshold`` this only counts.
+        """
+        count = self._revocations.get(vm_name, 0) + 1
+        self._revocations[vm_name] = count
+        if self.revocation_threshold is not None and count >= self.revocation_threshold:
+            self._quarantined.add(vm_name)
+        return vm_name in self._quarantined
+
+    def revocation_count(self, vm_name: str) -> int:
+        """Cumulative revocations recorded for ``vm_name``."""
+        return self._revocations.get(vm_name, 0)
+
     def record_success(self, vm_name: str) -> None:
         """A successful measurement clears the VM's consecutive count."""
         self._consecutive[vm_name] = 0
 
     def reset(self) -> None:
-        """Forget all failure counts and quarantines."""
+        """Forget all failure counts, revocations and quarantines."""
         self._consecutive.clear()
+        self._revocations.clear()
         self._quarantined.clear()

@@ -347,6 +347,7 @@ def run_cells(
                 max_attempts=queue.max_attempts,
                 stall_timeout_s=queue.stall_timeout_s,
                 poll_tick_s=queue.poll_tick_s,
+                pricing=queue.pricing,
                 on_event=on_event,
             )
         else:

@@ -188,6 +188,9 @@ class WorkQueue:
             deaths).
         lease_duration_s: heartbeat-free lease lifetime before the
             worker is presumed dead.
+        pricing: the pricing mode the grid runs under (``"on-demand"``
+            or ``"spot"``) — recorded in ``meta`` so workers and status
+            tools agree on how cell charges are to be read.
         clock: wall-clock source (injectable for deterministic tests).
 
     Raises:
@@ -201,6 +204,7 @@ class WorkQueue:
         *,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         lease_duration_s: float = DEFAULT_LEASE_S,
+        pricing: str = "on-demand",
         clock: Callable[[], float] = time.time,
     ) -> None:
         if max_attempts < 1:
@@ -213,6 +217,7 @@ class WorkQueue:
         self.cache_key = cache_key
         self.max_attempts = max_attempts
         self.lease_duration_s = lease_duration_s
+        self.pricing = pricing
         self._clock = clock
         self.readonly = False
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -262,7 +267,13 @@ class WorkQueue:
         else:
             queue._con = sqlite3.connect(path, timeout=30.0, isolation_level=None)
         queue._con.execute("PRAGMA busy_timeout=30000")
-        meta = dict(queue._con.execute("SELECT key, value FROM meta"))
+        try:
+            meta = dict(queue._con.execute("SELECT key, value FROM meta"))
+        except sqlite3.OperationalError as error:
+            # The file exists but the schema is still being created by
+            # the coordinator (or it is not a queue at all).
+            queue._con.close()
+            raise ValueError(f"{path} is not a work queue database: {error}") from error
         if meta.get("schema") != str(QUEUE_SCHEMA_VERSION):
             queue._con.close()
             raise ValueError(
@@ -272,6 +283,8 @@ class WorkQueue:
         queue.cache_key = meta["cache_key"]
         queue.max_attempts = int(meta["max_attempts"])
         queue.lease_duration_s = float(meta["lease_duration_s"])
+        # Queues predating the pricing meta key are on-demand grids.
+        queue.pricing = meta.get("pricing", "on-demand")
         return queue
 
     def _check_meta(self, write: bool) -> None:
@@ -298,6 +311,7 @@ class WorkQueue:
                     ("cache_key", self.cache_key),
                     ("max_attempts", str(self.max_attempts)),
                     ("lease_duration_s", repr(self.lease_duration_s)),
+                    ("pricing", self.pricing),
                 ],
             )
 
@@ -889,6 +903,8 @@ class QueueConfig:
             supervision completes serially.  ``None`` disables (wait
             for a fleet forever).
         poll_tick_s: coordinator sweep/poll granularity.
+        pricing: pricing mode stamped into the queue's ``meta`` table
+            (``"on-demand"`` or ``"spot"``).
     """
 
     path: str | Path | None = None
@@ -898,6 +914,7 @@ class QueueConfig:
     max_attempts: int = DEFAULT_MAX_ATTEMPTS
     stall_timeout_s: float | None = 60.0
     poll_tick_s: float = 0.05
+    pricing: str = "on-demand"
 
     def __post_init__(self) -> None:
         if self.workers is not None and self.workers < 0:
@@ -956,6 +973,7 @@ class QueueExecutor:
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         stall_timeout_s: float | None = 60.0,
         poll_tick_s: float = 0.05,
+        pricing: str = "on-demand",
         on_event: Callable[[CellEvent], None] | None = None,
     ) -> None:
         if workers < 0:
@@ -963,6 +981,7 @@ class QueueExecutor:
         self.queue = WorkQueue(
             path, cache_key,
             max_attempts=max_attempts, lease_duration_s=lease_duration_s,
+            pricing=pricing,
         )
         self._run_cell = run_cell
         self._objective = objective

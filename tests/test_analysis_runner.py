@@ -210,6 +210,40 @@ class TestCacheRecovery:
         # Migration, not quarantine: no .corrupt file appears.
         assert not list((tmp_path / "cache").glob("*.corrupt*"))
 
+    def test_v2_cache_is_migrated_in_place_not_recomputed(
+        self, runner, trace, tmp_path
+    ):
+        # v3 only *adds* optional trailing charge columns, so a v2 body
+        # is shape-valid v3: the loader adopts it in place instead of
+        # quarantining and recomputing.
+        grid = RunGrid(*self.GRID)
+        fresh = runner.run(grid)
+        cache_file = tmp_path / "cache" / "random__time.json"
+        payload = json.loads(cache_file.read_text())
+        assert payload["schema"] == CACHE_SCHEMA_VERSION
+        payload["schema"] = 2
+        cache_file.write_text(json.dumps(payload))
+
+        calls = {"n": 0}
+        original = RandomSearch.run
+
+        def counting_run(self):
+            calls["n"] += 1
+            return original(self)
+
+        RandomSearch.run = counting_run
+        try:
+            migrated = ExperimentRunner(
+                trace=trace, cache_dir=tmp_path / "cache"
+            ).run(grid)
+        finally:
+            RandomSearch.run = original
+        assert calls["n"] == 0  # migration, not recomputation
+        assert _results_signature(migrated) == _results_signature(fresh)
+        assert not list((tmp_path / "cache").glob("*.corrupt*"))
+        # The next write re-stamps the file at the current schema.
+        assert json.loads(cache_file.read_text())["schema"] in (2, 3)
+
     def test_malformed_entry_is_recomputed_in_place(self, runner, tmp_path):
         grid = RunGrid(*self.GRID)
         fresh = runner.run(grid)
@@ -224,3 +258,48 @@ class TestCacheRecovery:
         # The intact workload's entries were trusted; the bad ones rewritten.
         rebuilt = json.loads(cache_file.read_text())
         assert rebuilt["results"][workload]["0"]["steps"][0][0] != "vm"
+
+
+class TestChargeRoundTrip:
+    """Fractional spot charges must cross the cache codec exactly."""
+
+    def _spot_result(self, trace):
+        from repro.cloud.spot import SpotMarket, SpotPolicy
+        from repro.faults.models import FaultInjector, FaultPlan, SpotInterruptions
+
+        market = SpotMarket(seed=5, base_hazard=0.25, hazard_slope=0.5)
+        plan = FaultPlan((SpotInterruptions(market=market),), seed=3)
+        env = FaultInjector(trace.environment(WORKLOADS[0]), plan)
+        return RandomSearch(
+            env, seed=3, measure_retries=5, spot=SpotPolicy(market=market)
+        ).run()
+
+    def test_charges_survive_json_with_no_float_drift(self, trace):
+        from repro.analysis.runner import result_from_payload, result_to_payload
+
+        result = self._spot_result(trace)
+        charges = [s.charge for s in result.steps]
+        assert any(c != 1.0 for c in charges), "spot run produced no discounts"
+        assert any(f.charge != 1.0 for f in result.failure_events)
+
+        wire = json.loads(json.dumps(result_to_payload(result)))
+        decoded = result_from_payload(wire, result.objective, result.workload_id)
+        # Exact equality, not approx: repr-based JSON floats round-trip
+        # bit for bit, so resume bills exactly what the run billed.
+        assert [s.charge for s in decoded.steps] == charges
+        assert [f.charge for f in decoded.failure_events] == [
+            f.charge for f in result.failure_events
+        ]
+        assert decoded.charged_cost == result.charged_cost
+        # A second encode is byte-identical: queue hops cannot drift.
+        assert json.dumps(result_to_payload(decoded), sort_keys=True) == json.dumps(
+            result_to_payload(result), sort_keys=True
+        )
+
+    def test_on_demand_payload_has_no_charge_columns(self, trace):
+        from repro.analysis.runner import result_to_payload
+
+        result = RandomSearch(trace.environment(WORKLOADS[0]), seed=0).run()
+        payload = result_to_payload(result)
+        assert all(len(row) == 3 for row in payload["steps"])
+        assert all(len(row) == 4 for row in payload.get("failures", []))

@@ -311,6 +311,38 @@ class TestQueueCommands:
         ) == 0
         assert "processed 0 cell(s)" in capsys.readouterr().out
 
+    @pytest.mark.skipif(
+        not _fork_available(), reason="requires fork start method"
+    )
+    def test_queue_status_reports_pricing_and_partial_credit(
+        self, tmp_path, capsys
+    ):
+        assert main([
+            "search", self.WORKLOAD, "--method", "random", "--repeats", "2",
+            "--pricing", "spot", "--spot-seed", "5",
+            "--fault-plan", "spot:market=5,base=0.25,slope=0.5",
+            "--measure-retries", "5",
+            "--cache-dir", str(tmp_path / "spot"),
+            "--executor", "queue", "--queue-workers", "1",
+        ]) == 0
+        capsys.readouterr()
+        [queue_db] = list((tmp_path / "spot").glob("*.queue"))
+        assert main(["queue-status", "--queue-db", str(queue_db)]) == 0
+        out = capsys.readouterr().out
+        assert "pricing spot" in out
+        assert "cumulative partial credit" in out
+
+    def test_queue_status_on_demand_shows_no_credit_line(self, tmp_path, capsys):
+        from repro.parallel.queue import WorkQueue
+
+        queue_db = tmp_path / "plain.queue"
+        with WorkQueue(queue_db, "campaign__time") as queue:
+            queue.enqueue([((self.WORKLOAD, 0), 5)])
+        assert main(["queue-status", "--queue-db", str(queue_db)]) == 0
+        out = capsys.readouterr().out
+        assert "pricing on-demand" in out
+        assert "cumulative partial credit" not in out
+
     def test_queue_worker_refuses_foreign_grid_key(self, tmp_path, capsys):
         from repro.parallel.queue import WorkQueue
 
@@ -329,3 +361,34 @@ class TestQueueCommands:
             ]
         ) == 0
         assert "processed 1 cell(s)" in capsys.readouterr().out
+
+
+class TestSpotGridKey:
+    """Spot flags join the search cache key only when pricing is spot."""
+
+    WORKLOAD = "kmeans/Spark 2.1/small"
+
+    def _key(self, *extra):
+        from repro.cli import _search_grid_key, build_parser
+
+        args = build_parser().parse_args(
+            ["search", self.WORKLOAD, "--method", "random", *extra]
+        )
+        return _search_grid_key(args)
+
+    def test_on_demand_key_ignores_spot_flags(self):
+        # The spot knobs are inert while pricing stays on-demand, so
+        # they must not perturb (and so invalidate) existing caches.
+        assert self._key() == self._key(
+            "--spot-seed", "99", "--spot-fallback-after", "7",
+            "--spot-resume-credit", "0.5",
+        )
+
+    def test_spot_pricing_changes_the_key(self):
+        assert self._key("--pricing", "spot") != self._key()
+
+    def test_spot_knobs_change_the_spot_key(self):
+        base = self._key("--pricing", "spot")
+        assert self._key("--pricing", "spot", "--spot-seed", "9") != base
+        assert self._key("--pricing", "spot", "--spot-fallback-after", "7") != base
+        assert self._key("--pricing", "spot", "--spot-resume-credit", "0.5") != base

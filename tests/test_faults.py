@@ -1,8 +1,11 @@
 """Unit tests for the fault-injection subsystem (repro.faults)."""
 
+import random
+
 import numpy as np
 import pytest
 
+from repro.cloud.spot import SpotMarket
 from repro.faults import (
     CircuitBreaker,
     CorruptedMeasurements,
@@ -16,6 +19,7 @@ from repro.faults import (
     TransientTimeoutError,
     TransientTimeouts,
     VMUnavailableError,
+    format_fault_plan,
     parse_fault_plan,
 )
 
@@ -187,6 +191,126 @@ class TestParseFaultPlan:
     def test_bad_specs_raise_value_error(self, spec):
         with pytest.raises(ValueError):
             parse_fault_plan(spec)
+
+    def test_market_spot_form(self):
+        plan = parse_fault_plan("spot:market=7,base=0.1,slope=0.3", seed=2)
+        (rule,) = plan.rules
+        assert isinstance(rule, SpotInterruptions)
+        assert rule.market == SpotMarket(seed=7, base_hazard=0.1, hazard_slope=0.3)
+
+    def test_market_keys_exclude_trigger_keys(self):
+        with pytest.raises(ValueError, match="market keys"):
+            parse_fault_plan("spot:market=7,rate=0.1")
+
+
+def _random_rule(rng: random.Random):
+    kind = rng.choice(("transient", "spot", "spot-market", "outage",
+                       "corrupt", "straggler"))
+    # rate/every are mutually exclusive triggers; None rate means "use
+    # every", and values are drawn coarse enough to stay in-range but
+    # fine enough to exercise float repr round-tripping.
+    rate = rng.choice((None, rng.uniform(0.01, 0.99)))
+    every = rng.randint(1, 9)
+    if kind == "transient":
+        return TransientTimeouts(rate=rate) if rate else TransientTimeouts(every=every)
+    if kind == "spot":
+        return SpotInterruptions(rate=rate) if rate else SpotInterruptions(every=every)
+    if kind == "spot-market":
+        kwargs = {"seed": rng.randint(0, 999)}
+        if rng.random() < 0.5:
+            kwargs["min_discount"] = rng.uniform(0.0, 0.3)
+        if rng.random() < 0.5:
+            kwargs["max_discount"] = rng.uniform(0.8, 0.99)
+        if rng.random() < 0.5:
+            kwargs["base_hazard"] = rng.uniform(0.0, 0.5)
+        if rng.random() < 0.5:
+            kwargs["hazard_slope"] = rng.uniform(0.0, 2.0)
+        if rng.random() < 0.5:
+            kwargs["volatility"] = rng.uniform(0.0, 0.5)
+        return SpotInterruptions(market=SpotMarket(**kwargs))
+    if kind == "outage":
+        names = rng.sample(("c3.large", "m3.xlarge", "r4.2xlarge", "i2.xlarge"),
+                           rng.randint(1, 3))
+        return PermanentOutage(*names)
+    if kind == "corrupt":
+        mode = rng.choice(("nan", "negative"))
+        if rate:
+            return CorruptedMeasurements(rate=rate, mode=mode)
+        return CorruptedMeasurements(every=every, mode=mode)
+    if rate:
+        return Stragglers(rate=rate, slowdown=rng.uniform(1.5, 8.0))
+    return Stragglers(every=every, slowdown=rng.uniform(1.5, 8.0))
+
+
+class TestFaultPlanRoundTrip:
+    """``parse(format(plan)) == plan`` over the whole mini-language.
+
+    A seeded generative sweep (no external property-testing dependency):
+    random rule stacks, including market-driven spot rules with float
+    parameters, must survive the text form exactly — float params are
+    rendered with ``repr`` so nothing drifts.
+    """
+
+    def test_random_plans_round_trip(self):
+        rng = random.Random(1234)
+        for case in range(200):
+            rules = tuple(_random_rule(rng) for _ in range(rng.randint(1, 4)))
+            plan = FaultPlan(rules, seed=rng.randint(0, 99))
+            spec = format_fault_plan(plan)
+            assert parse_fault_plan(spec, seed=plan.seed) == plan, (
+                f"case {case}: {spec!r}"
+            )
+
+    def test_round_trip_preserves_float_params_exactly(self):
+        plan = FaultPlan(
+            (
+                TransientTimeouts(rate=0.1 + 0.2),  # 0.30000000000000004
+                Stragglers(rate=1 / 3, slowdown=7 / 3),
+                SpotInterruptions(
+                    market=SpotMarket(seed=3, base_hazard=0.1 / 7, hazard_slope=2 / 7)
+                ),
+            ),
+            seed=9,
+        )
+        parsed = parse_fault_plan(format_fault_plan(plan), seed=9)
+        assert parsed == plan
+        assert parsed.rules[0].rate == plan.rules[0].rate
+        assert parsed.rules[2].market.base_hazard == plan.rules[2].market.base_hazard
+
+    def test_documented_example_round_trips(self):
+        spec = "spot:rate=0.1+straggler:rate=0.05,slowdown=3.0+corrupt:rate=0.02"
+        plan = parse_fault_plan(spec, seed=4)
+        assert parse_fault_plan(format_fault_plan(plan), seed=4) == plan
+
+
+class TestMarketSpotInterruptions:
+    def test_revocation_error_carries_market_context(self, env):
+        market = SpotMarket(seed=0, base_hazard=0.9, hazard_slope=0.0)
+        faulty = injector(env, SpotInterruptions(market=market))
+        vm = env.catalog[0]
+        error = None
+        for _ in range(50):
+            try:
+                faulty.measure(vm)
+            except SpotInterruptionError as caught:
+                error = caught
+                break
+        assert error is not None, "0.9 hazard never fired in 50 attempts"
+        assert 0.0 <= error.fraction <= 1.0
+        assert error.discount == pytest.approx(market.discount(vm.name))
+        assert error.hazard == pytest.approx(market.hazard(vm.name))
+
+    def test_set_pricing_exempts_on_demand_vms(self, env):
+        market = SpotMarket(seed=0, base_hazard=0.9, hazard_slope=0.0)
+        faulty = injector(env, SpotInterruptions(market=market))
+        vm = env.catalog[0]
+        faulty.set_pricing(vm.name, "on-demand")
+        for _ in range(50):
+            faulty.measure(vm)  # must never raise while on-demand
+        faulty.set_pricing(vm.name, "spot")
+        with pytest.raises(SpotInterruptionError):
+            for _ in range(50):
+                faulty.measure(vm)
 
 
 class TestRetryPolicy:
